@@ -1,0 +1,77 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* table-instantiation cost (s1) sweep — how the optimal decomposition
+  granularity shifts as creating tables gets cheaper (Theorem 4 intuition);
+* weighted vs raw recursive-decomposition DP — the Theorem-5 speed-up;
+* hierarchical positional-mapping fanout sweep.
+"""
+
+import random
+
+from repro.decomposition import decompose_dp
+from repro.positional import HierarchicalMapping
+from repro.storage.costs import POSTGRES_COSTS
+from repro.workloads.synthetic import SyntheticSheetSpec, generate_synthetic_sheet
+
+_SHEET = generate_synthetic_sheet(
+    SyntheticSheetSpec(total_rows=300, total_columns=40, table_count=6, density=0.4,
+                       formula_count=0, seed=21)
+).sheet
+_COORDS = _SHEET.coordinates()
+
+
+def test_ablation_table_cost_sweep(benchmark, capsys):
+    """Sweep s1 and report how many tables the optimal plan uses."""
+
+    def sweep():
+        results = {}
+        for table_cost in (8192.0, 1024.0, 128.0, 0.0):
+            plan = decompose_dp(_COORDS, POSTGRES_COSTS.with_overrides(table_cost=table_cost))
+            results[table_cost] = (plan.table_count, round(plan.cost, 1))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print("\ns1 sweep (table_cost -> tables, cost):", results)
+    table_counts = [tables for tables, _ in results.values()]
+    assert table_counts == sorted(table_counts), "cheaper tables should never mean fewer tables"
+
+
+def test_ablation_weighted_vs_raw_dp(benchmark, capsys):
+    """Theorem 5: the weighted DP matches the raw DP's cost at a fraction of the work."""
+    coords = {(row, column) for row, column in _COORDS if row <= 60}
+
+    def both():
+        weighted = decompose_dp(coords, POSTGRES_COSTS, use_weighted=True)
+        raw = decompose_dp(coords, POSTGRES_COSTS, use_weighted=False)
+        return weighted, raw
+
+    weighted, raw = benchmark.pedantic(both, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print(f"\nweighted: cost={weighted.cost:.1f} shape={weighted.metadata['weighted_shape']}"
+              f"  raw: cost={raw.cost:.1f} shape={raw.metadata['weighted_shape']}")
+    assert weighted.cost == raw.cost
+    assert weighted.metadata["weighted_shape"] <= raw.metadata["weighted_shape"]
+
+
+def test_ablation_hierarchical_fanout(benchmark, capsys):
+    """Sweep the order-statistic tree fanout on a mixed insert/fetch workload."""
+    rng = random.Random(5)
+    operations = [(rng.random() < 0.5, rng.randint(1, 10_000)) for _ in range(5_000)]
+
+    def workload():
+        heights = {}
+        for fanout in (8, 32, 128):
+            mapping = HierarchicalMapping(fanout=fanout)
+            for is_insert, value in operations:
+                if is_insert or len(mapping) == 0:
+                    mapping.insert_at(value % (len(mapping) + 1) + 1, value)
+                else:
+                    mapping.fetch(value % len(mapping) + 1)
+            heights[fanout] = (mapping.height(), len(mapping))
+        return heights
+
+    heights = benchmark.pedantic(workload, rounds=1, iterations=1, warmup_rounds=0)
+    with capsys.disabled():
+        print("\nfanout -> (height, size):", heights)
+    assert heights[128][0] <= heights[8][0]

@@ -1,0 +1,13 @@
+"""Figure 13: storage comparison under the PostgreSQL and ideal cost models."""
+
+
+def test_fig13a_storage_postgres(run_figure):
+    """ROM/COM/RCV vs DP/Greedy/Agg/OPT, PostgreSQL constants."""
+    result = run_figure("fig13a", scale=0.2)
+    assert result.rows
+
+
+def test_fig13b_storage_ideal(run_figure):
+    """Same comparison under the ideal database cost model."""
+    result = run_figure("fig13b", scale=0.2)
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Figure 14: Theorem-4 upper bound on optimal table counts."""
+
+
+def test_fig14_table_count_bound(run_figure):
+    """Distribution of the per-sheet table-count upper bound."""
+    result = run_figure("fig14", scale=0.3)
+    assert result.rows

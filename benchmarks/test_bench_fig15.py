@@ -1,0 +1,13 @@
+"""Figure 15: optimizer running time and formula access time."""
+
+
+def test_fig15a_optimizer_runtime(run_figure):
+    """DP vs Greedy vs Aggressive running time."""
+    result = run_figure("fig15a", scale=0.15)
+    assert result.rows
+
+
+def test_fig15b_formula_access(run_figure):
+    """Average per-formula access time for ROM, RCV and Agg."""
+    result = run_figure("fig15b", scale=0.2)
+    assert result.rows

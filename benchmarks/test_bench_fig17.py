@@ -1,0 +1,7 @@
+"""Figure 17: large synthetic sheets, storage and access."""
+
+
+def test_fig17_synthetic_sheets(run_figure):
+    """Storage and formula access across decreasing density."""
+    result = run_figure("fig17", scale=0.4)
+    assert result.rows

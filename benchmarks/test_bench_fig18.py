@@ -1,0 +1,7 @@
+"""Figure 18: positional mapping select/insert/delete."""
+
+
+def test_fig18_positional_mappings(run_figure):
+    """as-is vs monotonic vs hierarchical across sheet sizes."""
+    result = run_figure("fig18", scale=0.5)
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Figures 22-24: ROM vs RCV for region update, row insert and select sweeps."""
+
+
+def test_fig22_update_region(run_figure):
+    """Update a region while sweeping density, columns and rows."""
+    result = run_figure("fig22", scale=0.15)
+    assert result.rows
+
+
+def test_fig23_insert_row(run_figure):
+    """Insert one row while sweeping density, columns and rows."""
+    result = run_figure("fig23", scale=0.15)
+    assert result.rows
+
+
+def test_fig24_select_region(run_figure):
+    """Select a window while sweeping density, columns and rows."""
+    result = run_figure("fig24", scale=0.15)
+    assert result.rows

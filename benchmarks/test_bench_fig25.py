@@ -1,0 +1,7 @@
+"""Figure 25: storage drill-down on four sample sheets."""
+
+
+def test_fig25_sample_sheets(run_figure):
+    """Normalised storage per model for four structurally different sheets."""
+    result = run_figure("fig25")
+    assert result.rows

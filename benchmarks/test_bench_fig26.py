@@ -1,0 +1,13 @@
+"""Figure 26: incremental hybrid maintenance."""
+
+
+def test_fig26a_eta_tradeoff(run_figure):
+    """Migration vs storage trade-off while sweeping eta."""
+    result = run_figure("fig26a", scale=0.3)
+    assert result.rows
+
+
+def test_fig26b_storage_vs_actions(run_figure):
+    """Storage drift and migration across batches of user actions."""
+    result = run_figure("fig26b", scale=0.3, batches=4)
+    assert result.rows

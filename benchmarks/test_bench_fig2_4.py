@@ -1,0 +1,13 @@
+"""Figures 2 and 4: sheet and connected-component density histograms."""
+
+
+def test_fig2_sheet_density(run_figure):
+    """Sheet density distribution per corpus."""
+    result = run_figure("fig2", scale=0.2)
+    assert result.rows
+
+
+def test_fig4_component_density(run_figure):
+    """Connected-component density distribution per corpus."""
+    result = run_figure("fig4", scale=0.2)
+    assert result.rows

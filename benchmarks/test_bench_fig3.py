@@ -1,0 +1,7 @@
+"""Figure 3: tabular regions per sheet."""
+
+
+def test_fig3_tabular_regions(run_figure):
+    """Tabular-region count distribution per corpus."""
+    result = run_figure("fig3", scale=0.2)
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Figure 5: formula function distribution."""
+
+
+def test_fig5_formula_distribution(run_figure):
+    """Most common formula functions per corpus."""
+    result = run_figure("fig5", scale=0.2)
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Figure 6: user-survey operation frequencies."""
+
+
+def test_fig6_survey_operations(run_figure):
+    """Stacked-bar data of the 30-participant survey."""
+    result = run_figure("fig6")
+    assert result.rows

@@ -1,0 +1,7 @@
+"""Table I: corpus statistics."""
+
+
+def test_table1_corpus_statistics(run_figure):
+    """Regenerate the Table I rows for the four synthetic corpora."""
+    result = run_figure("table1", scale=0.2)
+    assert result.rows

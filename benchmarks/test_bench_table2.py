@@ -1,0 +1,7 @@
+"""Table II: position-as-is insert/fetch."""
+
+
+def test_table2_position_as_is(run_figure):
+    """Row insert + window fetch with explicit (cascading) positions."""
+    result = run_figure("table2", scale=0.25)
+    assert result.rows

@@ -1,0 +1,13 @@
+"""Section VII-D qualitative use cases."""
+
+
+def test_usecase_genomics_vcf(run_figure):
+    """VCF import and positional scrolling."""
+    result = run_figure("usecase-genomics", scale=0.2)
+    assert result.rows
+
+
+def test_usecase_retail_linktable(run_figure):
+    """linkTable + sql + write-back round trip."""
+    result = run_figure("usecase-retail")
+    assert result.rows

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the in-repo ``src`` layout importable even when the package has not
+been pip-installed (the reproduction environment is offline and lacks the
+``wheel`` package, so ``pip install -e .`` may be unavailable; use
+``python setup.py develop`` or rely on this path hook).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,65 @@
+"""Customer-management use case (paper Example 2 / Section VII-D b).
+
+A small-business owner keeps suppliers, customers, invoices and payments in a
+relational database but wants to manipulate them directly on a spreadsheet:
+link tables onto the sheet, run joins/aggregations with the ``sql()`` function,
+and push cell edits back into the database.
+
+Run with::
+
+    python examples/customer_management.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import DataSpread
+from repro.engine.relational import project, select
+from repro.workloads.retail import generate_retail_dataset
+
+
+def main() -> None:
+    spread = DataSpread()
+    dataset = generate_retail_dataset(suppliers=6, customers=25, invoices=120)
+    dataset.load_into(spread.database)
+
+    # linkTable: two-way correspondence between sheet regions and tables.
+    invoices = spread.link_table("invoice", at="A1")
+    spread.link_table("supp", at="J1")
+    print(f"Linked {invoices.table.row_count} invoices at A1 and "
+          f"{spread.database.table('supp').row_count} suppliers at J1")
+
+    # Direct manipulation: editing a linked cell updates the database row.
+    first_invoice = spread.database.table("invoice").rows()[0]
+    spread.set_value(2, 4, round(first_invoice[3] + 50.0, 2))        # amount column
+    print("After editing cell D2, invoice #1 amount in the database is",
+          spread.database.table("invoice").rows()[0][3])
+
+    # sql(): join + group + aggregate, spilled below the linked region.
+    summary = spread.sql(
+        "SELECT supp.name AS supplier, COUNT(*) AS invoices, SUM(invoice.amount) AS total "
+        "FROM invoice JOIN supp ON invoice.supp_id = supp.supp_id "
+        "GROUP BY supp.name ORDER BY total DESC"
+    )
+    spill_at = f"A{invoices.region().bottom + 3}"
+    region = spread.place_table(summary, at=spill_at)
+    print(f"Supplier totals spilled into {region.to_a1()}:")
+    for row in summary.rows:
+        print(f"  {row[0]:<22} {row[1]:>3} invoices  ${row[2]:>10.2f}")
+
+    # Relational operators on composite table values: top overdue invoices.
+    invoice_table = spread.sql("SELECT inv_id, amount, status, due_day FROM invoice")
+    overdue = select(invoice_table, lambda r: r["status"] == "overdue")
+    overdue_ids = project(overdue, "inv_id", "amount")
+    print(f"{overdue.row_count} overdue invoices; the first few:",
+          overdue_ids.rows[:5])
+
+    # Parameterised (prepared-statement style) query.
+    big = spread.sql("SELECT COUNT(*) AS n FROM invoice WHERE amount >= ?", 1_000)
+    print("Invoices of $1000 or more:", big.cell(1, "n"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses the classic ``setup.py develop`` code path).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="dataspread-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards a Holistic Integration of Spreadsheets with "
+        "Databases' (DataSpread, ICDE 2018)."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,25 @@
+"""Corpus analysis: the Section II structure and operation study."""
+
+from repro.analysis.stats import (
+    CorpusStatistics,
+    SheetStatistics,
+    analyze_corpus,
+    analyze_sheet,
+)
+from repro.analysis.histograms import (
+    density_histogram,
+    component_density_histogram,
+    tables_per_sheet_histogram,
+    formula_function_distribution,
+)
+
+__all__ = [
+    "CorpusStatistics",
+    "SheetStatistics",
+    "analyze_corpus",
+    "analyze_sheet",
+    "density_histogram",
+    "component_density_histogram",
+    "tables_per_sheet_histogram",
+    "formula_function_distribution",
+]

@@ -1,0 +1,86 @@
+"""Histogram series for Figures 2-5."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.formula.parser import parse_formula
+from repro.formula.ast_nodes import BinaryOpNode, FunctionCallNode, UnaryOpNode
+from repro.errors import FormulaError
+from repro.grid.components import connected_components, tabular_regions
+from repro.grid.sheet import Sheet
+
+#: Default density bin edges used by Figures 2 and 4 (right-inclusive).
+DENSITY_BINS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def density_histogram(
+    sheets: Iterable[Sheet], bins: Sequence[float] = DENSITY_BINS
+) -> dict[float, int]:
+    """Figure 2: number of sheets per density bucket."""
+    histogram = {edge: 0 for edge in bins}
+    for sheet in sheets:
+        density = sheet.density()
+        for edge in bins:
+            if density <= edge + 1e-12:
+                histogram[edge] += 1
+                break
+    return histogram
+
+
+def component_density_histogram(
+    sheets: Iterable[Sheet], bins: Sequence[float] = DENSITY_BINS
+) -> dict[float, int]:
+    """Figure 4: number of connected components per density bucket."""
+    histogram = {edge: 0 for edge in bins}
+    for sheet in sheets:
+        for component in connected_components(sheet.coordinates()):
+            for edge in bins:
+                if component.density <= edge + 1e-12:
+                    histogram[edge] += 1
+                    break
+    return histogram
+
+
+def tables_per_sheet_histogram(sheets: Iterable[Sheet], *, max_tables: int = 7) -> dict[str, int]:
+    """Figure 3: number of sheets per count of tabular regions.
+
+    Counts above ``max_tables`` collapse into a ``">max"`` bucket, matching
+    the paper's truncated x-axis.
+    """
+    histogram: dict[str, int] = {str(count): 0 for count in range(0, max_tables + 1)}
+    histogram[f">{max_tables}"] = 0
+    for sheet in sheets:
+        count = len(tabular_regions(sheet.coordinates()))
+        key = str(count) if count <= max_tables else f">{max_tables}"
+        histogram[key] += 1
+    return histogram
+
+
+def formula_function_distribution(sheets: Iterable[Sheet], *, top: int = 10) -> list[tuple[str, int]]:
+    """Figure 5: the most common formula functions/operators across a corpus.
+
+    Plain arithmetic formulae (no function call) are counted under ``ARITH``,
+    as in the paper.
+    """
+    counter: Counter[str] = Counter()
+    for sheet in sheets:
+        for _address, formula in sheet.formulas():
+            try:
+                node = parse_formula(formula)
+            except FormulaError:
+                continue
+            functions = [
+                descendant.name
+                for descendant in node.walk()
+                if isinstance(descendant, FunctionCallNode)
+            ]
+            if functions:
+                counter.update(functions)
+            elif any(
+                isinstance(descendant, (BinaryOpNode, UnaryOpNode))
+                for descendant in node.walk()
+            ):
+                counter["ARITH"] += 1
+    return counter.most_common(top)

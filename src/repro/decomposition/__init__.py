@@ -1,0 +1,41 @@
+"""Hybrid data-model optimisation (Section IV).
+
+Given the filled cells of a sheet, these algorithms pick a set of rectangular
+regions, each stored with one primitive data model, minimising the storage
+cost of Equation 1:
+
+* :func:`~repro.decomposition.recursive_dp.decompose_dp` — the optimal
+  recursive-decomposition dynamic program (PTIME within the recursive
+  subclass; Theorem 2), run on the weighted grid by default (Theorem 5).
+* :func:`~repro.decomposition.greedy.decompose_greedy` — the O(n^2) greedy
+  heuristic (Section IV-E).
+* :func:`~repro.decomposition.greedy.decompose_aggressive` — the aggressive
+  greedy variant that always splits and assembles the best plan on backtrack.
+* :mod:`~repro.decomposition.bounds` — the OPT lower bound used in Figure 13
+  and the Theorem-4 upper bound on table counts used in Figure 14.
+* :mod:`~repro.decomposition.incremental` — incremental maintenance with the
+  migration/storage trade-off factor η (Appendix A-C2, Figure 26).
+"""
+
+from repro.decomposition.cost import RegionCostModel, primitive_costs
+from repro.decomposition.result import DecompositionResult, DecomposedRegion
+from repro.decomposition.recursive_dp import decompose_dp
+from repro.decomposition.greedy import decompose_greedy, decompose_aggressive
+from repro.decomposition.primitives import evaluate_primitive_models
+from repro.decomposition.bounds import optimal_lower_bound, table_count_upper_bound
+from repro.decomposition.incremental import incremental_decompose, migration_cost
+
+__all__ = [
+    "RegionCostModel",
+    "primitive_costs",
+    "DecompositionResult",
+    "DecomposedRegion",
+    "decompose_dp",
+    "decompose_greedy",
+    "decompose_aggressive",
+    "evaluate_primitive_models",
+    "optimal_lower_bound",
+    "table_count_upper_bound",
+    "incremental_decompose",
+    "migration_cost",
+]

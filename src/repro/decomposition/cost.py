@@ -1,0 +1,239 @@
+"""Region cost model over a weighted grid.
+
+All decomposition algorithms share this helper: it answers, in O(1) after an
+O(R*C) precomputation, how many filled cells a weighted sub-rectangle holds,
+what its original (uncollapsed) dimensions are, and what it would cost to
+store it as a single ROM, COM or RCV table (Equations 1-2 and the Appendix
+A-C1 extensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Sequence
+
+import numpy as np
+
+from repro.grid.range import RangeRef
+from repro.grid.weighted import WeightedGrid
+from repro.models.base import ModelKind
+from repro.storage.costs import CostParameters
+
+#: Model kinds the optimiser may pick for a region, in preference order for
+#: tie-breaking (ROM preferred, matching the paper's Hybrid-ROM baseline).
+DEFAULT_KINDS: tuple[ModelKind, ...] = (ModelKind.ROM, ModelKind.COM, ModelKind.RCV)
+
+
+@dataclass(frozen=True, slots=True)
+class RegionChoice:
+    """The cheapest single-table representation of a rectangle."""
+
+    kind: ModelKind
+    cost: float
+    filled: int
+    rows: int
+    columns: int
+
+
+class RegionCostModel:
+    """Answers cost queries for weighted sub-rectangles of a sheet."""
+
+    def __init__(
+        self,
+        grid: WeightedGrid,
+        costs: CostParameters,
+        *,
+        kinds: Sequence[ModelKind] = DEFAULT_KINDS,
+        max_columns: int | None = None,
+    ) -> None:
+        self.grid = grid
+        self.costs = costs
+        self.kinds = tuple(kinds)
+        #: Column-count limit of the backing database (Appendix A-C4); a ROM
+        #: table wider than this (or a COM table taller) costs infinity.
+        self.max_columns = max_columns
+        rows, columns = grid.shape
+        # 2-D prefix sums of the occupancy matrix for O(1) filled-cell counts.
+        self._prefix = np.zeros((rows + 1, columns + 1), dtype=np.int64)
+        if rows and columns:
+            self._prefix[1:, 1:] = np.cumsum(np.cumsum(grid.occupancy, axis=0), axis=1)
+        # Prefix sums of weights for O(1) original-dimension queries.
+        self._row_prefix = np.concatenate(([0], np.cumsum(grid.row_weights))).astype(np.int64)
+        self._col_prefix = np.concatenate(([0], np.cumsum(grid.col_weights))).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    # geometry queries (0-based inclusive weighted indices)
+    # ------------------------------------------------------------------ #
+    def filled(self, top: int, left: int, bottom: int, right: int) -> int:
+        """Number of original filled cells in the weighted rectangle."""
+        return int(
+            self._prefix[bottom + 1, right + 1]
+            - self._prefix[top, right + 1]
+            - self._prefix[bottom + 1, left]
+            + self._prefix[top, left]
+        )
+
+    def original_dimensions(self, top: int, left: int, bottom: int, right: int) -> tuple[int, int]:
+        """(rows, columns) of the rectangle in original (uncollapsed) units."""
+        rows = int(self._row_prefix[bottom + 1] - self._row_prefix[top])
+        columns = int(self._col_prefix[right + 1] - self._col_prefix[left])
+        return rows, columns
+
+    def original_range(self, top: int, left: int, bottom: int, right: int) -> RangeRef:
+        """The absolute sheet range covered by the weighted rectangle."""
+        row_start, row_end = self.grid.original_row_bounds(top, bottom)
+        col_start, col_end = self.grid.original_column_bounds(left, right)
+        return RangeRef(row_start, col_start, row_end, col_end)
+
+    # ------------------------------------------------------------------ #
+    # cost queries
+    # ------------------------------------------------------------------ #
+    def rom_cost(self, top: int, left: int, bottom: int, right: int) -> float:
+        """Cost of storing the rectangle as a single ROM table (Eq. 2)."""
+        rows, columns = self.original_dimensions(top, left, bottom, right)
+        if self.max_columns is not None and columns > self.max_columns:
+            return float("inf")
+        return self.costs.rom_cost(rows, columns)
+
+    def com_cost(self, top: int, left: int, bottom: int, right: int) -> float:
+        """Cost of storing the rectangle as a single COM table."""
+        rows, columns = self.original_dimensions(top, left, bottom, right)
+        if self.max_columns is not None and rows > self.max_columns:
+            return float("inf")
+        return self.costs.com_cost(rows, columns)
+
+    def rcv_cost(self, top: int, left: int, bottom: int, right: int) -> float:
+        """Cost of storing the rectangle's filled cells in the shared RCV table.
+
+        The per-region cost excludes the RCV table-instantiation cost: the
+        paper notes all RCV regions can share one physical table, so that
+        fixed cost is charged at most once per plan (by the caller).
+        """
+        return self.costs.rcv_cost(
+            self.filled(top, left, bottom, right), include_table=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # vectorised helpers for the greedy algorithms
+    # ------------------------------------------------------------------ #
+    def _vector_best_cost(
+        self, filled: np.ndarray, rows: np.ndarray, columns: np.ndarray
+    ) -> np.ndarray:
+        """Best single-table cost, elementwise, with empty regions costing 0."""
+        best = np.full(filled.shape, np.inf)
+        if ModelKind.ROM in self.kinds:
+            rom = (
+                self.costs.table_cost
+                + self.costs.cell_cost * rows * columns
+                + self.costs.column_cost * columns
+                + self.costs.row_cost * rows
+            )
+            if self.max_columns is not None:
+                rom = np.where(columns > self.max_columns, np.inf, rom)
+            best = np.minimum(best, rom)
+        if ModelKind.COM in self.kinds:
+            com = (
+                self.costs.table_cost
+                + self.costs.cell_cost * rows * columns
+                + self.costs.column_cost * rows
+                + self.costs.row_cost * columns
+            )
+            if self.max_columns is not None:
+                com = np.where(rows > self.max_columns, np.inf, com)
+            best = np.minimum(best, com)
+        if ModelKind.RCV in self.kinds:
+            best = np.minimum(best, self.costs.rcv_tuple_cost * filled)
+        return np.where(filled == 0, 0.0, best)
+
+    def horizontal_split_costs(self, top: int, left: int, bottom: int, right: int) -> np.ndarray:
+        """For every horizontal cut, the summed single-table cost of the two halves.
+
+        Entry ``i`` corresponds to cutting between weighted rows ``top + i``
+        and ``top + i + 1``.  Returns an empty array for 1-row rectangles.
+        """
+        if bottom == top:
+            return np.empty(0)
+        cuts = np.arange(top, bottom)
+        column_span = float(self._col_prefix[right + 1] - self._col_prefix[left])
+        total_filled = self.filled(top, left, bottom, right)
+        upper_filled = (
+            self._prefix[cuts + 1, right + 1]
+            - self._prefix[top, right + 1]
+            - self._prefix[cuts + 1, left]
+            + self._prefix[top, left]
+        ).astype(np.float64)
+        lower_filled = total_filled - upper_filled
+        upper_rows = (self._row_prefix[cuts + 1] - self._row_prefix[top]).astype(np.float64)
+        total_rows = float(self._row_prefix[bottom + 1] - self._row_prefix[top])
+        lower_rows = total_rows - upper_rows
+        columns = np.full(cuts.shape, column_span)
+        return (
+            self._vector_best_cost(upper_filled, upper_rows, columns)
+            + self._vector_best_cost(lower_filled, lower_rows, columns)
+        )
+
+    def vertical_split_costs(self, top: int, left: int, bottom: int, right: int) -> np.ndarray:
+        """For every vertical cut, the summed single-table cost of the two halves."""
+        if right == left:
+            return np.empty(0)
+        cuts = np.arange(left, right)
+        row_span = float(self._row_prefix[bottom + 1] - self._row_prefix[top])
+        total_filled = self.filled(top, left, bottom, right)
+        left_filled = (
+            self._prefix[bottom + 1, cuts + 1]
+            - self._prefix[top, cuts + 1]
+            - self._prefix[bottom + 1, left]
+            + self._prefix[top, left]
+        ).astype(np.float64)
+        right_filled = total_filled - left_filled
+        left_columns = (self._col_prefix[cuts + 1] - self._col_prefix[left]).astype(np.float64)
+        total_columns = float(self._col_prefix[right + 1] - self._col_prefix[left])
+        right_columns = total_columns - left_columns
+        rows = np.full(cuts.shape, row_span)
+        return (
+            self._vector_best_cost(left_filled, rows, left_columns)
+            + self._vector_best_cost(right_filled, rows, right_columns)
+        )
+
+    def best_choice(self, top: int, left: int, bottom: int, right: int) -> RegionChoice:
+        """The cheapest allowed single-table representation of the rectangle."""
+        filled = self.filled(top, left, bottom, right)
+        rows, columns = self.original_dimensions(top, left, bottom, right)
+        best_kind = ModelKind.ROM
+        best_cost = float("inf")
+        for kind in self.kinds:
+            if kind is ModelKind.ROM:
+                cost = self.rom_cost(top, left, bottom, right)
+            elif kind is ModelKind.COM:
+                cost = self.com_cost(top, left, bottom, right)
+            elif kind is ModelKind.RCV:
+                cost = self.rcv_cost(top, left, bottom, right)
+            else:  # pragma: no cover - TOM regions are never chosen by the optimiser
+                continue
+            if cost < best_cost:
+                best_cost = cost
+                best_kind = kind
+        return RegionChoice(
+            kind=best_kind, cost=best_cost, filled=filled, rows=rows, columns=columns
+        )
+
+
+def primitive_costs(
+    coordinates: Collection[tuple[int, int]], costs: CostParameters
+) -> dict[str, float]:
+    """Storage cost of the whole sheet under each primitive model.
+
+    Used as the ROM/COM/RCV baselines of Figures 13, 17 and 25.
+    """
+    coordinates = set(coordinates)
+    if not coordinates:
+        return {"rom": 0.0, "com": 0.0, "rcv": 0.0}
+    rows = [row for row, _ in coordinates]
+    columns = [column for _, column in coordinates]
+    height = max(rows) - min(rows) + 1
+    width = max(columns) - min(columns) + 1
+    return {
+        "rom": costs.rom_cost(height, width),
+        "com": costs.com_cost(height, width),
+        "rcv": costs.rcv_cost(len(coordinates)),
+    }

@@ -1,0 +1,192 @@
+"""Greedy and aggressive-greedy decomposition (Section IV-E).
+
+*Greedy* repeatedly splits the current rectangle top-down, at each step
+comparing the cost of not splitting against the best horizontal or vertical
+cut — with the child costs estimated by ``romCost`` (the locally optimal,
+worst-case assumption).  It stops as soon as not splitting is locally best.
+
+*Aggressive greedy* never stops early: it always applies the locally best cut
+until rectangles are fully filled (or single weighted cells), then assembles
+the best plan while backtracking, reconsidering "store as one table" against
+"use the children's plans" at every node.  Both are O(n^2) in the weighted
+grid size.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Collection, Sequence
+
+from repro.decomposition.cost import DEFAULT_KINDS, RegionCostModel
+from repro.decomposition.result import DecomposedRegion, DecompositionResult
+from repro.grid.weighted import WeightedGrid
+from repro.models.base import ModelKind
+from repro.storage.costs import CostParameters
+
+
+def decompose_greedy(
+    coordinates: Collection[tuple[int, int]],
+    costs: CostParameters,
+    *,
+    kinds: Sequence[ModelKind] = DEFAULT_KINDS,
+    use_weighted: bool = True,
+    max_columns: int | None = None,
+) -> DecompositionResult:
+    """The greedy heuristic: split only while a split is locally beneficial."""
+    return _decompose(
+        coordinates,
+        costs,
+        aggressive=False,
+        kinds=kinds,
+        use_weighted=use_weighted,
+        max_columns=max_columns,
+    )
+
+
+def decompose_aggressive(
+    coordinates: Collection[tuple[int, int]],
+    costs: CostParameters,
+    *,
+    kinds: Sequence[ModelKind] = DEFAULT_KINDS,
+    use_weighted: bool = True,
+    max_columns: int | None = None,
+) -> DecompositionResult:
+    """The aggressive greedy heuristic: always split, assemble on backtrack."""
+    return _decompose(
+        coordinates,
+        costs,
+        aggressive=True,
+        kinds=kinds,
+        use_weighted=use_weighted,
+        max_columns=max_columns,
+    )
+
+
+# ---------------------------------------------------------------------- #
+def _decompose(
+    coordinates: Collection[tuple[int, int]],
+    costs: CostParameters,
+    *,
+    aggressive: bool,
+    kinds: Sequence[ModelKind],
+    use_weighted: bool,
+    max_columns: int | None,
+) -> DecompositionResult:
+    started = time.perf_counter()
+    algorithm = "aggressive" if aggressive else "greedy"
+    coordinates = set(coordinates)
+    if not coordinates:
+        return DecompositionResult(
+            algorithm=algorithm, regions=[], cost=0.0, costs=costs, elapsed_seconds=0.0
+        )
+    grid = (
+        WeightedGrid.from_coordinates(coordinates)
+        if use_weighted
+        else WeightedGrid.dense_from_coordinates(coordinates)
+    )
+    rows, columns = grid.shape
+
+    def run(pass_kinds: Sequence[ModelKind]) -> tuple[float, list[DecomposedRegion]]:
+        model = RegionCostModel(grid, costs, kinds=pass_kinds, max_columns=max_columns)
+        raw_cost, plan = _solve(0, 0, rows - 1, columns - 1, model, aggressive=aggressive)
+        if any(region.kind is ModelKind.RCV for region in plan) and costs.table_cost:
+            raw_cost += costs.table_cost
+        return raw_cost, plan
+
+    # As in the DP, the shared RCV table's fixed cost is charged up-front, so
+    # an RCV-using plan is compared against the best RCV-free plan.
+    total_cost, regions = run(kinds)
+    non_rcv_kinds = tuple(kind for kind in kinds if kind is not ModelKind.RCV)
+    if (
+        ModelKind.RCV in kinds
+        and non_rcv_kinds
+        and any(region.kind is ModelKind.RCV for region in regions)
+    ):
+        alt_cost, alt_regions = run(non_rcv_kinds)
+        if alt_cost < total_cost:
+            total_cost, regions = alt_cost, alt_regions
+
+    return DecompositionResult(
+        algorithm=algorithm,
+        regions=regions,
+        cost=total_cost,
+        costs=costs,
+        elapsed_seconds=time.perf_counter() - started,
+        metadata={"weighted_shape": (rows, columns)},
+    )
+
+
+def _solve(
+    top: int,
+    left: int,
+    bottom: int,
+    right: int,
+    model: RegionCostModel,
+    *,
+    aggressive: bool,
+) -> tuple[float, list[DecomposedRegion]]:
+    if model.filled(top, left, bottom, right) == 0:
+        return 0.0, []
+
+    own_choice = model.best_choice(top, left, bottom, right)
+    own_regions = [
+        DecomposedRegion(
+            range=model.original_range(top, left, bottom, right),
+            kind=own_choice.kind,
+            cost=own_choice.cost,
+            filled_cells=own_choice.filled,
+        )
+    ]
+
+    # Fully filled or atomic rectangles are never split further.
+    rows, columns = model.original_dimensions(top, left, bottom, right)
+    if own_choice.filled == rows * columns or (top == bottom and left == right):
+        return own_choice.cost, own_regions
+
+    best_cut = _best_local_cut(top, left, bottom, right, model)
+    if best_cut is None:
+        return own_choice.cost, own_regions
+    local_cut_cost, orientation, position = best_cut
+
+    if not aggressive and own_choice.cost <= local_cut_cost:
+        # Greedy stops as soon as not splitting is locally cheapest.
+        return own_choice.cost, own_regions
+
+    if orientation == "horizontal":
+        first = _solve(top, left, position, right, model, aggressive=aggressive)
+        second = _solve(position + 1, left, bottom, right, model, aggressive=aggressive)
+    else:
+        first = _solve(top, left, bottom, position, model, aggressive=aggressive)
+        second = _solve(top, position + 1, bottom, right, model, aggressive=aggressive)
+    split_cost = first[0] + second[0]
+    split_regions = first[1] + second[1]
+
+    # Both variants keep whichever of {not split, recursive split} is cheaper
+    # once the children's true costs are known (for greedy this only improves
+    # on the local estimate; for aggressive it is the backtracking assembly).
+    if split_cost < own_choice.cost:
+        return split_cost, split_regions
+    return own_choice.cost, own_regions
+
+
+def _best_local_cut(
+    top: int, left: int, bottom: int, right: int, model: RegionCostModel
+) -> tuple[float, str, int] | None:
+    """The locally best cut, scoring children with the single-table cost.
+
+    Candidate costs for all cut positions are evaluated with the vectorised
+    helpers of :class:`RegionCostModel`, keeping the per-rectangle work to a
+    couple of numpy operations.
+    """
+    horizontal = model.horizontal_split_costs(top, left, bottom, right)
+    vertical = model.vertical_split_costs(top, left, bottom, right)
+    best: tuple[float, str, int] | None = None
+    if horizontal.size:
+        index = int(horizontal.argmin())
+        best = (float(horizontal[index]), "horizontal", top + index)
+    if vertical.size:
+        index = int(vertical.argmin())
+        candidate = (float(vertical[index]), "vertical", left + index)
+        if best is None or candidate[0] < best[0]:
+            best = candidate
+    return best

@@ -1,0 +1,45 @@
+"""Whole-sheet evaluation of the primitive data models (the baselines)."""
+
+from __future__ import annotations
+
+import time
+from typing import Collection
+
+from repro.decomposition.cost import primitive_costs
+from repro.decomposition.result import DecomposedRegion, DecompositionResult
+from repro.grid.bounding import bounding_box
+from repro.models.base import ModelKind
+from repro.storage.costs import CostParameters
+
+
+def evaluate_primitive_models(
+    coordinates: Collection[tuple[int, int]], costs: CostParameters
+) -> dict[str, DecompositionResult]:
+    """One single-table plan per primitive model (ROM, COM, RCV).
+
+    These are the baselines the hybrid algorithms are compared against in
+    Figures 13, 17 and 25.
+    """
+    coordinates = set(coordinates)
+    started = time.perf_counter()
+    box = bounding_box(coordinates)
+    results: dict[str, DecompositionResult] = {}
+    plain_costs = primitive_costs(coordinates, costs)
+    for name, kind in (("rom", ModelKind.ROM), ("com", ModelKind.COM), ("rcv", ModelKind.RCV)):
+        if box is None:
+            results[name] = DecompositionResult(
+                algorithm=name, regions=[], cost=0.0, costs=costs, elapsed_seconds=0.0
+            )
+            continue
+        cost = plain_costs[name]
+        region = DecomposedRegion(
+            range=box.to_range(), kind=kind, cost=cost, filled_cells=len(coordinates)
+        )
+        results[name] = DecompositionResult(
+            algorithm=name,
+            regions=[region],
+            cost=cost,
+            costs=costs,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+    return results

@@ -1,0 +1,58 @@
+"""Decomposition plans: the output of the optimisation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.range import RangeRef
+from repro.models.base import ModelKind
+from repro.storage.costs import CostParameters
+
+
+@dataclass(frozen=True, slots=True)
+class DecomposedRegion:
+    """One planned region: its rectangle, model kind, and cost contribution."""
+
+    range: RangeRef
+    kind: ModelKind
+    cost: float
+    filled_cells: int
+
+
+@dataclass
+class DecompositionResult:
+    """The plan produced by a decomposition algorithm."""
+
+    algorithm: str
+    regions: list[DecomposedRegion]
+    cost: float
+    costs: CostParameters
+    elapsed_seconds: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def table_count(self) -> int:
+        """Number of planned tables (RCV regions are later merged into one)."""
+        return len(self.regions)
+
+    @property
+    def filled_cells(self) -> int:
+        """Total filled cells covered by the plan."""
+        return sum(region.filled_cells for region in self.regions)
+
+    def regions_by_kind(self) -> dict[ModelKind, int]:
+        """Histogram of region kinds."""
+        histogram: dict[ModelKind, int] = {}
+        for region in self.regions:
+            histogram[region.kind] = histogram.get(region.kind, 0) + 1
+        return histogram
+
+    def as_plan(self) -> list[tuple[RangeRef, ModelKind]]:
+        """The (range, kind) pairs consumed by ``HybridDataModel.from_decomposition``."""
+        return [(region.range, region.kind) for region in self.regions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecompositionResult(algorithm={self.algorithm!r}, tables={self.table_count}, "
+            f"cost={self.cost:.1f})"
+        )

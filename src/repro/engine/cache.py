@@ -1,0 +1,80 @@
+"""LRU cell cache (Section VI).
+
+The execution engine keeps recently touched cells in memory.  Reads are
+*read-through* (misses pull from the storage layer) and writes are
+*write-through* (updates are pushed to the storage layer immediately, then
+cached).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.grid.cell import Cell
+
+CellLoader = Callable[[int, int], Cell]
+CellWriter = Callable[[int, int, Cell], None]
+
+DEFAULT_CAPACITY = 100_000
+
+
+class LRUCellCache:
+    """A bounded read-through / write-through cache of cells keyed by (row, column)."""
+
+    def __init__(
+        self,
+        loader: CellLoader,
+        writer: CellWriter,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._loader = loader
+        self._writer = writer
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[int, int], Cell] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached cells."""
+        return self._capacity
+
+    def get(self, row: int, column: int) -> Cell:
+        """Read a cell, pulling it from the storage layer on a miss."""
+        key = (row, column)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cell = self._loader(row, column)
+        self._store(key, cell)
+        return cell
+
+    def put(self, row: int, column: int, cell: Cell) -> None:
+        """Write a cell through to storage and cache it."""
+        self._writer(row, column, cell)
+        self._store((row, column), cell)
+
+    def invalidate(self, row: int, column: int) -> None:
+        """Drop a cached cell (e.g. after structural edits)."""
+        self._entries.pop((row, column), None)
+
+    def clear(self) -> None:
+        """Drop every cached cell."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def _store(self, key: tuple[int, int], cell: Cell) -> None:
+        self._entries[key] = cell
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)

@@ -1,0 +1,396 @@
+"""The DataSpread facade: a spreadsheet backed by the storage engine.
+
+This is the public entry point tying together the pieces described in the
+paper's architecture (Figure 12): the hybrid translator (routing cell reads
+and writes to ROM/COM/RCV/TOM regions), the positional mapper (inside each
+data model), the LRU cell cache, the formula parser/evaluator and dependency
+graph, the hybrid optimizer, and the spreadsheet-level relational operators.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.decomposition import (
+    DecompositionResult,
+    decompose_aggressive,
+    decompose_dp,
+    decompose_greedy,
+)
+from repro.engine.cache import LRUCellCache
+from repro.engine.relational import TableValue
+from repro.engine.sql import execute_sql
+from repro.errors import FormulaEvaluationError, LinkTableError
+from repro.formula.dependencies import DependencyGraph
+from repro.formula.evaluator import Evaluator
+from repro.grid.address import CellAddress
+from repro.grid.cell import Cell, CellValue
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.models.base import ModelKind
+from repro.models.hybrid import HybridDataModel, HybridRegion
+from repro.models.tom import TableOrientedModel
+from repro.storage.costs import POSTGRES_COSTS, CostParameters
+from repro.storage.database import Database
+
+_OPTIMIZERS = {
+    "dp": decompose_dp,
+    "greedy": decompose_greedy,
+    "aggressive": decompose_aggressive,
+}
+
+
+class DataSpread:
+    """A spreadsheet whose cells live in the PDM storage engine.
+
+    Parameters
+    ----------
+    costs:
+        Storage cost constants used by the hybrid optimizer and accounting.
+    mapping_scheme:
+        Positional mapping used inside data models (``"hierarchical"``,
+        ``"monotonic"`` or ``"as-is"``).
+    cache_capacity:
+        Size of the LRU cell cache.
+    database:
+        Optional shared database (for linked tables); a private one is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        *,
+        costs: CostParameters = POSTGRES_COSTS,
+        mapping_scheme: str = "hierarchical",
+        cache_capacity: int = 100_000,
+        database: Database | None = None,
+        auto_evaluate: bool = True,
+    ) -> None:
+        self.costs = costs
+        self.mapping_scheme = mapping_scheme
+        self.database = database if database is not None else Database(costs)
+        self.auto_evaluate = auto_evaluate
+        self._model = HybridDataModel(mapping_scheme=mapping_scheme)
+        self._dependencies = DependencyGraph()
+        self._cache = LRUCellCache(
+            loader=self._load_cell, writer=self._write_cell, capacity=cache_capacity
+        )
+        self._evaluator = Evaluator(self._provide_value)
+        self._linked_tables: dict[str, TableOrientedModel] = {}
+        self._composite_values: dict[tuple[int, int], TableValue] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sheet(cls, sheet: Sheet, **kwargs) -> "DataSpread":
+        """Import an in-memory :class:`Sheet` (formulae are evaluated)."""
+        spread = cls(**kwargs)
+        for address, cell in sheet.items():
+            if cell.has_formula:
+                spread.set_formula(address.row, address.column, cell.formula or "")
+            else:
+                spread.set_value(address.row, address.column, cell.value)
+        return spread
+
+    def import_rows(
+        self,
+        rows: Iterable[Sequence[CellValue]],
+        *,
+        top: int = 1,
+        left: int = 1,
+    ) -> int:
+        """Bulk-import a dense block of values anchored at (top, left).
+
+        Returns the number of rows imported.  Bulk import bypasses formula
+        evaluation (values are constants), mirroring a file import.
+        """
+        count = 0
+        for row_offset, row_values in enumerate(rows):
+            for column_offset, value in enumerate(row_values):
+                if value is None:
+                    continue
+                self._set_constant(top + row_offset, left + column_offset, value)
+            count += 1
+        return count
+
+    def import_csv(self, path: str | Path, *, top: int = 1, left: int = 1,
+                   delimiter: str = ",") -> int:
+        """Import a CSV/TSV file; numeric-looking fields are coerced."""
+        imported = 0
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            for row_offset, row in enumerate(reader):
+                for column_offset, text in enumerate(row):
+                    if text == "":
+                        continue
+                    cell = Cell.from_input(text)
+                    self._cache.put(top + row_offset, left + column_offset, cell)
+                imported += 1
+        return imported
+
+    # ------------------------------------------------------------------ #
+    # cell reads
+    # ------------------------------------------------------------------ #
+    def get_cell(self, row: int, column: int) -> Cell:
+        """Read one cell (through the LRU cache)."""
+        return self._cache.get(row, column)
+
+    def get_value(self, row: int, column: int) -> CellValue:
+        """Read one cell's value."""
+        return self.get_cell(row, column).value
+
+    def get_cells(self, region: RangeRef | str) -> dict[CellAddress, Cell]:
+        """The ``getCells(range)`` primitive: all filled cells in a rectangle."""
+        region = RangeRef.from_a1(region) if isinstance(region, str) else region
+        return self._model.get_cells(region)
+
+    def get_range_values(self, region: RangeRef | str) -> list[list[CellValue]]:
+        """Dense 2-D values for a rectangle (empty cells are ``None``)."""
+        region = RangeRef.from_a1(region) if isinstance(region, str) else region
+        cells = self.get_cells(region)
+        grid: list[list[CellValue]] = []
+        for row in range(region.top, region.bottom + 1):
+            grid.append([
+                cells.get(CellAddress(row, column), Cell()).value
+                for column in range(region.left, region.right + 1)
+            ])
+        return grid
+
+    def scroll(self, first_row: int, *, height: int = 40, first_column: int = 1,
+               width: int = 20) -> list[list[CellValue]]:
+        """Fetch the window a user scrolling to ``first_row`` would see."""
+        region = RangeRef(
+            first_row, first_column, first_row + height - 1, first_column + width - 1
+        )
+        return self.get_range_values(region)
+
+    def used_range(self) -> RangeRef:
+        """The bounding rectangle of everything stored."""
+        return self._model.region()
+
+    def cell_count(self) -> int:
+        """Number of filled cells stored across all regions."""
+        return self._model.cell_count()
+
+    # ------------------------------------------------------------------ #
+    # cell writes
+    # ------------------------------------------------------------------ #
+    def set_input(self, reference: str, text: CellValue) -> CellValue:
+        """Set a cell by A1 reference from raw user input (``=`` starts a formula)."""
+        address = CellAddress.from_a1(reference)
+        cell = Cell.from_input(text)
+        if cell.has_formula:
+            return self.set_formula(address.row, address.column, cell.formula or "")
+        self.set_value(address.row, address.column, cell.value)
+        return cell.value
+
+    def set_value(self, row: int, column: int, value: CellValue) -> None:
+        """The ``updateCell`` primitive for constants; dependents re-evaluate."""
+        self._set_constant(row, column, value)
+        if self.auto_evaluate:
+            self._recompute_dependents(CellAddress(row, column))
+
+    def set_formula(self, row: int, column: int, formula: str) -> CellValue:
+        """Store a formula, register its dependencies and evaluate it."""
+        text = formula[1:] if formula.startswith("=") else formula
+        address = CellAddress(row, column)
+        self._dependencies.register(address, text)
+        value = self._safe_evaluate(text)
+        self._cache.put(row, column, Cell(value=value, formula=text))
+        if self.auto_evaluate:
+            self._recompute_dependents(address)
+        return value
+
+    def clear_cell(self, row: int, column: int) -> None:
+        """Empty a cell and re-evaluate its dependents."""
+        address = CellAddress(row, column)
+        self._dependencies.unregister(address)
+        self._cache.put(row, column, Cell())
+        self._composite_values.pop((row, column), None)
+        if self.auto_evaluate:
+            self._recompute_dependents(address)
+
+    # ------------------------------------------------------------------ #
+    # structural operations
+    # ------------------------------------------------------------------ #
+    def insert_row_after(self, row: int, count: int = 1) -> None:
+        """Insert rows; stored data shifts without cascading renumbering."""
+        self._model.insert_row_after(row, count)
+        self._cache.clear()
+
+    def delete_row(self, row: int, count: int = 1) -> None:
+        """Delete rows."""
+        self._model.delete_row(row, count)
+        self._cache.clear()
+
+    def insert_column_after(self, column: int, count: int = 1) -> None:
+        """Insert columns."""
+        self._model.insert_column_after(column, count)
+        self._cache.clear()
+
+    def delete_column(self, column: int, count: int = 1) -> None:
+        """Delete columns."""
+        self._model.delete_column(column, count)
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # storage optimisation
+    # ------------------------------------------------------------------ #
+    def optimize_storage(self, algorithm: str = "aggressive", **options) -> DecompositionResult:
+        """Re-plan the hybrid layout of the *spreadsheet-native* cells.
+
+        Runs the chosen decomposition algorithm over the current filled
+        cells, rebuilds the hybrid model accordingly, and returns the plan.
+        Linked (TOM) regions are preserved as-is.
+        """
+        try:
+            optimizer = _OPTIMIZERS[algorithm]
+        except KeyError as exc:
+            raise ValueError(f"unknown optimizer {algorithm!r}") from exc
+        snapshot = self._snapshot_native_cells()
+        coordinates = snapshot.coordinates()
+        plan = optimizer(coordinates, self.costs, **options)
+        rebuilt = HybridDataModel.from_decomposition(
+            snapshot, plan.as_plan(), mapping_scheme=self.mapping_scheme
+        )
+        for tom in self._linked_tables.values():
+            rebuilt.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
+        self._model = rebuilt
+        self._cache.clear()
+        return plan
+
+    def storage_cost(self) -> float:
+        """Cost-model storage footprint of the current layout."""
+        return self._model.storage_cost(self.costs)
+
+    @property
+    def model(self) -> HybridDataModel:
+        """The current hybrid data model (exposed for tests and benchmarks)."""
+        return self._model
+
+    @property
+    def dependency_graph(self) -> DependencyGraph:
+        """The formula dependency graph."""
+        return self._dependencies
+
+    @property
+    def cache(self) -> LRUCellCache:
+        """The LRU cell cache."""
+        return self._cache
+
+    # ------------------------------------------------------------------ #
+    # database-oriented operations
+    # ------------------------------------------------------------------ #
+    def link_table(
+        self,
+        table_name: str,
+        *,
+        at: str | CellAddress = "A1",
+        columns: Sequence[str] | None = None,
+        rows: Iterable[Sequence[CellValue]] | None = None,
+        header: bool = True,
+    ) -> TableOrientedModel:
+        """``linkTable(range, tableName)``: two-way link a region to a table.
+
+        When the table does not exist it is created (``columns`` required)
+        and optionally populated from ``rows``.
+        """
+        anchor = CellAddress.from_a1(at) if isinstance(at, str) else at
+        if not self.database.has_table(table_name):
+            if columns is None:
+                raise LinkTableError(
+                    f"table {table_name!r} does not exist and no columns were given to create it"
+                )
+            self.database.create_table(table_name, list(columns))
+            if rows is not None:
+                self.database.insert_many(table_name, [tuple(row) for row in rows])
+        table = self.database.table(table_name)
+        tom = TableOrientedModel(table, top=anchor.row, left=anchor.column, header=header)
+        self._model.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
+        self._linked_tables[table_name] = tom
+        self._cache.clear()
+        return tom
+
+    def sql(self, query: str, *parameters: CellValue) -> TableValue:
+        """Run a SQL SELECT against linked/database tables (the ``sql`` function)."""
+        return execute_sql(query, self._resolve_table, parameters)
+
+    def table_from_range(self, region: RangeRef | str, *, header: bool = True) -> TableValue:
+        """Treat a tabular spreadsheet region as a composite table value."""
+        region = RangeRef.from_a1(region) if isinstance(region, str) else region
+        return TableValue.from_grid(self.get_range_values(region), header=header)
+
+    def place_table(self, table: TableValue, *, at: str | CellAddress,
+                    include_header: bool = True) -> RangeRef:
+        """Spill a composite table value onto the sheet (the ``index`` helper)."""
+        anchor = CellAddress.from_a1(at) if isinstance(at, str) else at
+        row = anchor.row
+        if include_header:
+            for offset, name in enumerate(table.columns):
+                self.set_value(row, anchor.column + offset, name)
+            row += 1
+        for record in table.rows:
+            for offset, value in enumerate(record):
+                if value is not None:
+                    self.set_value(row, anchor.column + offset, value)
+            row += 1
+        self._composite_values[(anchor.row, anchor.column)] = table
+        bottom = max(row - 1, anchor.row)
+        right = anchor.column + max(table.column_count - 1, 0)
+        return RangeRef(anchor.row, anchor.column, bottom, right)
+
+    def composite_at(self, reference: str | CellAddress) -> TableValue | None:
+        """The composite table value most recently spilled at ``reference``."""
+        anchor = CellAddress.from_a1(reference) if isinstance(reference, str) else reference
+        return self._composite_values.get((anchor.row, anchor.column))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _set_constant(self, row: int, column: int, value: CellValue) -> None:
+        address = CellAddress(row, column)
+        self._dependencies.unregister(address)
+        self._cache.put(row, column, Cell(value=value))
+
+    def _load_cell(self, row: int, column: int) -> Cell:
+        return self._model.get_cell(row, column)
+
+    def _write_cell(self, row: int, column: int, cell: Cell) -> None:
+        self._model.update_cell(row, column, cell)
+
+    def _provide_value(self, row: int, column: int) -> CellValue:
+        return self._cache.get(row, column).value
+
+    def _safe_evaluate(self, formula: str) -> CellValue:
+        try:
+            return self._evaluator.evaluate(formula)
+        except FormulaEvaluationError as error:
+            return error.code
+
+    def _recompute_dependents(self, changed: CellAddress) -> None:
+        for dependent in self._dependencies.dependents_of(changed):
+            _cells, _ranges = self._dependencies.precedents_of(dependent)
+            existing = self._cache.get(dependent.row, dependent.column)
+            if existing.formula is None:
+                continue
+            value = self._safe_evaluate(existing.formula)
+            if value != existing.value:
+                self._cache.put(dependent.row, dependent.column, existing.with_value(value))
+
+    def _snapshot_native_cells(self) -> Sheet:
+        """Copy all cells except those owned by linked tables into a Sheet."""
+        sheet = Sheet()
+        linked_regions = [tom.region() for tom in self._linked_tables.values()]
+        for address, cell in self._model.get_cells(self._model.region()).items():
+            if any(region.contains(address) for region in linked_regions):
+                continue
+            sheet.set_cell(address.row, address.column, cell)
+        return sheet
+
+    def _resolve_table(self, name: str) -> TableValue:
+        if self.database.has_table(name):
+            return TableValue.from_table(self.database.table(name))
+        raise LinkTableError(f"unknown table {name!r}")

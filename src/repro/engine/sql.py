@@ -1,0 +1,402 @@
+"""A minimal SQL SELECT engine for the ``sql()`` spreadsheet function.
+
+The paper delegates ``sql(query, param, ...)`` to the backing PostgreSQL
+instance.  This substrate implements the subset of SELECT that the paper's
+use cases exercise (Appendix B, Figure 19):
+
+* ``SELECT`` of columns, ``*``, and the aggregates COUNT/SUM/AVG/MIN/MAX
+  (with optional ``AS`` aliases);
+* a single ``FROM`` table plus any number of ``JOIN ... ON a = b`` clauses;
+* ``WHERE`` with ``AND``-combined comparisons (=, <>, !=, <, <=, >, >=);
+* ``GROUP BY``, ``ORDER BY ... [ASC|DESC]`` and ``LIMIT``;
+* ``?`` placeholders bound to positional parameters (prepared-statement style).
+
+Queries are case-insensitive in keywords and column names resolve
+case-insensitively against the available tables.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import RelationalOperationError
+from repro.engine.relational import TableValue
+from repro.grid.cell import CellValue
+
+TableResolver = Callable[[str], TableValue]
+
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass
+class _SelectItem:
+    expression: str
+    alias: str
+    aggregate: str | None = None
+    argument: str | None = None
+
+
+@dataclass
+class _Condition:
+    column: str
+    operator: str
+    value: CellValue
+
+
+@dataclass
+class _ParsedQuery:
+    select_items: list[_SelectItem]
+    base_table: str
+    joins: list[tuple[str, str, str]] = field(default_factory=list)  # (table, left col, right col)
+    conditions: list[_Condition] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: tuple[str, bool] | None = None  # (column, descending)
+    limit: int | None = None
+
+
+# ---------------------------------------------------------------------- #
+# public API
+# ---------------------------------------------------------------------- #
+def execute_sql(
+    query: str,
+    resolver: TableResolver,
+    parameters: Sequence[CellValue] = (),
+) -> TableValue:
+    """Execute a SELECT statement against tables provided by ``resolver``."""
+    bound = _bind_parameters(query, parameters)
+    parsed = _parse(bound)
+    rows, columns = _build_source(parsed, resolver)
+    rows = _apply_where(rows, columns, parsed.conditions)
+    result = _apply_projection(rows, columns, parsed)
+    if parsed.order_by is not None:
+        column, descending = parsed.order_by
+        index = _resolve_column(result.columns, column)
+        result = TableValue(
+            columns=result.columns,
+            rows=tuple(
+                sorted(
+                    result.rows,
+                    key=lambda row: (row[index] is not None, row[index]),
+                    reverse=descending,
+                )
+            ),
+        )
+    if parsed.limit is not None:
+        result = TableValue(columns=result.columns, rows=result.rows[: parsed.limit])
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# parameter binding
+# ---------------------------------------------------------------------- #
+def _bind_parameters(query: str, parameters: Sequence[CellValue]) -> str:
+    placeholder_count = query.count("?")
+    if placeholder_count != len(parameters):
+        raise RelationalOperationError(
+            f"query has {placeholder_count} placeholder(s) but {len(parameters)} parameter(s) given"
+        )
+    bound = query
+    for parameter in parameters:
+        bound = bound.replace("?", _render_literal(parameter), 1)
+    return bound
+
+
+def _render_literal(value: CellValue) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+# ---------------------------------------------------------------------- #
+# parsing
+# ---------------------------------------------------------------------- #
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<rest>.+?)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_JOIN_RE = re.compile(
+    r"\s+JOIN\s+(\w+)\s+ON\s+([\w\.]+)\s*=\s*([\w\.]+)", re.IGNORECASE
+)
+_LIMIT_RE = re.compile(r"\s+LIMIT\s+(\d+)\s*$", re.IGNORECASE)
+_ORDER_RE = re.compile(r"\s+ORDER\s+BY\s+([\w\.]+)(\s+(ASC|DESC))?\s*$", re.IGNORECASE)
+_GROUP_RE = re.compile(r"\s+GROUP\s+BY\s+([\w\.,\s]+?)\s*$", re.IGNORECASE)
+_WHERE_RE = re.compile(r"\s+WHERE\s+(.+)$", re.IGNORECASE | re.DOTALL)
+_AGG_RE = re.compile(r"^(COUNT|SUM|AVG|MIN|MAX)\s*\(\s*(\*|[\w\.]+)\s*\)$", re.IGNORECASE)
+_CONDITION_RE = re.compile(
+    r"^\s*([\w\.]+)\s*(=|<>|!=|<=|>=|<|>)\s*(.+?)\s*$", re.DOTALL
+)
+
+
+def _parse(query: str) -> _ParsedQuery:
+    match = _SELECT_RE.match(query)
+    if match is None:
+        raise RelationalOperationError(f"unsupported SQL statement: {query!r}")
+    select_clause = match.group("select")
+    rest = match.group("rest")
+
+    limit = None
+    limit_match = _LIMIT_RE.search(rest)
+    if limit_match:
+        limit = int(limit_match.group(1))
+        rest = rest[: limit_match.start()]
+
+    order_by = None
+    order_match = _ORDER_RE.search(rest)
+    if order_match:
+        order_by = (order_match.group(1), bool(order_match.group(3))
+                    and order_match.group(3).upper() == "DESC")
+        rest = rest[: order_match.start()]
+
+    group_by: list[str] = []
+    group_match = _GROUP_RE.search(rest)
+    if group_match:
+        group_by = [name.strip() for name in group_match.group(1).split(",") if name.strip()]
+        rest = rest[: group_match.start()]
+
+    conditions: list[_Condition] = []
+    where_match = _WHERE_RE.search(rest)
+    if where_match:
+        conditions = _parse_conditions(where_match.group(1))
+        rest = rest[: where_match.start()]
+
+    joins: list[tuple[str, str, str]] = []
+    join_matches = list(_JOIN_RE.finditer(rest))
+    if join_matches:
+        base_table = rest[: join_matches[0].start()].strip()
+        for join_match in join_matches:
+            joins.append((join_match.group(1), join_match.group(2), join_match.group(3)))
+    else:
+        base_table = rest.strip()
+    if not base_table or " " in base_table.strip():
+        raise RelationalOperationError(f"unsupported FROM clause: {rest.strip()!r}")
+
+    return _ParsedQuery(
+        select_items=_parse_select_items(select_clause),
+        base_table=base_table,
+        joins=joins,
+        conditions=conditions,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+    )
+
+
+def _parse_select_items(clause: str) -> list[_SelectItem]:
+    items: list[_SelectItem] = []
+    for raw in _split_commas(clause):
+        text = raw.strip()
+        alias = None
+        alias_match = re.search(r"\s+AS\s+(\w+)\s*$", text, re.IGNORECASE)
+        if alias_match:
+            alias = alias_match.group(1)
+            text = text[: alias_match.start()].strip()
+        aggregate_match = _AGG_RE.match(text)
+        if aggregate_match:
+            aggregate = aggregate_match.group(1).upper()
+            argument = aggregate_match.group(2)
+            items.append(
+                _SelectItem(
+                    expression=text,
+                    alias=alias or f"{aggregate.lower()}_{argument.replace('.', '_').replace('*', 'all')}",
+                    aggregate=aggregate,
+                    argument=argument,
+                )
+            )
+        else:
+            items.append(_SelectItem(expression=text, alias=alias or text.split(".")[-1]))
+    return items
+
+
+def _split_commas(clause: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for char in clause:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_conditions(clause: str) -> list[_Condition]:
+    conditions = []
+    for part in re.split(r"\s+AND\s+", clause, flags=re.IGNORECASE):
+        match = _CONDITION_RE.match(part)
+        if match is None:
+            raise RelationalOperationError(f"unsupported WHERE condition: {part!r}")
+        column, operator, literal = match.groups()
+        conditions.append(
+            _Condition(column=column, operator=operator, value=_parse_literal(literal))
+        )
+    return conditions
+
+
+def _parse_literal(text: str) -> CellValue:
+    stripped = text.strip()
+    if stripped.upper() == "NULL":
+        return None
+    if stripped.upper() == "TRUE":
+        return True
+    if stripped.upper() == "FALSE":
+        return False
+    if stripped.startswith("'") and stripped.endswith("'"):
+        return stripped[1:-1].replace("''", "'")
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError as exc:
+        raise RelationalOperationError(f"unsupported literal: {text!r}") from exc
+
+
+# ---------------------------------------------------------------------- #
+# execution
+# ---------------------------------------------------------------------- #
+def _build_source(parsed: _ParsedQuery, resolver: TableResolver) -> tuple[list[tuple], list[str]]:
+    base = resolver(parsed.base_table)
+    columns = [f"{parsed.base_table}.{name}" for name in base.columns]
+    rows = [tuple(row) for row in base.rows]
+    for table_name, left_column, right_column in parsed.joins:
+        other = resolver(table_name)
+        other_columns = [f"{table_name}.{name}" for name in other.columns]
+        left_index = _resolve_column(columns, left_column)
+        right_index = _resolve_column(other_columns, right_column)
+        joined_rows = []
+        other_rows = [tuple(row) for row in other.rows]
+        by_key: dict[CellValue, list[tuple]] = {}
+        for other_row in other_rows:
+            by_key.setdefault(other_row[right_index], []).append(other_row)
+        for row in rows:
+            for other_row in by_key.get(row[left_index], ()):
+                joined_rows.append(row + other_row)
+        columns = columns + other_columns
+        rows = joined_rows
+    return rows, columns
+
+
+def _resolve_column(columns: Sequence[str], name: str) -> int:
+    target = name.lower()
+    # Exact (qualified) match first, then suffix match on the bare name.
+    for index, column in enumerate(columns):
+        if column.lower() == target:
+            return index
+    matches = [
+        index for index, column in enumerate(columns)
+        if column.lower().split(".")[-1] == target.split(".")[-1]
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise RelationalOperationError(f"unknown column {name!r}; available: {list(columns)}")
+    raise RelationalOperationError(f"ambiguous column {name!r}")
+
+
+def _apply_where(
+    rows: list[tuple], columns: list[str], conditions: list[_Condition]
+) -> list[tuple]:
+    for condition in conditions:
+        index = _resolve_column(columns, condition.column)
+        rows = [row for row in rows if _matches(row[index], condition)]
+    return rows
+
+
+def _matches(value: CellValue, condition: _Condition) -> bool:
+    target = condition.value
+    operator = condition.operator
+    if operator in ("=",):
+        return value == target
+    if operator in ("<>", "!="):
+        return value != target
+    if value is None or target is None:
+        return False
+    try:
+        if operator == "<":
+            return value < target        # type: ignore[operator]
+        if operator == "<=":
+            return value <= target       # type: ignore[operator]
+        if operator == ">":
+            return value > target        # type: ignore[operator]
+        return value >= target           # type: ignore[operator]
+    except TypeError:
+        return False
+
+
+def _apply_projection(
+    rows: list[tuple], columns: list[str], parsed: _ParsedQuery
+) -> TableValue:
+    items = parsed.select_items
+    has_aggregate = any(item.aggregate for item in items)
+    star = len(items) == 1 and items[0].expression == "*" and not has_aggregate
+    if star:
+        bare = [name.split(".")[-1] for name in columns]
+        return TableValue(columns=tuple(bare), rows=tuple(rows))
+
+    if not has_aggregate and not parsed.group_by:
+        indices = [_resolve_column(columns, item.expression) for item in items]
+        projected = tuple(tuple(row[index] for index in indices) for row in rows)
+        return TableValue(columns=tuple(item.alias for item in items), rows=projected)
+
+    # Aggregation (with or without GROUP BY).
+    group_indices = [_resolve_column(columns, name) for name in parsed.group_by]
+    groups: dict[tuple, list[tuple]] = {}
+    for row in rows:
+        key = tuple(row[index] for index in group_indices)
+        groups.setdefault(key, []).append(row)
+    if not groups and not parsed.group_by:
+        groups[()] = []
+
+    output_rows = []
+    for key, members in groups.items():
+        output_row: list[CellValue] = []
+        for item in items:
+            if item.aggregate:
+                output_row.append(_aggregate(item, members, columns))
+            else:
+                index = _resolve_column(columns, item.expression)
+                if group_indices and index not in group_indices:
+                    raise RelationalOperationError(
+                        f"column {item.expression!r} must appear in GROUP BY"
+                    )
+                output_row.append(members[0][index] if members else None)
+        output_rows.append(tuple(output_row))
+        del key
+    return TableValue(columns=tuple(item.alias for item in items), rows=tuple(output_rows))
+
+
+def _aggregate(item: _SelectItem, rows: list[tuple], columns: list[str]) -> CellValue:
+    aggregate = item.aggregate or ""
+    if aggregate == "COUNT" and item.argument == "*":
+        return len(rows)
+    index = _resolve_column(columns, item.argument or "")
+    values = [row[index] for row in rows if row[index] is not None]
+    if aggregate == "COUNT":
+        return len(values)
+    numbers = [value for value in values if isinstance(value, (int, float)) and not isinstance(value, bool)]
+    if not numbers:
+        return None
+    if aggregate == "SUM":
+        return sum(numbers)
+    if aggregate == "AVG":
+        return sum(numbers) / len(numbers)
+    if aggregate == "MIN":
+        return min(numbers)
+    if aggregate == "MAX":
+        return max(numbers)
+    raise RelationalOperationError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the DataSpread reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AddressError(ReproError, ValueError):
+    """Raised for malformed A1 references or out-of-bounds coordinates."""
+
+
+class RangeError(ReproError, ValueError):
+    """Raised for malformed or inverted rectangular ranges."""
+
+
+class FormulaError(ReproError):
+    """Base class for formula engine failures."""
+
+
+class FormulaSyntaxError(FormulaError, ValueError):
+    """Raised when a formula cannot be tokenized or parsed."""
+
+
+class FormulaEvaluationError(FormulaError):
+    """Raised when a parsed formula cannot be evaluated.
+
+    The spreadsheet-visible error code (e.g. ``#DIV/0!``, ``#VALUE!``,
+    ``#REF!``, ``#NAME?``) is available as :attr:`code`.
+    """
+
+    def __init__(self, code: str, message: str = "") -> None:
+        super().__init__(message or code)
+        self.code = code
+
+
+class CircularDependencyError(FormulaError):
+    """Raised when formula dependencies form a cycle."""
+
+
+class StorageError(ReproError):
+    """Base class for database-substrate failures."""
+
+
+class CatalogError(StorageError, KeyError):
+    """Raised for unknown or duplicate table/column names."""
+
+
+class SchemaError(StorageError, ValueError):
+    """Raised when a record does not match its table schema."""
+
+
+class DataModelError(ReproError):
+    """Base class for primitive/hybrid data-model failures."""
+
+
+class RegionOverlapError(DataModelError, ValueError):
+    """Raised when hybrid regions overlap but overlap is not permitted."""
+
+
+class RecoverabilityError(DataModelError):
+    """Raised when a physical data model does not cover the conceptual cells."""
+
+
+class PositionError(ReproError, IndexError):
+    """Raised for invalid positions in a positional mapping."""
+
+
+class LinkTableError(ReproError):
+    """Raised when linking a spreadsheet region to a database table fails."""
+
+
+class RelationalOperationError(ReproError):
+    """Raised when a spreadsheet-level relational operator receives bad input."""

@@ -1,0 +1,46 @@
+"""Spreadsheet formula engine.
+
+The paper's corpus study (Section II-C, Figure 5) finds arithmetic, SUM,
+AVERAGE, IF, ISBLANK, VLOOKUP, LOG/LN/ROUND/FLOOR and lookup/search formulae
+dominate real sheets.  This package provides a tokenizer, a Pratt parser
+producing a small AST, an evaluator over those functions, and the dependency
+graph used by the DataSpread execution engine to trigger recomputation.
+"""
+
+from repro.formula.tokenizer import tokenize, Token, TokenType
+from repro.formula.ast_nodes import (
+    FormulaNode,
+    NumberNode,
+    StringNode,
+    BoolNode,
+    CellRefNode,
+    RangeRefNode,
+    UnaryOpNode,
+    BinaryOpNode,
+    FunctionCallNode,
+)
+from repro.formula.parser import parse_formula
+from repro.formula.evaluator import Evaluator, extract_references
+from repro.formula.dependencies import DependencyGraph
+from repro.formula.functions import FUNCTION_REGISTRY, register_function
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse_formula",
+    "FormulaNode",
+    "NumberNode",
+    "StringNode",
+    "BoolNode",
+    "CellRefNode",
+    "RangeRefNode",
+    "UnaryOpNode",
+    "BinaryOpNode",
+    "FunctionCallNode",
+    "Evaluator",
+    "extract_references",
+    "DependencyGraph",
+    "FUNCTION_REGISTRY",
+    "register_function",
+]

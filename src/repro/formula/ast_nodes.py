@@ -1,0 +1,93 @@
+"""AST node types for parsed formulae."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+
+class FormulaNode:
+    """Base class of all formula AST nodes."""
+
+    def children(self) -> Iterator["FormulaNode"]:
+        """Iterate direct child nodes (empty for leaves)."""
+        return iter(())
+
+    def walk(self) -> Iterator["FormulaNode"]:
+        """Iterate this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class NumberNode(FormulaNode):
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class StringNode(FormulaNode):
+    """A string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class BoolNode(FormulaNode):
+    """A TRUE/FALSE literal."""
+
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class CellRefNode(FormulaNode):
+    """A single-cell reference (e.g. ``B2``)."""
+
+    address: CellAddress
+
+
+@dataclass(frozen=True, slots=True)
+class RangeRefNode(FormulaNode):
+    """A rectangular range reference (e.g. ``B2:C10``)."""
+
+    range: RangeRef
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOpNode(FormulaNode):
+    """A unary operator application (``-x``, ``+x``, ``x%``)."""
+
+    operator: str
+    operand: FormulaNode
+
+    def children(self) -> Iterator[FormulaNode]:
+        yield self.operand
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOpNode(FormulaNode):
+    """A binary operator application."""
+
+    operator: str
+    left: FormulaNode
+    right: FormulaNode
+
+    def children(self) -> Iterator[FormulaNode]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCallNode(FormulaNode):
+    """A function invocation such as ``SUM(B2:C10)``."""
+
+    name: str
+    arguments: tuple[FormulaNode, ...]
+
+    def children(self) -> Iterator[FormulaNode]:
+        yield from self.arguments

@@ -1,0 +1,133 @@
+"""Formula dependency graph (Section VI, Formula Evaluation).
+
+The graph maps each formula cell to the cells it reads.  When a cell is
+updated, the engine asks the graph for the transitive set of dependents in a
+topological order and re-evaluates them.  Range dependencies are kept as
+rectangles and matched by containment, so ``SUM(A1:A1000)`` costs one edge,
+not a thousand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import CircularDependencyError
+from repro.formula.evaluator import extract_references
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+
+class DependencyGraph:
+    """Tracks which formula cells depend on which precedent cells/ranges."""
+
+    def __init__(self) -> None:
+        # formula cell -> (precedent cells, precedent ranges)
+        self._precedents: dict[CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]]] = {}
+        # precedent cell -> set of formula cells reading it directly
+        self._cell_dependents: dict[CellAddress, set[CellAddress]] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, address: CellAddress, formula: str) -> None:
+        """Register (or replace) the formula at ``address``."""
+        self.unregister(address)
+        cells, ranges = extract_references(formula)
+        cell_set = frozenset(cells)
+        self._precedents[address] = (cell_set, tuple(ranges))
+        for precedent in cell_set:
+            self._cell_dependents.setdefault(precedent, set()).add(address)
+
+    def unregister(self, address: CellAddress) -> None:
+        """Remove the formula at ``address`` from the graph (no-op if absent)."""
+        entry = self._precedents.pop(address, None)
+        if entry is None:
+            return
+        cells, _ranges = entry
+        for precedent in cells:
+            dependents = self._cell_dependents.get(precedent)
+            if dependents is not None:
+                dependents.discard(address)
+                if not dependents:
+                    del self._cell_dependents[precedent]
+
+    def formula_cells(self) -> list[CellAddress]:
+        """All registered formula cells."""
+        return list(self._precedents)
+
+    def precedents_of(self, address: CellAddress) -> tuple[frozenset[CellAddress], tuple[RangeRef, ...]]:
+        """The direct precedents (cells, ranges) of a formula cell."""
+        return self._precedents.get(address, (frozenset(), ()))
+
+    # ------------------------------------------------------------------ #
+    def direct_dependents(self, changed: CellAddress) -> set[CellAddress]:
+        """Formula cells that directly read ``changed`` (via a cell or range ref)."""
+        dependents = set(self._cell_dependents.get(changed, ()))
+        for formula_cell, (_cells, ranges) in self._precedents.items():
+            if formula_cell in dependents:
+                continue
+            for region in ranges:
+                if region.contains(changed):
+                    dependents.add(formula_cell)
+                    break
+        return dependents
+
+    def dependents_of(self, changed: CellAddress | Iterable[CellAddress]) -> list[CellAddress]:
+        """Transitive dependents of the changed cell(s), in evaluation order.
+
+        The returned order is a topological order of the affected subgraph:
+        a formula appears after every affected formula it reads.  Raises
+        :class:`CircularDependencyError` when the affected subgraph contains
+        a cycle.
+        """
+        seeds = [changed] if isinstance(changed, CellAddress) else list(changed)
+        affected: set[CellAddress] = set()
+        frontier: deque[CellAddress] = deque(seeds)
+        while frontier:
+            current = frontier.popleft()
+            for dependent in self.direct_dependents(current):
+                if dependent not in affected:
+                    affected.add(dependent)
+                    frontier.append(dependent)
+        return self._topological_order(affected)
+
+    def _topological_order(self, affected: set[CellAddress]) -> list[CellAddress]:
+        # Build edges restricted to the affected set: precedent -> dependent.
+        indegree: dict[CellAddress, int] = {address: 0 for address in affected}
+        edges: dict[CellAddress, list[CellAddress]] = {address: [] for address in affected}
+        for dependent in affected:
+            cells, ranges = self._precedents[dependent]
+            precedent_formulas: set[CellAddress] = set()
+            for other in affected:
+                if other == dependent:
+                    continue
+                if other in cells or any(region.contains(other) for region in ranges):
+                    precedent_formulas.add(other)
+            for precedent in precedent_formulas:
+                edges[precedent].append(dependent)
+                indegree[dependent] += 1
+        ready = deque(sorted((a for a, degree in indegree.items() if degree == 0),
+                             key=lambda a: (a.row, a.column)))
+        ordered: list[CellAddress] = []
+        while ready:
+            current = ready.popleft()
+            ordered.append(current)
+            for successor in edges[current]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        if len(ordered) != len(affected):
+            raise CircularDependencyError(
+                f"circular dependency among {len(affected) - len(ordered)} formula cell(s)"
+            )
+        return ordered
+
+    def detect_cycle(self) -> bool:
+        """Whether the full graph currently contains a cycle."""
+        try:
+            self._topological_order(set(self._precedents))
+        except CircularDependencyError:
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._precedents)

@@ -1,0 +1,252 @@
+"""Formula evaluation against any cell provider.
+
+The evaluator is decoupled from storage: it pulls cell values through a
+*cell provider* callable ``(row, column) -> CellValue`` so the same code
+evaluates formulae against the in-memory :class:`~repro.grid.sheet.Sheet`,
+the LRU cell cache of the execution engine, or a raw data model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import FormulaEvaluationError, FormulaSyntaxError
+from repro.formula.ast_nodes import (
+    BinaryOpNode,
+    BoolNode,
+    CellRefNode,
+    FormulaNode,
+    FunctionCallNode,
+    NumberNode,
+    RangeRefNode,
+    StringNode,
+    UnaryOpNode,
+)
+from repro.formula.functions import FUNCTION_REGISTRY, RangeValue, to_number, to_text
+from repro.formula.parser import parse_formula
+from repro.grid.address import CellAddress
+from repro.grid.cell import CellValue
+from repro.grid.range import RangeRef
+
+CellProvider = Callable[[int, int], CellValue]
+RangeProvider = Callable[[RangeRef], dict]
+
+#: Ranges larger than this raise instead of materialising (safety valve for
+#: accidental whole-column references on huge sheets).
+MAX_RANGE_CELLS = 10_000_000
+
+
+class Evaluator:
+    """Evaluates formula ASTs by pulling referenced cells from a provider.
+
+    ``range_provider`` is optional: when given, rectangular range references
+    are materialised with a single ``getCells(range)`` call (the storage
+    engine's bulk access path) instead of one cell probe per coordinate,
+    which is how the DataSpread engine actually evaluates SUM/VLOOKUP-style
+    formulae over a data model.
+    """
+
+    def __init__(self, cell_provider: CellProvider,
+                 range_provider: RangeProvider | None = None) -> None:
+        self._provider = cell_provider
+        self._range_provider = range_provider
+        self._parse_cache: dict[str, FormulaNode] = {}
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, formula: str) -> CellValue:
+        """Parse (with caching) and evaluate a formula body."""
+        node = self._parse_cache.get(formula)
+        if node is None:
+            node = parse_formula(formula)
+            self._parse_cache[formula] = node
+        return self.evaluate_node(node)
+
+    def evaluate_node(self, node: FormulaNode) -> CellValue:
+        """Evaluate an already-parsed AST to a scalar value."""
+        result = self._evaluate(node)
+        if isinstance(result, RangeValue):
+            # A bare range in scalar context collapses to its first cell,
+            # mirroring how spreadsheets resolve implicit intersection.
+            return result.values[0][0] if result.values else None
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, node: FormulaNode) -> CellValue | RangeValue:
+        if isinstance(node, NumberNode):
+            return node.value if not node.value.is_integer() else int(node.value)
+        if isinstance(node, StringNode):
+            return node.value
+        if isinstance(node, BoolNode):
+            return node.value
+        if isinstance(node, CellRefNode):
+            return self._provider(node.address.row, node.address.column)
+        if isinstance(node, RangeRefNode):
+            return self._materialize_range(node.range)
+        if isinstance(node, UnaryOpNode):
+            return self._evaluate_unary(node)
+        if isinstance(node, BinaryOpNode):
+            return self._evaluate_binary(node)
+        if isinstance(node, FunctionCallNode):
+            return self._evaluate_call(node)
+        raise FormulaEvaluationError("#VALUE!", f"unsupported AST node {type(node).__name__}")
+
+    def _materialize_range(self, region: RangeRef) -> RangeValue:
+        if region.area > MAX_RANGE_CELLS:
+            raise FormulaEvaluationError(
+                "#REF!", f"range {region.to_a1()} too large to materialise"
+            )
+        if self._range_provider is not None:
+            filled = self._range_provider(region)
+            values = {
+                (address.row, address.column): cell.value for address, cell in filled.items()
+            }
+            rows = [
+                tuple(values.get((row, column))
+                      for column in range(region.left, region.right + 1))
+                for row in range(region.top, region.bottom + 1)
+            ]
+            return RangeValue(values=tuple(rows))
+        rows = [
+            tuple(
+                self._provider(row, column)
+                for column in range(region.left, region.right + 1)
+            )
+            for row in range(region.top, region.bottom + 1)
+        ]
+        return RangeValue(values=tuple(rows))
+
+    def _evaluate_unary(self, node: UnaryOpNode) -> CellValue:
+        operand = self._scalar(self._evaluate(node.operand))
+        if node.operator == "-":
+            return -to_number(operand)
+        if node.operator == "+":
+            return to_number(operand)
+        if node.operator == "%":
+            return to_number(operand) / 100.0
+        raise FormulaEvaluationError("#VALUE!", f"unknown unary operator {node.operator!r}")
+
+    def _evaluate_binary(self, node: BinaryOpNode) -> CellValue:
+        left = self._scalar(self._evaluate(node.left))
+        right = self._scalar(self._evaluate(node.right))
+        operator = node.operator
+        if operator == "&":
+            return to_text(left) + to_text(right)
+        if operator in {"=", "<>", "<", ">", "<=", ">="}:
+            return self._compare(operator, left, right)
+        left_number = to_number(left)
+        right_number = to_number(right)
+        if operator == "+":
+            result = left_number + right_number
+        elif operator == "-":
+            result = left_number - right_number
+        elif operator == "*":
+            result = left_number * right_number
+        elif operator == "/":
+            if right_number == 0:
+                raise FormulaEvaluationError("#DIV/0!", "division by zero")
+            result = left_number / right_number
+        elif operator == "^":
+            result = left_number ** right_number
+        else:
+            raise FormulaEvaluationError("#VALUE!", f"unknown operator {operator!r}")
+        return int(result) if isinstance(result, float) and result.is_integer() else result
+
+    @staticmethod
+    def _compare(operator: str, left: CellValue, right: CellValue) -> bool:
+        # Numeric comparison when both sides are numeric; text otherwise.
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+                and not isinstance(left, bool) and not isinstance(right, bool):
+            left_key: float | str = float(left)
+            right_key: float | str = float(right)
+        else:
+            left_key = to_text(left).lower()
+            right_key = to_text(right).lower()
+        if operator == "=":
+            return left_key == right_key
+        if operator == "<>":
+            return left_key != right_key
+        if operator == "<":
+            return left_key < right_key    # type: ignore[operator]
+        if operator == ">":
+            return left_key > right_key    # type: ignore[operator]
+        if operator == "<=":
+            return left_key <= right_key   # type: ignore[operator]
+        return left_key >= right_key       # type: ignore[operator]
+
+    def _evaluate_call(self, node: FunctionCallNode) -> CellValue:
+        implementation = FUNCTION_REGISTRY.get(node.name)
+        if implementation is None:
+            raise FormulaEvaluationError("#NAME?", f"unknown function {node.name}")
+        arguments = []
+        for argument_node in node.arguments:
+            if node.name == "IFERROR" and argument_node is node.arguments[0]:
+                # IFERROR traps evaluation errors in its first argument.
+                try:
+                    arguments.append(self._evaluate(argument_node))
+                except FormulaEvaluationError as error:
+                    arguments.append(error.code)
+            else:
+                arguments.append(self._evaluate(argument_node))
+        return implementation(*arguments)
+
+    @staticmethod
+    def _scalar(value: CellValue | RangeValue) -> CellValue:
+        if isinstance(value, RangeValue):
+            if value.rows == 1 and value.columns == 1:
+                return value.values[0][0]
+            raise FormulaEvaluationError("#VALUE!", "range used in scalar context")
+        return value
+
+
+# ---------------------------------------------------------------------- #
+# static analysis
+# ---------------------------------------------------------------------- #
+def extract_references(formula: str | FormulaNode) -> tuple[list[CellAddress], list[RangeRef]]:
+    """Return the single-cell and range references a formula reads.
+
+    Used to build the dependency graph and to measure per-formula access
+    footprints for the Section II statistics.
+    """
+    node = parse_formula(formula) if isinstance(formula, str) else formula
+    cells: list[CellAddress] = []
+    ranges: list[RangeRef] = []
+    for descendant in node.walk():
+        if isinstance(descendant, CellRefNode):
+            cells.append(descendant.address)
+        elif isinstance(descendant, RangeRefNode):
+            ranges.append(descendant.range)
+    return cells, ranges
+
+
+def referenced_coordinates(formula: str | FormulaNode) -> set[tuple[int, int]]:
+    """All (row, column) pairs a formula reads, ranges expanded."""
+    cells, ranges = extract_references(formula)
+    coordinates = {(address.row, address.column) for address in cells}
+    for region in ranges:
+        if region.area > MAX_RANGE_CELLS:
+            raise FormulaSyntaxError(f"range {region.to_a1()} too large to expand")
+        for address in region.addresses():
+            coordinates.add((address.row, address.column))
+    return coordinates
+
+
+def access_footprint(formula: str | FormulaNode) -> int:
+    """Number of cells accessed by a formula (Table I column 10)."""
+    cells, ranges = extract_references(formula)
+    return len({(address.row, address.column) for address in cells}) + sum(
+        region.area for region in ranges
+    )
+
+
+def evaluate_formulas(
+    formulas: Iterable[tuple[CellAddress, str]], provider: CellProvider
+) -> dict[CellAddress, CellValue]:
+    """Evaluate a batch of formulas against a provider; errors become codes."""
+    evaluator = Evaluator(provider)
+    results: dict[CellAddress, CellValue] = {}
+    for address, formula in formulas:
+        try:
+            results[address] = evaluator.evaluate(formula)
+        except FormulaEvaluationError as error:
+            results[address] = error.code
+    return results

@@ -1,0 +1,160 @@
+"""Pratt (precedence-climbing) parser for spreadsheet formulae."""
+
+from __future__ import annotations
+
+from repro.errors import FormulaSyntaxError
+from repro.formula.ast_nodes import (
+    BinaryOpNode,
+    BoolNode,
+    CellRefNode,
+    FormulaNode,
+    FunctionCallNode,
+    NumberNode,
+    RangeRefNode,
+    StringNode,
+    UnaryOpNode,
+)
+from repro.formula.tokenizer import Token, TokenType, tokenize
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+#: Binary operator precedence, low to high.  Mirrors spreadsheet semantics:
+#: comparisons < concatenation < additive < multiplicative < exponentiation.
+_BINARY_PRECEDENCE = {
+    "=": 10,
+    "<>": 10,
+    "<": 10,
+    ">": 10,
+    "<=": 10,
+    ">=": 10,
+    "&": 20,
+    "+": 30,
+    "-": 30,
+    "*": 40,
+    "/": 40,
+    "^": 50,
+}
+
+_RIGHT_ASSOCIATIVE = {"^"}
+
+
+class _Parser:
+    """Recursive-descent / precedence-climbing parser over a token list."""
+
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # ------------------------------------------------------------------ #
+    def parse(self) -> FormulaNode:
+        node = self._parse_expression(0)
+        if self._current.type is not TokenType.END:
+            raise FormulaSyntaxError(
+                f"unexpected token {self._current.text!r} at offset "
+                f"{self._current.position} in {self._source!r}"
+            )
+        return node
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        if self._current.type is not token_type:
+            raise FormulaSyntaxError(
+                f"expected {token_type.name} but found {self._current.text!r} "
+                f"at offset {self._current.position} in {self._source!r}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self, min_precedence: int) -> FormulaNode:
+        left = self._parse_unary()
+        while True:
+            token = self._current
+            if token.type is not TokenType.OPERATOR:
+                break
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._advance()
+            if token.text in _RIGHT_ASSOCIATIVE:
+                right = self._parse_expression(precedence)
+            else:
+                right = self._parse_expression(precedence + 1)
+            left = BinaryOpNode(operator=token.text, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> FormulaNode:
+        token = self._current
+        if token.type is TokenType.OPERATOR and token.text in {"+", "-"}:
+            self._advance()
+            operand = self._parse_unary()
+            return UnaryOpNode(operator=token.text, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> FormulaNode:
+        node = self._parse_primary()
+        while self._current.type is TokenType.OPERATOR and self._current.text == "%":
+            self._advance()
+            node = UnaryOpNode(operator="%", operand=node)
+        return node
+
+    def _parse_primary(self) -> FormulaNode:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            return NumberNode(value=float(token.text))
+        if token.type is TokenType.STRING:
+            return StringNode(value=token.text[1:-1].replace('""', '"'))
+        if token.type is TokenType.BOOLEAN:
+            return BoolNode(value=token.text == "TRUE")
+        if token.type is TokenType.RANGE:
+            return RangeRefNode(range=RangeRef.from_a1(token.text.replace("$", "")))
+        if token.type is TokenType.CELL:
+            return CellRefNode(address=CellAddress.from_a1(token.text))
+        if token.type is TokenType.IDENTIFIER:
+            if self._current.type is TokenType.LPAREN:
+                return self._parse_function_call(token)
+            raise FormulaSyntaxError(
+                f"unknown identifier {token.text!r} at offset {token.position} "
+                f"in {self._source!r}"
+            )
+        if token.type is TokenType.LPAREN:
+            node = self._parse_expression(0)
+            self._expect(TokenType.RPAREN)
+            return node
+        raise FormulaSyntaxError(
+            f"unexpected token {token.text!r} at offset {token.position} in {self._source!r}"
+        )
+
+    def _parse_function_call(self, name_token: Token) -> FormulaNode:
+        self._expect(TokenType.LPAREN)
+        arguments: list[FormulaNode] = []
+        if self._current.type is not TokenType.RPAREN:
+            arguments.append(self._parse_expression(0))
+            while self._current.type is TokenType.COMMA:
+                self._advance()
+                arguments.append(self._parse_expression(0))
+        self._expect(TokenType.RPAREN)
+        return FunctionCallNode(name=name_token.text.upper(), arguments=tuple(arguments))
+
+
+def parse_formula(formula: str) -> FormulaNode:
+    """Parse a formula body (text after the leading ``=``) into an AST.
+
+    >>> parse_formula("SUM(B2:C2)+D2")  # doctest: +ELLIPSIS
+    BinaryOpNode(...)
+    """
+    text = formula.strip()
+    if text.startswith("="):
+        text = text[1:]
+    if not text:
+        raise FormulaSyntaxError("empty formula")
+    return _Parser(tokenize(text), text).parse()

@@ -1,0 +1,82 @@
+"""Tokenizer for spreadsheet formulae."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import FormulaSyntaxError
+
+
+class TokenType(Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    NUMBER = auto()
+    STRING = auto()
+    BOOLEAN = auto()
+    CELL = auto()          # e.g. B2, $C$10
+    RANGE = auto()         # e.g. B2:C10
+    IDENTIFIER = auto()    # function names
+    OPERATOR = auto()      # + - * / ^ % & = <> < > <= >=
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    END = auto()
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token with its source text."""
+
+    type: TokenType
+    text: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("WHITESPACE", r"[ \t\r\n]+"),
+    ("RANGE", r"\$?[A-Za-z]{1,7}\$?[0-9]+\s*:\s*\$?[A-Za-z]{1,7}\$?[0-9]+"),
+    ("NUMBER", r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"),
+    ("STRING", r'"(?:[^"]|"")*"'),
+    ("CELL", r"\$?[A-Za-z]{1,7}\$?[0-9]+"),
+    ("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_\.]*"),
+    ("OPERATOR", r"<=|>=|<>|[+\-*/^&%=<>]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r"[,;]"),
+]
+
+_MASTER_PATTERN = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_BOOLEAN_LITERALS = {"TRUE", "FALSE"}
+
+
+def tokenize(formula: str) -> list[Token]:
+    """Tokenize a formula body (text after the leading ``=``).
+
+    Raises :class:`FormulaSyntaxError` on unexpected characters.
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(formula)
+    while position < length:
+        match = _MASTER_PATTERN.match(formula, position)
+        if match is None:
+            raise FormulaSyntaxError(
+                f"unexpected character {formula[position]!r} at offset {position} in {formula!r}"
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "WHITESPACE":
+            position = match.end()
+            continue
+        if kind == "IDENTIFIER" and text.upper() in _BOOLEAN_LITERALS:
+            tokens.append(Token(TokenType.BOOLEAN, text.upper(), position))
+        elif kind == "RANGE":
+            tokens.append(Token(TokenType.RANGE, text.replace(" ", ""), position))
+        else:
+            tokens.append(Token(TokenType[kind], text, position))
+        position = match.end()
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,40 @@
+"""Spreadsheet conceptual data model.
+
+The conceptual model of the paper (Section III) is a collection of cells
+addressed by (row, column), each holding a value or a formula.  This package
+provides:
+
+* :mod:`repro.grid.address` — A1-style addressing and column-letter codecs.
+* :mod:`repro.grid.cell` — the :class:`Cell` record (value + optional formula).
+* :mod:`repro.grid.range` — rectangular ranges.
+* :mod:`repro.grid.sheet` — the sparse in-memory :class:`Sheet`.
+* :mod:`repro.grid.bounding` — bounding boxes and density metrics.
+* :mod:`repro.grid.components` — connected components and tabular regions
+  (the Section II structure study).
+* :mod:`repro.grid.weighted` — the weighted (row/column collapsed) grid used
+  to speed up decomposition (Section IV-D, Theorem 5).
+"""
+
+from repro.grid.address import CellAddress, column_index_to_letter, column_letter_to_index
+from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.grid.bounding import BoundingBox, bounding_box, density
+from repro.grid.components import connected_components, tabular_regions, ComponentStats
+from repro.grid.weighted import WeightedGrid
+
+__all__ = [
+    "CellAddress",
+    "Cell",
+    "RangeRef",
+    "Sheet",
+    "BoundingBox",
+    "bounding_box",
+    "density",
+    "connected_components",
+    "tabular_regions",
+    "ComponentStats",
+    "WeightedGrid",
+    "column_index_to_letter",
+    "column_letter_to_index",
+]

@@ -1,0 +1,58 @@
+"""Bounding boxes and density metrics (Section II structure study)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection
+
+from repro.grid.range import RangeRef
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """The minimum bounding rectangle of a set of cells (1-based, inclusive)."""
+
+    top: int
+    left: int
+    bottom: int
+    right: int
+
+    @property
+    def rows(self) -> int:
+        """Number of rows spanned."""
+        return self.bottom - self.top + 1
+
+    @property
+    def columns(self) -> int:
+        """Number of columns spanned."""
+        return self.right - self.left + 1
+
+    @property
+    def area(self) -> int:
+        """Number of cells in the rectangle."""
+        return self.rows * self.columns
+
+    def to_range(self) -> RangeRef:
+        """Convert to a :class:`RangeRef`."""
+        return RangeRef(self.top, self.left, self.bottom, self.right)
+
+
+def bounding_box(coordinates: Collection[tuple[int, int]]) -> BoundingBox | None:
+    """The minimum bounding rectangle of ``(row, column)`` pairs, or ``None``."""
+    if not coordinates:
+        return None
+    rows = [row for row, _ in coordinates]
+    columns = [column for _, column in coordinates]
+    return BoundingBox(min(rows), min(columns), max(rows), max(columns))
+
+
+def density(coordinates: Collection[tuple[int, int]]) -> float:
+    """Filled-cell density within the minimum bounding rectangle.
+
+    This is the paper's density metric: filled cells / bounding-box area.
+    Returns 0.0 for an empty collection.
+    """
+    box = bounding_box(coordinates)
+    if box is None:
+        return 0.0
+    return len(set(coordinates)) / box.area

@@ -1,0 +1,77 @@
+"""The cell record of the conceptual data model.
+
+A cell holds a *value* (a constant) and optionally the *formula* whose
+evaluation produced that value (Section III of the paper).  Formatting is
+ignored, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: The scalar types a spreadsheet cell may contain.
+CellValue = Union[None, bool, int, float, str]
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """An immutable cell payload: a value plus an optional formula string.
+
+    ``value`` is the materialised (cached) result; ``formula`` is the source
+    text *without* the leading ``=`` sign, or ``None`` for plain constants.
+    """
+
+    value: CellValue = None
+    formula: str | None = None
+
+    @property
+    def has_formula(self) -> bool:
+        """Whether the cell was produced by a formula."""
+        return self.formula is not None
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the cell carries neither a value nor a formula."""
+        return self.value is None and self.formula is None
+
+    def with_value(self, value: CellValue) -> "Cell":
+        """Return a copy of this cell with the cached value replaced."""
+        return Cell(value=value, formula=self.formula)
+
+    @classmethod
+    def from_input(cls, text: CellValue) -> "Cell":
+        """Build a cell from user input.
+
+        Strings starting with ``=`` are treated as formulae (with no cached
+        value until evaluation); anything else is stored as a constant.
+        Numeric-looking strings are coerced to ``int``/``float`` the way a
+        spreadsheet UI would.
+        """
+        if isinstance(text, str):
+            stripped = text.strip()
+            if stripped.startswith("="):
+                return cls(value=None, formula=stripped[1:])
+            coerced = _coerce_scalar(stripped)
+            return cls(value=coerced)
+        return cls(value=text)
+
+
+def _coerce_scalar(text: str) -> CellValue:
+    """Coerce a raw string to int/float/bool when it looks like one."""
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

@@ -1,0 +1,34 @@
+"""Primitive and hybrid physical data models (Section IV).
+
+A *physical data model* records the cells of a spreadsheet region inside the
+database substrate.  Four primitive models are provided, mirroring the paper:
+
+* :class:`~repro.models.rom.RowOrientedModel` (ROM) — one tuple per sheet row.
+* :class:`~repro.models.com.ColumnOrientedModel` (COM) — one tuple per sheet
+  column (the transpose of ROM).
+* :class:`~repro.models.rcv.RowColumnValueModel` (RCV) — one tuple per filled
+  cell, key-value style.
+* :class:`~repro.models.tom.TableOrientedModel` (TOM) — a database-linked
+  table displayed on the sheet.
+
+:class:`~repro.models.hybrid.HybridDataModel` composes any number of these
+over disjoint rectangular regions and routes operations to the owning region.
+"""
+
+from repro.models.base import DataModel, ModelKind
+from repro.models.rom import RowOrientedModel
+from repro.models.com import ColumnOrientedModel
+from repro.models.rcv import RowColumnValueModel
+from repro.models.tom import TableOrientedModel
+from repro.models.hybrid import HybridDataModel, HybridRegion
+
+__all__ = [
+    "DataModel",
+    "ModelKind",
+    "RowOrientedModel",
+    "ColumnOrientedModel",
+    "RowColumnValueModel",
+    "TableOrientedModel",
+    "HybridDataModel",
+    "HybridRegion",
+]

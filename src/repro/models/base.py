@@ -1,0 +1,104 @@
+"""The common interface of physical data models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+
+from repro.grid.address import CellAddress
+from repro.grid.cell import Cell, CellValue
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.storage.costs import CostParameters
+
+
+class ModelKind(str, Enum):
+    """The kind of a primitive data model (used by the hybrid optimizer)."""
+
+    ROM = "rom"
+    COM = "com"
+    RCV = "rcv"
+    TOM = "tom"
+
+
+class DataModel(ABC):
+    """A physical representation of the cells of one spreadsheet region.
+
+    All coordinates in the interface are *absolute* sheet coordinates
+    (1-based); each model anchors itself at the top-left of the region it was
+    created for and translates internally.
+
+    The interface mirrors the spreadsheet-oriented operations of Section III:
+    ``get_cells``, ``update_cell``, and row/column insert/delete.
+    """
+
+    kind: ModelKind
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def region(self) -> RangeRef:
+        """The rectangular region currently covered by this model."""
+
+    @abstractmethod
+    def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
+        """Return the filled cells of this model that fall inside ``region``."""
+
+    @abstractmethod
+    def cell_count(self) -> int:
+        """Number of filled cells stored."""
+
+    def get_cell(self, row: int, column: int) -> Cell:
+        """Single-cell read (empty cells come back as ``Cell()``)."""
+        cells = self.get_cells(RangeRef(row, column, row, column))
+        return cells.get(CellAddress(row, column), Cell())
+
+    def get_value(self, row: int, column: int) -> CellValue:
+        """Single-value read."""
+        return self.get_cell(row, column).value
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def update_cell(self, row: int, column: int, cell: Cell) -> None:
+        """Set the cell at an absolute (row, column) inside the region."""
+
+    @abstractmethod
+    def insert_row_after(self, row: int, count: int = 1) -> None:
+        """Insert ``count`` empty rows after absolute row ``row``."""
+
+    @abstractmethod
+    def delete_row(self, row: int, count: int = 1) -> None:
+        """Delete ``count`` rows starting at absolute row ``row``."""
+
+    @abstractmethod
+    def insert_column_after(self, column: int, count: int = 1) -> None:
+        """Insert ``count`` empty columns after absolute column ``column``."""
+
+    @abstractmethod
+    def delete_column(self, column: int, count: int = 1) -> None:
+        """Delete ``count`` columns starting at absolute column ``column``."""
+
+    # ------------------------------------------------------------------ #
+    # accounting / recoverability
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def storage_cost(self, costs: CostParameters) -> float:
+        """Cost-model storage footprint of this model (Equation 1 family)."""
+
+    def to_sheet(self) -> Sheet:
+        """Recover the conceptual collection of cells stored by this model."""
+        sheet = Sheet()
+        for address, cell in self.get_cells(self.region()).items():
+            sheet.set_cell(address.row, address.column, cell)
+        return sheet
+
+    # ------------------------------------------------------------------ #
+    def update_value(self, row: int, column: int, value: CellValue) -> None:
+        """Convenience: set a constant value at (row, column)."""
+        self.update_cell(row, column, Cell(value=value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(region={self.region().to_a1()}, cells={self.cell_count()})"

@@ -1,0 +1,214 @@
+"""Orientation-agnostic tuple-per-line store shared by ROM and COM.
+
+ROM stores one database tuple per sheet *row*; COM stores one tuple per sheet
+*column*.  Both need the same machinery: a positional mapping from the
+presentational position of the major axis (row for ROM, column for COM) to a
+stable tuple pointer, and a slot-indirection list on the minor axis so that
+inserting or deleting a minor line does not rewrite every stored tuple.
+
+:class:`LineGridStore` implements that machinery once, in terms of "major"
+and "minor" axes; ROM and COM wrap it with the appropriate orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DataModelError
+from repro.grid.cell import Cell
+from repro.positional import PositionalMapping, create_mapping
+from repro.storage.heap import HeapFile
+from repro.storage.tuples import TuplePointer
+
+#: Stored cell payload: ``None`` for an empty slot, else ``(value, formula)``.
+StoredCell = tuple
+
+
+class LineGridStore:
+    """Stores a rectangular region one tuple per *major* line.
+
+    Major positions are managed by a positional mapping (so major-line
+    insert/delete is O(log N) with the hierarchical scheme); minor positions
+    are managed by an append-only slot table (so minor-line insert/delete is
+    O(1) and never rewrites stored tuples).
+    """
+
+    def __init__(self, *, mapping_scheme: str = "hierarchical") -> None:
+        self._heap = HeapFile()
+        self._mapping: PositionalMapping = create_mapping(mapping_scheme)
+        #: minor display position (0-based) -> physical slot index in records
+        self._minor_slots: list[int] = []
+        self._next_slot = 0
+        self._filled = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def major_count(self) -> int:
+        """Number of major lines currently stored."""
+        return len(self._mapping)
+
+    @property
+    def minor_count(self) -> int:
+        """Number of minor lines currently visible."""
+        return len(self._minor_slots)
+
+    @property
+    def filled_cells(self) -> int:
+        """Number of non-empty stored cells."""
+        return self._filled
+
+    @property
+    def mapping(self) -> PositionalMapping:
+        """The positional mapping over major lines (exposed for benchmarks)."""
+        return self._mapping
+
+    # ------------------------------------------------------------------ #
+    # sizing
+    # ------------------------------------------------------------------ #
+    def ensure_major(self, count: int) -> None:
+        """Grow the major axis to at least ``count`` lines (appending empties)."""
+        while self.major_count < count:
+            pointer = self._heap.insert(())
+            self._mapping.append(pointer)
+
+    def ensure_minor(self, count: int) -> None:
+        """Grow the minor axis to at least ``count`` lines."""
+        while self.minor_count < count:
+            self._minor_slots.append(self._next_slot)
+            self._next_slot += 1
+
+    # ------------------------------------------------------------------ #
+    # cell access (1-based major/minor positions)
+    # ------------------------------------------------------------------ #
+    def get(self, major: int, minor: int) -> Cell:
+        """The cell at (major, minor), or an empty cell."""
+        if major < 1 or major > self.major_count or minor < 1 or minor > self.minor_count:
+            return Cell()
+        record = self._read_record(major)
+        slot = self._minor_slots[minor - 1]
+        stored = record[slot] if slot < len(record) else None
+        return _to_cell(stored)
+
+    def get_major_slice(self, major: int, minor_start: int, minor_end: int) -> list[Cell]:
+        """Cells of one major line restricted to minor positions [start..end].
+
+        Reads the stored tuple once and materialises only the requested
+        slots — the bulk access path used by ``getCells`` so that wide rows
+        are not fully decoded when a formula touches a narrow range.
+        """
+        if major < 1 or major > self.major_count:
+            return [Cell() for _ in range(minor_end - minor_start + 1)]
+        record = self._read_record(major)
+        cells = []
+        for minor in range(minor_start, minor_end + 1):
+            if minor < 1 or minor > self.minor_count:
+                cells.append(Cell())
+                continue
+            slot = self._minor_slots[minor - 1]
+            stored = record[slot] if slot < len(record) else None
+            cells.append(_to_cell(stored))
+        return cells
+
+    def get_major_line(self, major: int) -> list[Cell]:
+        """All visible cells of one major line, in minor order."""
+        if major < 1 or major > self.major_count:
+            return [Cell() for _ in range(self.minor_count)]
+        record = self._read_record(major)
+        cells = []
+        for slot in self._minor_slots:
+            stored = record[slot] if slot < len(record) else None
+            cells.append(_to_cell(stored))
+        return cells
+
+    def set(self, major: int, minor: int, cell: Cell) -> None:
+        """Store ``cell`` at (major, minor), growing the region as needed."""
+        if major < 1 or minor < 1:
+            raise DataModelError(f"positions must be >= 1, got ({major}, {minor})")
+        self.ensure_major(major)
+        self.ensure_minor(minor)
+        pointer = self._mapping.fetch(major)
+        record = list(self._heap.read(pointer))
+        slot = self._minor_slots[minor - 1]
+        if slot >= len(record):
+            record.extend([None] * (slot - len(record) + 1))
+        previous = record[slot]
+        stored = None if cell.is_empty else (cell.value, cell.formula)
+        record[slot] = stored
+        new_pointer = self._heap.update(pointer, tuple(record))
+        if new_pointer != pointer:
+            self._replace_pointer(major, new_pointer)
+        if previous is None and stored is not None:
+            self._filled += 1
+        elif previous is not None and stored is None:
+            self._filled -= 1
+
+    # ------------------------------------------------------------------ #
+    # structural operations
+    # ------------------------------------------------------------------ #
+    def insert_major_after(self, major: int, count: int = 1) -> None:
+        """Insert ``count`` empty major lines after position ``major`` (0 = before first)."""
+        if major < 0 or major > self.major_count:
+            raise DataModelError(f"major position {major} out of range")
+        for offset in range(count):
+            pointer = self._heap.insert(())
+            self._mapping.insert_at(major + 1 + offset, pointer)
+
+    def delete_major(self, major: int, count: int = 1) -> None:
+        """Delete ``count`` major lines starting at ``major``."""
+        if major < 1 or major + count - 1 > self.major_count:
+            raise DataModelError(f"major range [{major}, {major + count - 1}] out of range")
+        for _ in range(count):
+            pointer = self._mapping.delete_at(major)
+            record = self._heap.read(pointer)
+            self._filled -= sum(1 for stored in record if stored is not None)
+            self._heap.delete(pointer)
+
+    def insert_minor_after(self, minor: int, count: int = 1) -> None:
+        """Insert ``count`` empty minor lines after position ``minor`` (0 = before first)."""
+        if minor < 0 or minor > self.minor_count:
+            raise DataModelError(f"minor position {minor} out of range")
+        new_slots = []
+        for _ in range(count):
+            new_slots.append(self._next_slot)
+            self._next_slot += 1
+        self._minor_slots[minor:minor] = new_slots
+
+    def delete_minor(self, minor: int, count: int = 1) -> None:
+        """Delete ``count`` minor lines starting at ``minor``."""
+        if minor < 1 or minor + count - 1 > self.minor_count:
+            raise DataModelError(f"minor range [{minor}, {minor + count - 1}] out of range")
+        removed_slots = set(self._minor_slots[minor - 1: minor - 1 + count])
+        del self._minor_slots[minor - 1: minor - 1 + count]
+        # Account for cells that disappear with the deleted minor lines.
+        for position in range(1, self.major_count + 1):
+            record = self._read_record(position)
+            for slot in removed_slots:
+                if slot < len(record) and record[slot] is not None:
+                    self._filled -= 1
+
+    # ------------------------------------------------------------------ #
+    def iter_filled(self) -> Iterator[tuple[int, int, Cell]]:
+        """Iterate ``(major, minor, cell)`` for every filled cell."""
+        slot_to_minor = {slot: index + 1 for index, slot in enumerate(self._minor_slots)}
+        for major in range(1, self.major_count + 1):
+            record = self._read_record(major)
+            for slot, stored in enumerate(record):
+                if stored is None:
+                    continue
+                minor = slot_to_minor.get(slot)
+                if minor is not None:
+                    yield major, minor, _to_cell(stored)
+
+    # ------------------------------------------------------------------ #
+    def _read_record(self, major: int) -> tuple:
+        return self._heap.read(self._mapping.fetch(major))
+
+    def _replace_pointer(self, major: int, pointer: TuplePointer) -> None:
+        self._mapping.replace_at(major, pointer)
+
+
+def _to_cell(stored: StoredCell | None) -> Cell:
+    if stored is None:
+        return Cell()
+    value, formula = stored
+    return Cell(value=value, formula=formula)

@@ -1,0 +1,256 @@
+"""Hybrid data model: multiple primitive models over disjoint regions.
+
+Definition 1 of the paper: a hybrid data model is a collection of tables,
+each a ROM, COM, RCV or TOM table over a rectangular region, that together
+are *recoverable* with respect to the conceptual cells.  The hybrid model
+routes ``get_cells``/``update_cell`` to the owning region; cells outside any
+region fall into a catch-all RCV table (the paper notes a single RCV table
+suffices for all loose cells).
+
+Row/column structural operations shift the anchors of regions below/right of
+the edit and delegate to the models whose regions span the edited line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import RegionOverlapError
+from repro.grid.address import CellAddress
+from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.models.base import DataModel, ModelKind
+from repro.models.com import ColumnOrientedModel
+from repro.models.rcv import RowColumnValueModel
+from repro.models.rom import RowOrientedModel
+from repro.storage.costs import CostParameters
+
+
+@dataclass
+class HybridRegion:
+    """One constituent of a hybrid model: a region and the model storing it."""
+
+    range: RangeRef
+    model: DataModel
+
+    @property
+    def kind(self) -> ModelKind:
+        """The primitive model kind used for this region."""
+        return self.model.kind
+
+
+class HybridDataModel(DataModel):
+    """Routes spreadsheet operations across a set of disjoint regions."""
+
+    kind = ModelKind.ROM  # the hybrid itself has no single kind; ROM is a placeholder
+
+    def __init__(
+        self,
+        regions: Iterable[HybridRegion] = (),
+        *,
+        mapping_scheme: str = "hierarchical",
+        allow_overlap: bool = False,
+    ) -> None:
+        self._regions: list[HybridRegion] = []
+        self._mapping_scheme = mapping_scheme
+        self._catch_all: RowColumnValueModel | None = None
+        for region in regions:
+            self.add_region(region, allow_overlap=allow_overlap)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_decomposition(
+        cls,
+        sheet: Sheet,
+        regions: Sequence[tuple[RangeRef, ModelKind]],
+        *,
+        mapping_scheme: str = "hierarchical",
+    ) -> "HybridDataModel":
+        """Materialise a hybrid model from a decomposition plan.
+
+        ``regions`` is typically the output of the decomposition algorithms in
+        :mod:`repro.decomposition`; cells of ``sheet`` not covered by any
+        listed region go to the catch-all RCV table.
+        """
+        hybrid = cls(mapping_scheme=mapping_scheme)
+        covered: set[tuple[int, int]] = set()
+        for region, kind in regions:
+            model = _build_primitive(sheet, region, kind, mapping_scheme)
+            hybrid.add_region(HybridRegion(range=region, model=model))
+            for address in region.addresses():
+                covered.add((address.row, address.column))
+        for (row, column), cell in ((key, sheet.get_cell(*key)) for key in sheet.coordinates()):
+            if (row, column) not in covered:
+                hybrid.update_cell(row, column, cell)
+        return hybrid
+
+    def add_region(self, region: HybridRegion, *, allow_overlap: bool = False) -> None:
+        """Add a constituent region; rejects overlaps unless permitted."""
+        if not allow_overlap:
+            for existing in self._regions:
+                if existing.range.overlaps(region.range):
+                    raise RegionOverlapError(
+                        f"region {region.range.to_a1()} overlaps {existing.range.to_a1()}"
+                    )
+        self._regions.append(region)
+
+    @property
+    def regions(self) -> list[HybridRegion]:
+        """The constituent regions (excluding the catch-all RCV table)."""
+        return list(self._regions)
+
+    @property
+    def catch_all(self) -> RowColumnValueModel | None:
+        """The RCV table holding cells outside every region (may be ``None``)."""
+        return self._catch_all
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def region(self) -> RangeRef:
+        boxes = [entry.range for entry in self._regions]
+        if self._catch_all is not None and self._catch_all.cell_count() > 0:
+            boxes.append(self._catch_all.region())
+        if not boxes:
+            return RangeRef(1, 1, 1, 1)
+        combined = boxes[0]
+        for box in boxes[1:]:
+            combined = combined.union_bounding(box)
+        return combined
+
+    def cell_count(self) -> int:
+        total = sum(entry.model.cell_count() for entry in self._regions)
+        if self._catch_all is not None:
+            total += self._catch_all.cell_count()
+        return total
+
+    def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
+        result: dict[CellAddress, Cell] = {}
+        for entry in self._regions:
+            if entry.range.overlaps(region):
+                result.update(entry.model.get_cells(region))
+        if self._catch_all is not None:
+            result.update(self._catch_all.get_cells(region))
+        return result
+
+    def get_cell(self, row: int, column: int) -> Cell:
+        owner = self._owning_region(row, column)
+        if owner is not None:
+            return owner.model.get_cell(row, column)
+        if self._catch_all is not None:
+            return self._catch_all.get_cell(row, column)
+        return Cell()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def update_cell(self, row: int, column: int, cell: Cell) -> None:
+        owner = self._owning_region(row, column)
+        if owner is not None:
+            owner.model.update_cell(row, column, cell)
+            return
+        if self._catch_all is None:
+            self._catch_all = RowColumnValueModel(
+                top=row, left=column, mapping_scheme=self._mapping_scheme
+            )
+        self._catch_all.update_cell(row, column, cell)
+
+    def insert_row_after(self, row: int, count: int = 1) -> None:
+        for entry in self._regions:
+            if entry.range.top > row:
+                entry.model.shift(rows=count)  # type: ignore[attr-defined]
+                entry.range = entry.range.shifted(rows=count)
+            elif entry.range.bottom > row:
+                entry.model.insert_row_after(row, count)
+                entry.range = RangeRef(
+                    entry.range.top, entry.range.left,
+                    entry.range.bottom + count, entry.range.right,
+                )
+        if self._catch_all is not None:
+            self._catch_all.insert_row_after(row, count)
+
+    def delete_row(self, row: int, count: int = 1) -> None:
+        for entry in self._regions:
+            overlap_top = max(entry.range.top, row)
+            overlap_bottom = min(entry.range.bottom, row + count - 1)
+            if entry.range.top > row + count - 1:
+                entry.model.shift(rows=-count)  # type: ignore[attr-defined]
+                entry.range = entry.range.shifted(rows=-count)
+            elif overlap_top <= overlap_bottom:
+                removed = overlap_bottom - overlap_top + 1
+                entry.model.delete_row(overlap_top, removed)
+                entry.range = RangeRef(
+                    entry.range.top, entry.range.left,
+                    max(entry.range.bottom - removed, entry.range.top), entry.range.right,
+                )
+        if self._catch_all is not None:
+            self._catch_all.delete_row(row, count)
+
+    def insert_column_after(self, column: int, count: int = 1) -> None:
+        for entry in self._regions:
+            if entry.range.left > column:
+                entry.model.shift(columns=count)  # type: ignore[attr-defined]
+                entry.range = entry.range.shifted(columns=count)
+            elif entry.range.right > column:
+                entry.model.insert_column_after(column, count)
+                entry.range = RangeRef(
+                    entry.range.top, entry.range.left,
+                    entry.range.bottom, entry.range.right + count,
+                )
+        if self._catch_all is not None:
+            self._catch_all.insert_column_after(column, count)
+
+    def delete_column(self, column: int, count: int = 1) -> None:
+        for entry in self._regions:
+            overlap_left = max(entry.range.left, column)
+            overlap_right = min(entry.range.right, column + count - 1)
+            if entry.range.left > column + count - 1:
+                entry.model.shift(columns=-count)  # type: ignore[attr-defined]
+                entry.range = entry.range.shifted(columns=-count)
+            elif overlap_left <= overlap_right:
+                removed = overlap_right - overlap_left + 1
+                entry.model.delete_column(overlap_left, removed)
+                entry.range = RangeRef(
+                    entry.range.top, entry.range.left,
+                    entry.range.bottom, max(entry.range.right - removed, entry.range.left),
+                )
+        if self._catch_all is not None:
+            self._catch_all.delete_column(column, count)
+
+    def shift(self, rows: int = 0, columns: int = 0) -> None:
+        """Translate every constituent region."""
+        for entry in self._regions:
+            entry.model.shift(rows=rows, columns=columns)  # type: ignore[attr-defined]
+            entry.range = entry.range.shifted(rows=rows, columns=columns)
+        if self._catch_all is not None:
+            self._catch_all.shift(rows=rows, columns=columns)
+
+    # ------------------------------------------------------------------ #
+    def storage_cost(self, costs: CostParameters) -> float:
+        total = sum(entry.model.storage_cost(costs) for entry in self._regions)
+        if self._catch_all is not None:
+            total += self._catch_all.storage_cost(costs)
+        return total
+
+    # ------------------------------------------------------------------ #
+    def _owning_region(self, row: int, column: int) -> HybridRegion | None:
+        for entry in self._regions:
+            if entry.range.contains(CellAddress(row, column)):
+                return entry
+        return None
+
+
+def _build_primitive(
+    sheet: Sheet, region: RangeRef, kind: ModelKind, mapping_scheme: str
+) -> DataModel:
+    if kind is ModelKind.ROM:
+        return RowOrientedModel.from_sheet(sheet, region, mapping_scheme=mapping_scheme)
+    if kind is ModelKind.COM:
+        return ColumnOrientedModel.from_sheet(sheet, region, mapping_scheme=mapping_scheme)
+    if kind is ModelKind.RCV:
+        return RowColumnValueModel.from_sheet(sheet, region, mapping_scheme=mapping_scheme)
+    raise ValueError(f"cannot build a {kind} region from a sheet without a linked table")

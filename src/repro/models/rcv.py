@@ -1,0 +1,204 @@
+"""Row-Column-Value Model (RCV): one tuple per filled cell.
+
+The key-value representation: RCV(RowID, ColID, Value).  Efficient for sparse
+sheets and single-cell access, but pays a per-cell tuple overhead that makes
+it expensive for dense data (Section IV-B).
+
+Row and column numbers are not stored directly — each filled cell references
+a stable *row identifier* and *column identifier*, and two positional
+mappings translate presentational positions to identifiers.  Row/column
+insert and delete therefore touch only the positional mappings, never the
+stored cells (no cascading updates).
+"""
+
+from __future__ import annotations
+
+from repro.grid.address import CellAddress
+from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.models.base import DataModel, ModelKind
+from repro.positional import PositionalMapping, create_mapping
+from repro.storage.costs import CostParameters
+
+
+class RowColumnValueModel(DataModel):
+    """RCV(RowID, ColID, Value) with positional row/column identifier mappings."""
+
+    kind = ModelKind.RCV
+
+    def __init__(
+        self,
+        top: int = 1,
+        left: int = 1,
+        *,
+        rows: int = 0,
+        columns: int = 0,
+        mapping_scheme: str = "hierarchical",
+    ) -> None:
+        self._top = top
+        self._left = left
+        self._cells: dict[tuple[int, int], Cell] = {}
+        self._row_ids: PositionalMapping = create_mapping(mapping_scheme)
+        self._column_ids: PositionalMapping = create_mapping(mapping_scheme)
+        self._next_row_id = 0
+        self._next_column_id = 0
+        self._row_extent = 0
+        self._column_extent = 0
+        self._ensure_rows(rows)
+        self._ensure_columns(columns)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sheet(
+        cls,
+        sheet: Sheet,
+        region: RangeRef | None = None,
+        *,
+        mapping_scheme: str = "hierarchical",
+    ) -> "RowColumnValueModel":
+        """Load the cells of ``sheet`` (optionally restricted to ``region``)."""
+        if region is None:
+            box = sheet.bounding_box()
+            region = box.to_range() if box is not None else RangeRef(1, 1, 1, 1)
+        model = cls(
+            top=region.top,
+            left=region.left,
+            rows=region.rows,
+            columns=region.columns,
+            mapping_scheme=mapping_scheme,
+        )
+        for address, cell in sheet.get_cells(region).items():
+            model.update_cell(address.row, address.column, cell)
+        return model
+
+    # ------------------------------------------------------------------ #
+    # identifier management
+    # ------------------------------------------------------------------ #
+    def _ensure_rows(self, count: int) -> None:
+        while len(self._row_ids) < count:
+            self._row_ids.append(self._next_row_id)
+            self._next_row_id += 1
+        self._row_extent = max(self._row_extent, count)
+
+    def _ensure_columns(self, count: int) -> None:
+        while len(self._column_ids) < count:
+            self._column_ids.append(self._next_column_id)
+            self._next_column_id += 1
+        self._column_extent = max(self._column_extent, count)
+
+    def _row_id(self, row: int) -> int:
+        relative = row - self._top + 1
+        self._ensure_rows(relative)
+        return self._row_ids.fetch(relative)
+
+    def _column_id(self, column: int) -> int:
+        relative = column - self._left + 1
+        self._ensure_columns(relative)
+        return self._column_ids.fetch(relative)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def region(self) -> RangeRef:
+        rows = max(len(self._row_ids), 1)
+        columns = max(len(self._column_ids), 1)
+        return RangeRef(self._top, self._left, self._top + rows - 1, self._left + columns - 1)
+
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
+        own = self.region()
+        overlap = own.intersection(region)
+        if overlap is None:
+            return {}
+        result: dict[CellAddress, Cell] = {}
+        if overlap.area <= len(self._cells):
+            # Probe each position of the requested rectangle.
+            for row in range(overlap.top, overlap.bottom + 1):
+                row_id = self._row_ids.fetch(row - self._top + 1)
+                for column in range(overlap.left, overlap.right + 1):
+                    column_id = self._column_ids.fetch(column - self._left + 1)
+                    cell = self._cells.get((row_id, column_id))
+                    if cell is not None:
+                        result[CellAddress(row, column)] = cell
+        else:
+            # Fewer stored cells than probe positions: invert the mapping once.
+            row_positions = {self._row_ids.fetch(p): p for p in
+                             range(overlap.top - self._top + 1, overlap.bottom - self._top + 2)}
+            column_positions = {self._column_ids.fetch(p): p for p in
+                                range(overlap.left - self._left + 1, overlap.right - self._left + 2)}
+            for (row_id, column_id), cell in self._cells.items():
+                row_position = row_positions.get(row_id)
+                column_position = column_positions.get(column_id)
+                if row_position is not None and column_position is not None:
+                    result[CellAddress(self._top + row_position - 1,
+                                       self._left + column_position - 1)] = cell
+        return result
+
+    def get_cell(self, row: int, column: int) -> Cell:
+        relative_row = row - self._top + 1
+        relative_column = column - self._left + 1
+        if (relative_row < 1 or relative_row > len(self._row_ids)
+                or relative_column < 1 or relative_column > len(self._column_ids)):
+            return Cell()
+        key = (self._row_ids.fetch(relative_row), self._column_ids.fetch(relative_column))
+        return self._cells.get(key, Cell())
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def update_cell(self, row: int, column: int, cell: Cell) -> None:
+        key = (self._row_id(row), self._column_id(column))
+        if cell.is_empty:
+            self._cells.pop(key, None)
+        else:
+            self._cells[key] = cell
+
+    def insert_row_after(self, row: int, count: int = 1) -> None:
+        relative = row - self._top + 1
+        if relative < 0:
+            self._top += count
+            return
+        position = min(max(relative, 0), len(self._row_ids))
+        for offset in range(count):
+            self._row_ids.insert_at(position + 1 + offset, self._next_row_id)
+            self._next_row_id += 1
+
+    def delete_row(self, row: int, count: int = 1) -> None:
+        relative = row - self._top + 1
+        removed_ids = set()
+        for _ in range(count):
+            removed_ids.add(self._row_ids.delete_at(relative))
+        self._cells = {
+            key: cell for key, cell in self._cells.items() if key[0] not in removed_ids
+        }
+
+    def insert_column_after(self, column: int, count: int = 1) -> None:
+        relative = column - self._left + 1
+        if relative < 0:
+            self._left += count
+            return
+        position = min(max(relative, 0), len(self._column_ids))
+        for offset in range(count):
+            self._column_ids.insert_at(position + 1 + offset, self._next_column_id)
+            self._next_column_id += 1
+
+    def delete_column(self, column: int, count: int = 1) -> None:
+        relative = column - self._left + 1
+        removed_ids = set()
+        for _ in range(count):
+            removed_ids.add(self._column_ids.delete_at(relative))
+        self._cells = {
+            key: cell for key, cell in self._cells.items() if key[1] not in removed_ids
+        }
+
+    def shift(self, rows: int = 0, columns: int = 0) -> None:
+        """Translate the whole region (used by the hybrid model)."""
+        self._top += rows
+        self._left += columns
+
+    # ------------------------------------------------------------------ #
+    def storage_cost(self, costs: CostParameters) -> float:
+        return costs.rcv_cost(len(self._cells))

@@ -1,0 +1,51 @@
+"""Positional mapping schemes (Section V).
+
+A positional mapping maintains the correspondence between presentational
+positions (spreadsheet row/column numbers) and stored tuple pointers, and
+must support: fetch by position, insert at a position, and delete at a
+position — without paying the cascading renumbering cost on every edit.
+
+Three schemes are provided, matching the paper's evaluation (Figure 18):
+
+* :class:`~repro.positional.as_is.PositionAsIsMapping` — store the position
+  explicitly and index it with a B+-tree.  Fetch is O(log N) but
+  insert/delete is O(N log N) because later positions must all be shifted.
+* :class:`~repro.positional.monotonic.MonotonicMapping` — store gapped,
+  monotonically increasing keys (after Raman et al.'s online reordering).
+  Insert/delete is cheap, but fetching the n-th item requires skipping n-1
+  keys, i.e. O(n).
+* :class:`~repro.positional.hierarchical.HierarchicalMapping` — the paper's
+  contribution: an order-statistic (counted) B+-tree mapping positions to
+  tuple pointers with O(log N) fetch, insert and delete.
+"""
+
+from repro.positional.base import PositionalMapping
+from repro.positional.as_is import PositionAsIsMapping
+from repro.positional.monotonic import MonotonicMapping
+from repro.positional.hierarchical import HierarchicalMapping
+
+__all__ = [
+    "PositionalMapping",
+    "PositionAsIsMapping",
+    "MonotonicMapping",
+    "HierarchicalMapping",
+    "create_mapping",
+]
+
+_SCHEMES = {
+    "as-is": PositionAsIsMapping,
+    "position-as-is": PositionAsIsMapping,
+    "monotonic": MonotonicMapping,
+    "hierarchical": HierarchicalMapping,
+}
+
+
+def create_mapping(scheme: str, **kwargs) -> PositionalMapping:
+    """Factory: build a positional mapping by scheme name."""
+    try:
+        factory = _SCHEMES[scheme.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown positional mapping scheme {scheme!r}; choose from {sorted(set(_SCHEMES))}"
+        ) from exc
+    return factory(**kwargs)

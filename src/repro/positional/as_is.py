@@ -1,0 +1,78 @@
+"""Position-as-is: the naive baseline of Section V.
+
+The position of each item is stored explicitly and indexed with a B+-tree, as
+a traditional database would.  Fetch is a point lookup (O(log N)); insert and
+delete must renumber every subsequent item, touching and re-indexing O(N)
+keys — the cascading-update problem the paper sets out to remove.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PositionError
+from repro.positional.base import PositionalMapping
+from repro.storage.btree import BPlusTree
+
+
+class PositionAsIsMapping(PositionalMapping):
+    """Explicit positions indexed by a B+-tree (the cascading baseline)."""
+
+    def __init__(self, order: int = 64) -> None:
+        self._index: BPlusTree[int, Any] = BPlusTree(order=order)
+        #: Number of key updates performed by insert/delete operations; the
+        #: benchmarks report this to make the cascading cost visible.
+        self.cascade_updates = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def fetch(self, position: int) -> Any:
+        self._check_position(position)
+        item = self._index.get(position)
+        if item is None and position not in self._index:
+            raise PositionError(f"position {position} is not mapped")
+        return item
+
+    def insert_at(self, position: int, item: Any) -> None:
+        size = len(self._index)
+        if position < 1 or position > size + 1:
+            raise PositionError(f"position {position} out of range for insert into {size} item(s)")
+        # Shift all subsequent positions up by one, from the end backwards so
+        # keys never collide.  Every shift is an index delete + insert: the
+        # cascading update.
+        for existing in range(size, position - 1, -1):
+            value = self._index.get(existing)
+            self._index.delete(existing)
+            self._index.insert(existing + 1, value)
+            self.cascade_updates += 1
+        self._index.insert(position, item)
+
+    def delete_at(self, position: int) -> Any:
+        self._check_position(position)
+        size = len(self._index)
+        item = self._index.get(position)
+        self._index.delete(position)
+        for existing in range(position + 1, size + 1):
+            value = self._index.get(existing)
+            self._index.delete(existing)
+            self._index.insert(existing - 1, value)
+            self.cascade_updates += 1
+        return item
+
+    def replace_at(self, position: int, item: Any) -> Any:
+        """In-place value replacement: a single index update, no cascading."""
+        self._check_position(position)
+        old = self._index.get(position)
+        self._index.insert(position, item)
+        return old
+
+    # ------------------------------------------------------------------ #
+    def fetch_range(self, start: int, end: int) -> list[Any]:
+        """Range fetch via an index range scan (cheaper than repeated point gets)."""
+        self._check_position(start)
+        self._check_position(end)
+        if end < start:
+            raise PositionError(f"inverted range [{start}, {end}]")
+        return [value for _, value in self._index.range_scan(start, end)]

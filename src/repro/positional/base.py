@@ -1,0 +1,89 @@
+"""The positional mapping interface.
+
+Formally (Section V) a positional mapping is a bijective function M mapping a
+1-based position r to a stored item p (a tuple pointer); it must support
+fetch, insert and delete by position, where insert/delete renumber all
+subsequent positions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Sequence
+
+from repro.errors import PositionError
+
+
+class PositionalMapping(ABC):
+    """Maintains an ordered sequence of items addressed by 1-based position."""
+
+    # ------------------------------------------------------------------ #
+    # required primitives
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of items currently mapped."""
+
+    @abstractmethod
+    def fetch(self, position: int) -> Any:
+        """Return the item at ``position`` (1-based)."""
+
+    @abstractmethod
+    def insert_at(self, position: int, item: Any) -> None:
+        """Insert ``item`` so that it occupies ``position``.
+
+        Items previously at ``position`` and beyond shift one position down
+        (their positions increase by one).  ``position`` may equal
+        ``len(self) + 1`` to append.
+        """
+
+    @abstractmethod
+    def delete_at(self, position: int) -> Any:
+        """Remove and return the item at ``position``; later items shift up."""
+
+    # ------------------------------------------------------------------ #
+    # derived operations
+    # ------------------------------------------------------------------ #
+    def replace_at(self, position: int, item: Any) -> Any:
+        """Replace the item at ``position`` without renumbering; returns the old item.
+
+        The default implementation is delete-then-insert; concrete schemes
+        override it with an O(log N) (or O(1)) in-place update.
+        """
+        old = self.delete_at(position)
+        self.insert_at(position, item)
+        return old
+
+    def append(self, item: Any) -> None:
+        """Insert ``item`` after the current last position."""
+        self.insert_at(len(self) + 1, item)
+
+    def extend(self, items: Sequence[Any]) -> None:
+        """Append many items in order."""
+        for item in items:
+            self.append(item)
+
+    def fetch_range(self, start: int, end: int) -> list[Any]:
+        """Items at positions ``start..end`` inclusive (the scrolling primitive)."""
+        self._check_position(start)
+        self._check_position(end)
+        if end < start:
+            raise PositionError(f"inverted range [{start}, {end}]")
+        return [self.fetch(position) for position in range(start, end + 1)]
+
+    def items(self) -> Iterator[Any]:
+        """Iterate all items in position order."""
+        for position in range(1, len(self) + 1):
+            yield self.fetch(position)
+
+    def to_list(self) -> list[Any]:
+        """Materialise all items in position order."""
+        return list(self.items())
+
+    # ------------------------------------------------------------------ #
+    def _check_position(self, position: int, *, allow_append: bool = False) -> None:
+        upper = len(self) + (1 if allow_append else 0)
+        if position < 1 or position > max(upper, 0):
+            raise PositionError(
+                f"position {position} out of range for a mapping of {len(self)} item(s)"
+            )

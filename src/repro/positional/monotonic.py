@@ -1,0 +1,126 @@
+"""Monotonic gapped-key positional mapping (the Raman et al. baseline).
+
+Items carry monotonically increasing keys with gaps; sorting the keys
+recovers the presentational order.  Inserting between two items picks a key
+inside the gap (renumbering locally only when a gap is exhausted), so updates
+are cheap — but fetching the n-th item requires skipping the n-1 preceding
+keys, which is O(n) and is what makes this scheme non-interactive when
+scrolling deep into a large sheet (Figure 18a).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PositionError
+from repro.positional.base import PositionalMapping
+
+#: Default spacing between consecutive keys when (re)numbering.
+DEFAULT_GAP = 1 << 20
+
+
+class MonotonicMapping(PositionalMapping):
+    """Gapped monotonically increasing keys; O(1)-ish updates, O(n) fetch."""
+
+    def __init__(self, gap: int = DEFAULT_GAP) -> None:
+        if gap < 2:
+            raise ValueError("gap must be >= 2")
+        self._gap = gap
+        self._keys: list[int] = []
+        self._items: dict[int, Any] = {}
+        #: Number of full renumbering passes triggered by exhausted gaps.
+        self.renumber_count = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def fetch(self, position: int) -> Any:
+        """Fetch by position by scanning past the preceding keys (O(n)).
+
+        The linear skip mirrors how a database ordering tuples by a gapped
+        key at query time must discard ``position - 1`` tuples to reach the
+        requested one.
+        """
+        self._check_position(position)
+        skipped = 0
+        for key in self._keys:
+            skipped += 1
+            if skipped == position:
+                return self._items[key]
+        raise PositionError(f"position {position} is not mapped")  # pragma: no cover
+
+    def insert_at(self, position: int, item: Any) -> None:
+        size = len(self._keys)
+        if position < 1 or position > size + 1:
+            raise PositionError(f"position {position} out of range for insert into {size} item(s)")
+        key = self._key_for_insert(position)
+        if key is None:
+            self._renumber()
+            key = self._key_for_insert(position)
+            if key is None:  # pragma: no cover - only when gap < 2, excluded by ctor
+                raise PositionError("could not allocate a key even after renumbering")
+        self._keys.insert(position - 1, key)
+        self._items[key] = item
+
+    def delete_at(self, position: int) -> Any:
+        self._check_position(position)
+        key = self._keys.pop(position - 1)
+        return self._items.pop(key)
+
+    def replace_at(self, position: int, item: Any) -> Any:
+        """In-place value replacement keyed by the existing gapped key."""
+        self._check_position(position)
+        key = self._keys[position - 1]
+        old = self._items[key]
+        self._items[key] = item
+        return old
+
+    # ------------------------------------------------------------------ #
+    def fetch_range(self, start: int, end: int) -> list[Any]:
+        """Range fetch: one linear skip to ``start`` and then sequential reads."""
+        self._check_position(start)
+        self._check_position(end)
+        if end < start:
+            raise PositionError(f"inverted range [{start}, {end}]")
+        result: list[Any] = []
+        skipped = 0
+        for key in self._keys:
+            skipped += 1
+            if skipped < start:
+                continue
+            if skipped > end:
+                break
+            result.append(self._items[key])
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _key_for_insert(self, position: int) -> int | None:
+        """Pick a key strictly between the neighbours of ``position``."""
+        if not self._keys:
+            return self._gap
+        if position == 1:
+            low, high = None, self._keys[0]
+        elif position == len(self._keys) + 1:
+            low, high = self._keys[-1], None
+        else:
+            low, high = self._keys[position - 2], self._keys[position - 1]
+        if high is None:
+            return (low or 0) + self._gap
+        if low is None:
+            candidate = high - self._gap
+            if candidate >= high:
+                return None
+            return candidate if candidate > -(1 << 62) else high - 1
+        if high - low <= 1:
+            return None
+        return (low + high) // 2
+
+    def _renumber(self) -> None:
+        """Reassign evenly gapped keys to every item (rare, amortised)."""
+        self.renumber_count += 1
+        new_keys = [(index + 1) * self._gap for index in range(len(self._keys))]
+        self._items = {
+            new_key: self._items[old_key] for new_key, old_key in zip(new_keys, self._keys)
+        }
+        self._keys = new_keys

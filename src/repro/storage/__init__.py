@@ -1,0 +1,41 @@
+"""Pure-Python relational row-store substrate.
+
+The paper builds on PostgreSQL 9.6.  Because this reproduction cannot ship a
+real PostgreSQL instance, this package provides a small row-store with the
+pieces the storage-engine evaluation actually depends on:
+
+* per-table, per-tuple, per-column and per-cell storage overheads
+  parameterised by the cost constants the paper measures
+  (:mod:`repro.storage.costs`);
+* heap files of slotted pages holding records addressed by stable tuple
+  pointers (:mod:`repro.storage.heap`, :mod:`repro.storage.page`);
+* a B+-tree index usable both as a key index and as the basis of the
+  position-as-is baseline (:mod:`repro.storage.btree`);
+* a catalog and a :class:`~repro.storage.database.Database` facade.
+"""
+
+from repro.storage.costs import CostParameters, POSTGRES_COSTS, IDEAL_COSTS
+from repro.storage.tuples import Record, TuplePointer, record_payload_size
+from repro.storage.page import Page, PAGE_SIZE_BYTES
+from repro.storage.heap import HeapFile
+from repro.storage.btree import BPlusTree
+from repro.storage.catalog import Catalog, ColumnDef, TableSchema
+from repro.storage.database import Database, Table
+
+__all__ = [
+    "CostParameters",
+    "POSTGRES_COSTS",
+    "IDEAL_COSTS",
+    "Record",
+    "TuplePointer",
+    "record_payload_size",
+    "Page",
+    "PAGE_SIZE_BYTES",
+    "HeapFile",
+    "BPlusTree",
+    "Catalog",
+    "ColumnDef",
+    "TableSchema",
+    "Database",
+    "Table",
+]

@@ -1,0 +1,107 @@
+"""Storage cost parameters (Equation 1 and Section VII-A/B).
+
+The hybrid data model cost of a decomposition ``T = {T1..Tp}`` is
+
+    cost(T) = sum_i  s1 + s2 * (r_i * c_i) + s3 * c_i + s4 * r_i
+
+with ``s5`` the per-tuple cost of an RCV row (Appendix A-C1).  The paper
+measures the following values on PostgreSQL 9.6:
+
+    s1 = 8 KB (new table), s2 = 1 bit (per cell), s3 = 40 B (per column),
+    s4 = 50 B (per row/tuple), s5 = 52 B (per RCV tuple)
+
+and additionally studies a theoretical *ideal* storage engine where a
+ROM/COM table costs ``cells + rows + columns`` units and an RCV tuple costs
+3 units (Figure 13(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class CostParameters:
+    """The storage cost constants of Equation 1 (all in abstract byte units)."""
+
+    table_cost: float       # s1: fixed cost of instantiating a table
+    cell_cost: float        # s2: cost of each (empty or filled) cell slot in ROM/COM
+    column_cost: float      # s3: per-column schema cost
+    row_cost: float         # s4: per-row (tuple) cost
+    rcv_tuple_cost: float   # s5: per-tuple cost of an RCV row
+    name: str = "custom"
+
+    # ------------------------------------------------------------------ #
+    def rom_cost(self, rows: int, columns: int) -> float:
+        """Cost of one ROM table with ``rows`` x ``columns`` cells (Eq. 2)."""
+        if rows <= 0 or columns <= 0:
+            return 0.0
+        return (
+            self.table_cost
+            + self.cell_cost * rows * columns
+            + self.column_cost * columns
+            + self.row_cost * rows
+        )
+
+    def com_cost(self, rows: int, columns: int) -> float:
+        """Cost of one COM table: the transpose of :meth:`rom_cost`."""
+        if rows <= 0 or columns <= 0:
+            return 0.0
+        return (
+            self.table_cost
+            + self.cell_cost * rows * columns
+            + self.column_cost * rows
+            + self.row_cost * columns
+        )
+
+    def rcv_cost(self, filled_cells: int, *, include_table: bool = True) -> float:
+        """Cost of storing ``filled_cells`` cells in the (single) RCV table."""
+        if filled_cells <= 0:
+            return 0.0
+        base = self.table_cost if include_table else 0.0
+        return base + self.rcv_tuple_cost * filled_cells
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **overrides: float) -> "CostParameters":
+        """A copy of these parameters with selected constants replaced."""
+        return replace(self, **overrides)   # type: ignore[arg-type]
+
+
+#: Constants measured on PostgreSQL 9.6 (Section VII-B a.): s1=8 KB, s2=1 bit,
+#: s3=40 B, s4=50 B, s5=52 B.  Expressed in bytes (1 bit = 0.125 bytes).
+POSTGRES_COSTS = CostParameters(
+    table_cost=8 * 1024,
+    cell_cost=0.125,
+    column_cost=40.0,
+    row_cost=50.0,
+    rcv_tuple_cost=52.0,
+    name="postgresql",
+)
+
+#: The "ideal database" cost model of Figure 13(b): a ROM/COM table costs
+#: ``cells + rows + columns`` units; an RCV tuple costs 3 units; no table
+#: instantiation overhead.
+IDEAL_COSTS = CostParameters(
+    table_cost=0.0,
+    cell_cost=1.0,
+    column_cost=1.0,
+    row_cost=1.0,
+    rcv_tuple_cost=3.0,
+    name="ideal",
+)
+
+
+def hardness_reduction_costs(filled_cells: int) -> CostParameters:
+    """The constants used in the NP-hardness reduction (Appendix A-A).
+
+    ``s1=0, s2=2|C|+1, s3=s4=1`` — only useful for testing the reduction's
+    algebra, not for storage planning.
+    """
+    return CostParameters(
+        table_cost=0.0,
+        cell_cost=2 * filled_cells + 1,
+        column_cost=1.0,
+        row_cost=1.0,
+        rcv_tuple_cost=float("inf"),
+        name="hardness-reduction",
+    )

@@ -1,0 +1,95 @@
+"""Heap files: an unordered collection of pages with stable tuple pointers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.page import PAGE_SIZE_BYTES, Page
+from repro.storage.tuples import Record, TuplePointer
+
+
+class HeapFile:
+    """An append-friendly heap of slotted pages.
+
+    Records are addressed by :class:`TuplePointer`; pointers remain valid for
+    the lifetime of the record regardless of other inserts and deletes, which
+    is the property positional mappings rely on.
+    """
+
+    def __init__(self, page_capacity_bytes: int = PAGE_SIZE_BYTES) -> None:
+        self._page_capacity = page_capacity_bytes
+        self._pages: list[Page] = []
+        self._live_records = 0
+        self._insert_count = 0
+        self._read_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        """Number of live records."""
+        return self._live_records
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Operation counters (used by access-cost accounting in benches)."""
+        return {"inserts": self._insert_count, "reads": self._read_count, "pages": len(self._pages)}
+
+    # ------------------------------------------------------------------ #
+    def insert(self, record: Record) -> TuplePointer:
+        """Insert ``record``, allocating a new page when the last one is full."""
+        if not self._pages or not self._pages[-1].has_room_for(record):
+            self._pages.append(Page(page_id=len(self._pages), capacity_bytes=self._page_capacity))
+        page = self._pages[-1]
+        if not page.has_room_for(record):
+            raise StorageError("record larger than a page")
+        slot_id = page.insert(record)
+        self._live_records += 1
+        self._insert_count += 1
+        return TuplePointer(page_id=page.page_id, slot_id=slot_id)
+
+    def read(self, pointer: TuplePointer) -> Record:
+        """Fetch the record at ``pointer``."""
+        self._read_count += 1
+        return self._page(pointer).read(pointer.slot_id)
+
+    def update(self, pointer: TuplePointer, record: Record) -> TuplePointer:
+        """Update in place when possible; otherwise relocate and return the new pointer."""
+        page = self._page(pointer)
+        try:
+            page.update(pointer.slot_id, record)
+            return pointer
+        except StorageError:
+            page.delete(pointer.slot_id)
+            self._live_records -= 1
+            return self.insert(record)
+
+    def delete(self, pointer: TuplePointer) -> None:
+        """Delete the record at ``pointer``."""
+        self._page(pointer).delete(pointer.slot_id)
+        self._live_records -= 1
+
+    def scan(self) -> Iterator[tuple[TuplePointer, Record]]:
+        """Iterate all live records in physical order."""
+        for page in self._pages:
+            for slot_id, record in page.records():
+                yield TuplePointer(page_id=page.page_id, slot_id=slot_id), record
+
+    # ------------------------------------------------------------------ #
+    def used_bytes(self) -> int:
+        """Total bytes consumed by allocated pages (full pages, like a real heap)."""
+        return len(self._pages) * self._page_capacity
+
+    def live_bytes(self) -> int:
+        """Bytes consumed by live records and page headers only."""
+        return sum(page.used_bytes for page in self._pages)
+
+    def _page(self, pointer: TuplePointer) -> Page:
+        if pointer.page_id < 0 or pointer.page_id >= len(self._pages):
+            raise StorageError(f"page {pointer.page_id} does not exist")
+        return self._pages[pointer.page_id]

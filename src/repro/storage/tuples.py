@@ -1,0 +1,48 @@
+"""Records and tuple pointers for the row-store substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+#: A record is an immutable sequence of column values.
+Record = tuple
+
+#: Fixed per-tuple header overhead, mirroring PostgreSQL's ~23-byte header
+#: plus alignment; used only for size accounting.
+TUPLE_HEADER_BYTES = 24
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TuplePointer:
+    """A stable physical address of a record: (page id, slot id).
+
+    Tuple pointers are what positional mappings store — they survive row
+    renumbering on the spreadsheet because they identify the physical tuple,
+    not its presentational position.
+    """
+
+    page_id: int
+    slot_id: int
+
+
+def value_size(value: Any) -> int:
+    """Approximate on-disk size in bytes of one column value."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8")) + 1
+    if isinstance(value, bytes):
+        return len(value) + 1
+    return len(repr(value)) + 1
+
+
+def record_payload_size(record: Sequence[Any]) -> int:
+    """Approximate on-disk size of a record, including the tuple header."""
+    return TUPLE_HEADER_BYTES + sum(value_size(value) for value in record)

@@ -1,0 +1,108 @@
+"""Generative model of user update operations (Appendix C-A2).
+
+In the absence of real operation traces the paper drives the incremental-
+maintenance experiment with a generative model: change an existing cell with
+probability 0.6, add a new cell at an arbitrary location with 0.2, add a new
+row with 0.1999 and a new column with 0.0001.  :func:`generate_update_trace`
+reproduces that model, and :func:`apply_operation` applies one operation to a
+:class:`~repro.grid.sheet.Sheet`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.grid.sheet import Sheet
+
+
+class OperationKind(str, Enum):
+    """The four operation types of the generative model."""
+
+    CHANGE_CELL = "change_cell"
+    ADD_CELL = "add_cell"
+    ADD_ROW = "add_row"
+    ADD_COLUMN = "add_column"
+
+
+#: The paper's operation mix.
+DEFAULT_PROBABILITIES: dict[OperationKind, float] = {
+    OperationKind.CHANGE_CELL: 0.6,
+    OperationKind.ADD_CELL: 0.2,
+    OperationKind.ADD_ROW: 0.1999,
+    OperationKind.ADD_COLUMN: 0.0001,
+}
+
+
+@dataclass(frozen=True)
+class UpdateOperation:
+    """One concrete update: its kind, target coordinates, and payload."""
+
+    kind: OperationKind
+    row: int
+    column: int
+    value: object = None
+
+
+def generate_update_trace(
+    sheet: Sheet,
+    count: int,
+    *,
+    probabilities: dict[OperationKind, float] | None = None,
+    seed: int = 99,
+) -> list[UpdateOperation]:
+    """Generate ``count`` operations against the current extent of ``sheet``.
+
+    The trace is generated against a snapshot of the sheet's bounding box;
+    coordinates remain valid as operations are applied in order because rows
+    and columns only ever grow.
+    """
+    rng = random.Random(seed)
+    weights = probabilities or DEFAULT_PROBABILITIES
+    kinds = list(weights)
+    cumulative_weights = [weights[kind] for kind in kinds]
+    box = sheet.bounding_box()
+    max_row = box.bottom if box is not None else 50
+    max_column = box.right if box is not None else 20
+    filled = sorted(sheet.coordinates())
+
+    operations: list[UpdateOperation] = []
+    for _ in range(count):
+        kind = rng.choices(kinds, weights=cumulative_weights)[0]
+        if kind is OperationKind.CHANGE_CELL and filled:
+            row, column = filled[rng.randrange(len(filled))]
+            operations.append(UpdateOperation(kind, row, column, round(rng.uniform(0, 1_000), 2)))
+        elif kind is OperationKind.ADD_CELL or (kind is OperationKind.CHANGE_CELL and not filled):
+            row = rng.randint(1, max_row + 5)
+            column = rng.randint(1, max_column + 3)
+            operations.append(
+                UpdateOperation(OperationKind.ADD_CELL, row, column, round(rng.uniform(0, 1_000), 2))
+            )
+            filled.append((row, column))
+        elif kind is OperationKind.ADD_ROW:
+            row = rng.randint(1, max_row)
+            operations.append(UpdateOperation(kind, row, 0))
+            max_row += 1
+        else:
+            column = rng.randint(1, max_column)
+            operations.append(UpdateOperation(OperationKind.ADD_COLUMN, 0, column))
+            max_column += 1
+    return operations
+
+
+def apply_operation(sheet: Sheet, operation: UpdateOperation) -> None:
+    """Apply one operation to an in-memory sheet."""
+    if operation.kind in (OperationKind.CHANGE_CELL, OperationKind.ADD_CELL):
+        sheet.set_value(operation.row, operation.column, operation.value)
+    elif operation.kind is OperationKind.ADD_ROW:
+        sheet.insert_row_after(operation.row)
+    else:
+        sheet.insert_column_after(operation.column)
+
+
+def apply_trace(sheet: Sheet, operations: list[UpdateOperation]) -> Sheet:
+    """Apply a whole trace, returning the (mutated) sheet for chaining."""
+    for operation in operations:
+        apply_operation(sheet, operation)
+    return sheet

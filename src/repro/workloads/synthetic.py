@@ -1,0 +1,100 @@
+"""Large synthetic spreadsheets (Section VII-B e. and Appendix C-B1).
+
+The paper builds synthetic sheets by scattering dense rectangular regions
+over an empty sheet and adding formulae that read rectangular ranges of those
+regions; density is the fraction of filled cells inside the overall bounding
+rectangle.  These generators produce the same shape at configurable scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+
+
+@dataclass(frozen=True)
+class SyntheticSheetSpec:
+    """Parameters of a synthetic sheet (paper defaults in parentheses)."""
+
+    total_rows: int = 2_000            # paper: up to 10^7
+    total_columns: int = 100           # paper: 100
+    table_count: int = 20              # paper: twenty dense regions
+    density: float = 0.5               # fraction of the bounding box that is filled
+    formula_count: int = 100           # paper: 100 random range formulae
+    seed: int = 7
+
+
+@dataclass
+class SyntheticSheet:
+    """A generated synthetic sheet plus its table regions and formula cells."""
+
+    sheet: Sheet
+    spec: SyntheticSheetSpec
+    tables: list[RangeRef] = field(default_factory=list)
+    formula_cells: list[CellAddress] = field(default_factory=list)
+
+
+def generate_synthetic_sheet(spec: SyntheticSheetSpec = SyntheticSheetSpec()) -> SyntheticSheet:
+    """Generate a sheet with ``table_count`` dense regions hitting ``density``.
+
+    The dense regions are laid out in vertical bands so they never overlap;
+    their total area is chosen so that filled cells / bounding-box area is
+    approximately ``spec.density``.
+    """
+    rng = random.Random(spec.seed)
+    sheet = Sheet(name=f"synthetic-d{spec.density:.2f}")
+    result = SyntheticSheet(sheet=sheet, spec=spec)
+
+    target_filled = int(spec.total_rows * spec.total_columns * spec.density)
+    per_table = max(target_filled // max(spec.table_count, 1), 1)
+    band_height = spec.total_rows // max(spec.table_count, 1)
+
+    for index in range(spec.table_count):
+        band_top = index * band_height + 1
+        columns = rng.randint(max(spec.total_columns // 4, 1), spec.total_columns)
+        rows = max(min(per_table // columns, band_height), 1)
+        top = band_top + rng.randint(0, max(band_height - rows, 0))
+        left = rng.randint(1, max(spec.total_columns - columns + 1, 1))
+        region = RangeRef(top, left, top + rows - 1, left + columns - 1)
+        _fill_dense(sheet, rng, region)
+        result.tables.append(region)
+
+    # Pin the bounding box to the requested extent so density is exact-ish.
+    sheet.set_value(spec.total_rows, spec.total_columns, "corner")
+
+    for _ in range(spec.formula_count):
+        table = rng.choice(result.tables)
+        top = rng.randint(table.top, table.bottom)
+        bottom = rng.randint(top, table.bottom)
+        left = rng.randint(table.left, table.right)
+        right = rng.randint(left, table.right)
+        reference = RangeRef(top, left, bottom, right).to_a1()
+        function = rng.choice(("SUM", "AVERAGE", "COUNT"))
+        formula_row = rng.randint(1, spec.total_rows)
+        formula_column = spec.total_columns + rng.randint(1, 5)
+        sheet.set_formula(formula_row, formula_column, f"{function}({reference})")
+        result.formula_cells.append(CellAddress(formula_row, formula_column))
+    return result
+
+
+def generate_dense_sheet(
+    rows: int, columns: int, *, density: float = 1.0, seed: int = 11, top: int = 1, left: int = 1
+) -> Sheet:
+    """A single dense block of numeric values (used by the update benchmarks)."""
+    rng = random.Random(seed)
+    sheet = Sheet(name=f"dense-{rows}x{columns}")
+    for row in range(top, top + rows):
+        for column in range(left, left + columns):
+            if density >= 1.0 or rng.random() < density:
+                sheet.set_value(row, column, (row * 31 + column) % 1_000)
+    return sheet
+
+
+def _fill_dense(sheet: Sheet, rng: random.Random, region: RangeRef) -> None:
+    for row in range(region.top, region.bottom + 1):
+        for column in range(region.left, region.right + 1):
+            sheet.set_value(row, column, round(rng.uniform(0, 10_000), 2))

@@ -1,0 +1,170 @@
+"""End-to-end tests of the experiment harness (every table/figure runner).
+
+Each runner is executed at a tiny scale and its output is checked both for
+structure and — where the paper makes a directional claim — for the expected
+qualitative shape.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, format_result, run_experiment
+from repro.experiments.__main__ import main as experiments_main
+
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+TINY = {"scale": 0.1}
+
+
+class TestRegistry:
+    def test_all_expected_ids_registered(self):
+        expected = {
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig13a", "fig13b", "fig14", "fig15a", "fig15b", "fig17", "fig18",
+            "fig22", "fig23", "fig24", "fig25", "fig26a", "fig26b",
+            "usecase-genomics", "usecase-retail",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_cli_lists_and_runs(self, capsys):
+        assert experiments_main([]) == 0
+        assert "table1" in capsys.readouterr().out
+        assert experiments_main(["fig6"]) == 0
+        assert "survey" in capsys.readouterr().out.lower()
+        assert experiments_main(["nope"]) == 2
+
+
+class TestStudyExperiments:
+    def test_table1_rows_and_columns(self):
+        result = run_experiment("table1", scale=0.15)
+        assert len(result.rows) == 4
+        assert {"dataset", "sheets", "formulae_coverage_pct"} <= set(result.columns)
+        academic = next(row for row in result.rows if row["dataset"] == "academic")
+        internet = next(row for row in result.rows if row["dataset"] == "internet")
+        # Academic sheets are sparser and more formula-heavy than Internet sheets.
+        assert academic["sheets_density_lt_0.5_pct"] >= internet["sheets_density_lt_0.5_pct"]
+        assert academic["formulae_coverage_pct"] >= internet["formulae_coverage_pct"]
+
+    @pytest.mark.parametrize("experiment_id", ["fig2", "fig3", "fig4", "fig5"])
+    def test_histogram_experiments_run(self, experiment_id):
+        result = run_experiment(experiment_id, scale=0.1)
+        assert result.rows
+        assert format_result(result)
+
+    def test_fig6_matches_survey_size(self):
+        result = run_experiment("fig6")
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert sum(row[f"answered_{answer}"] for answer in range(1, 6)) == 30
+
+
+class TestStorageExperiments:
+    def test_fig13a_hybrid_not_worse_than_primitives(self):
+        result = run_experiment("fig13a", scale=0.12)
+        for row in result.rows:
+            if row["dp"] is None:
+                continue
+            best_primitive = min(value for value in (row["rom"], row["com"], row["rcv"]) if value is not None)
+            assert row["dp"] <= best_primitive + 1e-6
+            assert row["agg"] <= best_primitive + 1.0
+            assert row["opt"] <= row["dp"] + 1.0
+
+    def test_fig13b_hybrid_wins_clearly_on_ideal_costs(self):
+        result = run_experiment("fig13b", scale=0.12)
+        for row in result.rows:
+            if row["dp"] is None:
+                continue
+            best_primitive = min(row["rom"], row["com"], row["rcv"])
+            assert row["dp"] <= best_primitive + 1e-6
+
+    def test_fig14_counts_sheets(self):
+        result = run_experiment("fig14", scale=0.12)
+        assert len(result.rows) == 4
+
+    def test_fig15a_ordering(self):
+        result = run_experiment("fig15a", scale=0.1)
+        for row in result.rows:
+            if row["dp_ms"] is None:
+                continue
+            assert row["greedy_ms"] <= row["agg_ms"] + 1e-6
+            assert row["agg_ms"] <= row["dp_ms"] + 1e-6
+
+    def test_fig15b_runs(self):
+        result = run_experiment("fig15b", scale=0.15)
+        assert len(result.rows) == 4
+
+    def test_fig17_storage_shape(self):
+        result = run_experiment("fig17", scale=0.25)
+        for row in result.rows:
+            assert row["agg_storage"] <= row["rom_storage"] + 1e-6
+            assert row["agg_storage"] <= row["rcv_storage"] + 1e-6
+
+    def test_fig25_normalisation(self):
+        result = run_experiment("fig25")
+        for row in result.rows:
+            values = [value for key, value in row.items() if key != "sheet"]
+            assert max(values) == pytest.approx(100.0)
+            assert row["dp"] <= min(row["rom"], row["com"], row["rcv"]) + 1e-6
+
+
+class TestPositionalExperiments:
+    def test_table2_shape(self):
+        result = run_experiment("table2", scale=0.1)
+        insert_row = next(row for row in result.rows if "Insert" in row["operation"])
+        fetch_row = next(row for row in result.rows if "Fetch" in row["operation"])
+        assert insert_row["rcv_ms"] > insert_row["rom_ms"]
+        assert fetch_row["rcv_ms"] < insert_row["rcv_ms"]
+
+    def test_fig18_shape(self):
+        result = run_experiment("fig18", scale=0.1, operations=20)
+        smallest, largest = result.rows[0], result.rows[-1]
+        # Cascading insert cost grows with size for as-is; hierarchical stays flat.
+        assert largest["asis_insert_ms"] > smallest["asis_insert_ms"]
+        assert largest["hierarchical_insert_ms"] < largest["asis_insert_ms"]
+        assert largest["hierarchical_fetch_ms"] < largest["monotonic_fetch_ms"]
+
+    @pytest.mark.parametrize("experiment_id", ["fig22", "fig23", "fig24"])
+    def test_rom_rcv_sweeps_run(self, experiment_id):
+        result = run_experiment(experiment_id, scale=0.1)
+        assert {row["sweep"] for row in result.rows} == {"density", "columns", "rows"}
+        for row in result.rows:
+            assert row["rom_ms"] >= 0 and row["rcv_ms"] >= 0
+
+    def test_fig24_select_rom_scales_with_columns_not_rows(self):
+        result = run_experiment("fig24", scale=0.15)
+        row_sweep = [row for row in result.rows if row["sweep"] == "rows"]
+        # Selecting a fixed-size window should not blow up as total rows grow.
+        assert row_sweep[-1]["rom_ms"] < 50 * max(row_sweep[0]["rom_ms"], 0.1)
+
+
+class TestIncrementalExperiments:
+    def test_fig26a_eta_tradeoff(self):
+        result = run_experiment("fig26a", scale=0.3)
+        first, last = result.rows[0], result.rows[-1]
+        assert first["migration_cells"] >= last["migration_cells"]
+        assert first["storage_cost"] <= last["storage_cost"] + 1e-6
+
+    def test_fig26b_actual_never_below_optimal(self):
+        result = run_experiment("fig26b", scale=0.3, batches=4)
+        for row in result.rows:
+            assert row["actual_storage"] >= row["optimal_storage"] - 1e-6
+
+
+class TestUseCases:
+    def test_genomics_scroll_is_interactive(self):
+        result = run_experiment("usecase-genomics", scale=0.05)
+        row = result.rows[0]
+        assert row["cells"] > 0
+        for key in ("scroll_top_ms", "scroll_middle_ms", "scroll_bottom_ms"):
+            assert row[key] < 500
+
+    def test_retail_functionality(self):
+        result = run_experiment("usecase-retail")
+        row = result.rows[0]
+        assert row["writeback_ok"] is True
+        assert row["summary_rows"] >= 1
+        assert isinstance(row["top_supplier"], str)

@@ -1,0 +1,178 @@
+"""Tests for the positional mapping schemes (Section V)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PositionError
+from repro.positional import (
+    HierarchicalMapping,
+    MonotonicMapping,
+    PositionAsIsMapping,
+    create_mapping,
+)
+
+ALL_SCHEMES = [PositionAsIsMapping, MonotonicMapping, HierarchicalMapping]
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=lambda cls: cls.__name__)
+def mapping(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_append_and_fetch(self, mapping):
+        mapping.extend(["a", "b", "c"])
+        assert len(mapping) == 3
+        assert mapping.fetch(1) == "a"
+        assert mapping.fetch(3) == "c"
+
+    def test_insert_shifts_positions(self, mapping):
+        mapping.extend(["a", "b", "c"])
+        mapping.insert_at(2, "X")
+        assert mapping.to_list() == ["a", "X", "b", "c"]
+
+    def test_insert_at_front_and_back(self, mapping):
+        mapping.extend(["m"])
+        mapping.insert_at(1, "front")
+        mapping.insert_at(3, "back")
+        assert mapping.to_list() == ["front", "m", "back"]
+
+    def test_delete_shifts_positions(self, mapping):
+        mapping.extend(["a", "b", "c", "d"])
+        assert mapping.delete_at(2) == "b"
+        assert mapping.to_list() == ["a", "c", "d"]
+
+    def test_replace_at(self, mapping):
+        mapping.extend(["a", "b", "c"])
+        assert mapping.replace_at(2, "B") == "b"
+        assert mapping.to_list() == ["a", "B", "c"]
+        assert len(mapping) == 3
+
+    def test_fetch_range(self, mapping):
+        mapping.extend(list(range(20)))
+        assert mapping.fetch_range(5, 8) == [4, 5, 6, 7]
+
+    def test_out_of_range_errors(self, mapping):
+        mapping.extend(["a"])
+        with pytest.raises(PositionError):
+            mapping.fetch(2)
+        with pytest.raises(PositionError):
+            mapping.fetch(0)
+        with pytest.raises(PositionError):
+            mapping.insert_at(3, "x")
+        with pytest.raises(PositionError):
+            mapping.delete_at(2)
+        with pytest.raises(PositionError):
+            mapping.fetch_range(1, 0) if len(mapping) else None
+
+    def test_empty_mapping(self, mapping):
+        assert len(mapping) == 0
+        assert mapping.to_list() == []
+
+    def test_randomised_against_list_model(self, mapping):
+        rng = random.Random(1234)
+        reference = []
+        for step in range(400):
+            action = rng.random()
+            if action < 0.5 or not reference:
+                position = rng.randint(1, len(reference) + 1)
+                mapping.insert_at(position, step)
+                reference.insert(position - 1, step)
+            elif action < 0.8:
+                position = rng.randint(1, len(reference))
+                assert mapping.fetch(position) == reference[position - 1]
+            else:
+                position = rng.randint(1, len(reference))
+                assert mapping.delete_at(position) == reference.pop(position - 1)
+        assert mapping.to_list() == reference
+
+
+class TestFactory:
+    def test_create_by_name(self):
+        assert isinstance(create_mapping("hierarchical"), HierarchicalMapping)
+        assert isinstance(create_mapping("as-is"), PositionAsIsMapping)
+        assert isinstance(create_mapping("position-as-is"), PositionAsIsMapping)
+        assert isinstance(create_mapping("monotonic"), MonotonicMapping)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            create_mapping("btree")
+
+
+class TestPositionAsIs:
+    def test_cascade_counter_grows_with_size(self):
+        mapping = PositionAsIsMapping()
+        mapping.extend(range(100))
+        mapping.insert_at(1, "x")
+        assert mapping.cascade_updates == 100
+
+    def test_append_does_not_cascade(self):
+        mapping = PositionAsIsMapping()
+        mapping.extend(range(100))
+        assert mapping.cascade_updates == 0
+
+
+class TestMonotonic:
+    def test_gap_exhaustion_triggers_renumber(self):
+        mapping = MonotonicMapping(gap=2)
+        mapping.extend(["a", "z"])
+        for index in range(10):
+            mapping.insert_at(2, index)
+        assert mapping.renumber_count >= 1
+        assert mapping.fetch(1) == "a"
+        assert mapping.fetch(len(mapping)) == "z"
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            MonotonicMapping(gap=1)
+
+
+class TestHierarchical:
+    def test_invariants_after_many_operations(self):
+        mapping = HierarchicalMapping(fanout=4)
+        rng = random.Random(7)
+        reference = []
+        for step in range(600):
+            if rng.random() < 0.6 or not reference:
+                position = rng.randint(1, len(reference) + 1)
+                mapping.insert_at(position, step)
+                reference.insert(position - 1, step)
+            else:
+                position = rng.randint(1, len(reference))
+                assert mapping.delete_at(position) == reference.pop(position - 1)
+            if step % 50 == 0:
+                mapping.check_invariants()
+        mapping.check_invariants()
+        assert mapping.to_list() == reference
+
+    def test_height_grows_logarithmically(self):
+        mapping = HierarchicalMapping(fanout=16)
+        mapping.extend(range(4_000))
+        assert mapping.height() <= 4
+
+    def test_fetch_range_spanning_leaves(self):
+        mapping = HierarchicalMapping(fanout=4)
+        mapping.extend(range(200))
+        assert mapping.fetch_range(37, 120) == list(range(36, 120))
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalMapping(fanout=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 1_000)), min_size=1, max_size=200))
+    def test_property_matches_list_model(self, operations):
+        mapping = HierarchicalMapping(fanout=4)
+        reference = []
+        for is_insert, value in operations:
+            if is_insert or not reference:
+                position = value % (len(reference) + 1) + 1
+                mapping.insert_at(position, value)
+                reference.insert(position - 1, value)
+            else:
+                position = value % len(reference) + 1
+                assert mapping.delete_at(position) == reference.pop(position - 1)
+        assert mapping.to_list() == reference
+        mapping.check_invariants()

@@ -1,0 +1,268 @@
+"""Tests for the row-store substrate: costs, pages, heaps, B+-tree, catalog, database."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CatalogError, SchemaError, StorageError
+from repro.storage.btree import BPlusTree
+from repro.storage.catalog import Catalog, ColumnDef, TableSchema
+from repro.storage.costs import IDEAL_COSTS, POSTGRES_COSTS, CostParameters, hardness_reduction_costs
+from repro.storage.database import Database
+from repro.storage.heap import HeapFile
+from repro.storage.page import Page
+from repro.storage.tuples import TuplePointer, record_payload_size, value_size
+
+
+class TestCostParameters:
+    def test_postgres_constants(self):
+        assert POSTGRES_COSTS.table_cost == 8192
+        assert POSTGRES_COSTS.cell_cost == pytest.approx(0.125)
+        assert POSTGRES_COSTS.rcv_tuple_cost == 52
+
+    def test_rom_cost_formula(self):
+        cost = POSTGRES_COSTS.rom_cost(10, 4)
+        assert cost == pytest.approx(8192 + 0.125 * 40 + 40 * 4 + 50 * 10)
+
+    def test_com_is_transpose_of_rom(self):
+        assert POSTGRES_COSTS.com_cost(10, 4) == POSTGRES_COSTS.rom_cost(4, 10)
+
+    def test_rcv_cost(self):
+        assert POSTGRES_COSTS.rcv_cost(100) == 8192 + 52 * 100
+        assert POSTGRES_COSTS.rcv_cost(100, include_table=False) == 5200
+        assert POSTGRES_COSTS.rcv_cost(0) == 0
+
+    def test_zero_dimension_costs_nothing(self):
+        assert IDEAL_COSTS.rom_cost(0, 5) == 0.0
+
+    def test_with_overrides(self):
+        modified = POSTGRES_COSTS.with_overrides(table_cost=0.0)
+        assert modified.table_cost == 0.0
+        assert POSTGRES_COSTS.table_cost == 8192
+
+    def test_hardness_reduction_costs(self):
+        costs = hardness_reduction_costs(10)
+        assert costs.cell_cost == 21
+        assert costs.table_cost == 0
+
+
+class TestPageAndHeap:
+    def test_page_insert_read_update_delete(self):
+        page = Page(page_id=0)
+        slot = page.insert((1, "a"))
+        assert page.read(slot) == (1, "a")
+        page.update(slot, (2, "b"))
+        assert page.read(slot) == (2, "b")
+        page.delete(slot)
+        assert page.is_deleted(slot)
+        with pytest.raises(StorageError):
+            page.read(slot)
+
+    def test_page_capacity(self):
+        page = Page(page_id=0, capacity_bytes=200)
+        with pytest.raises(StorageError):
+            for _ in range(100):
+                page.insert(("x" * 20,))
+
+    def test_heap_pointers_stable_across_deletes(self):
+        heap = HeapFile()
+        pointers = [heap.insert((i,)) for i in range(100)]
+        heap.delete(pointers[10])
+        assert heap.read(pointers[50]) == (50,)
+        assert heap.record_count == 99
+
+    def test_heap_update_relocates_large_records(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        pointer = heap.insert(("small",))
+        new_pointer = heap.update(pointer, ("x" * 150,))
+        assert heap.read(new_pointer) == ("x" * 150,)
+
+    def test_heap_scan_order_and_stats(self):
+        heap = HeapFile()
+        for i in range(10):
+            heap.insert((i,))
+        assert [record[0] for _, record in heap.scan()] == list(range(10))
+        assert heap.stats["inserts"] == 10
+
+    def test_value_and_record_sizes(self):
+        assert value_size(None) == 1
+        assert value_size(1.5) == 8
+        assert value_size("abc") == 4
+        assert record_payload_size((1, "abc")) > 8
+
+
+class TestBPlusTree:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key * 2)
+        assert tree.get(42) == 84
+        assert tree.get(1000) is None
+        assert len(tree) == 100
+
+    def test_replace_existing_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, key)
+        assert [key for key, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=8)
+        for key in range(1, 201):
+            tree.insert(key, key)
+        assert [key for key, _ in tree.range_scan(50, 60)] == list(range(50, 61))
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.delete(25)
+        assert not tree.delete(25)
+        assert tree.get(25) is None
+        assert len(tree) == 49
+
+    def test_min_max_keys(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            tree.min_key()
+        tree.insert(5, "x")
+        tree.insert(2, "y")
+        assert tree.min_key() == 2
+        assert tree.max_key() == 5
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert("a", 1)
+        assert "a" in tree
+        assert "b" not in tree
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        for row in range(1, 11):
+            for column in range(1, 4):
+                tree.insert((row, column), row * column)
+        assert [key for key, _ in tree.range_scan((3, 1), (3, 3))] == [(3, 1), (3, 2), (3, 3)]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=300),
+           st.lists(st.integers(0, 500), max_size=150))
+    def test_matches_dict_model(self, inserts, deletes):
+        tree = BPlusTree(order=5)
+        model = {}
+        for key in inserts:
+            tree.insert(key, key + 1)
+            model[key] = key + 1
+        for key in deletes:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        assert sorted(model.items()) == list(tree.items())
+        assert len(tree) == len(model)
+        tree.check_invariants()
+
+
+class TestCatalogAndSchema:
+    def test_schema_validation(self):
+        schema = TableSchema.build("t", [ColumnDef("id", "integer"), ColumnDef("name", "text")])
+        schema.validate_record((1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_record((1,))
+        with pytest.raises(SchemaError):
+            schema.validate_record(("x", "y"))
+
+    def test_boolean_not_integer(self):
+        schema = TableSchema.build("t", [ColumnDef("id", "integer")])
+        with pytest.raises(SchemaError):
+            schema.validate_record((True,))
+
+    def test_nullable_flag(self):
+        schema = TableSchema.build("t", [ColumnDef("id", "integer", nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.validate_record((None,))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.build("t", ["a", "a"])
+
+    def test_unknown_key_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.build("t", ["a"], key_column="missing")
+
+    def test_column_index(self):
+        schema = TableSchema.build("t", ["a", "b", "c"])
+        assert schema.column_index("c") == 2
+        with pytest.raises(CatalogError):
+            schema.column_index("z")
+
+    def test_catalog_register_duplicate(self):
+        catalog = Catalog()
+        catalog.register(TableSchema.build("t", ["a"]))
+        with pytest.raises(CatalogError):
+            catalog.register(TableSchema.build("t", ["b"]))
+        assert "t" in catalog
+        catalog.unregister("t")
+        assert "t" not in catalog
+
+
+class TestDatabase:
+    def test_create_insert_scan(self):
+        database = Database()
+        database.create_table("t", ["id", "name"], key_column="id")
+        database.insert_many("t", [(1, "a"), (2, "b")])
+        assert list(database.scan("t")) == [(1, "a"), (2, "b")]
+        assert database.table("t").row_count == 2
+
+    def test_key_lookup_and_update(self):
+        database = Database()
+        table = database.create_table("t", ["id", "name"], key_column="id")
+        pointer = table.insert((1, "a"))
+        table.update(pointer, (1, "z"))
+        found = table.lookup(1)
+        assert found is not None and found[1] == (1, "z")
+        assert table.lookup(9) is None
+
+    def test_delete_maintains_index(self):
+        database = Database()
+        table = database.create_table("t", ["id"], key_column="id")
+        pointer = table.insert((7,))
+        table.delete(pointer)
+        assert table.lookup(7) is None
+        assert table.row_count == 0
+
+    def test_drop_table(self):
+        database = Database()
+        database.create_table("t", ["a"])
+        database.drop_table("t")
+        assert not database.has_table("t")
+        with pytest.raises(CatalogError):
+            database.table("t")
+
+    def test_predicate_scan(self):
+        database = Database()
+        database.create_table("t", ["id", "amount"])
+        database.insert_many("t", [(1, 10), (2, 200), (3, 30)])
+        rows = list(database.scan("t", predicate=lambda record: record[1] > 20))
+        assert [record[0] for record in rows] == [2, 3]
+
+    def test_storage_cost_accounting(self):
+        database = Database(costs=POSTGRES_COSTS)
+        database.create_table("t", ["a", "b", "c"])
+        database.insert_many("t", [(1, 2, 3)] * 10)
+        expected = POSTGRES_COSTS.rom_cost(10, 3)
+        assert database.table_storage_cost("t") == pytest.approx(expected)
+        assert database.total_storage_cost() == pytest.approx(expected)
+
+    def test_schema_enforced_on_insert(self):
+        database = Database()
+        database.create_table("t", [ColumnDef("id", "integer")])
+        with pytest.raises(SchemaError):
+            database.insert("t", ("not-an-int",))
