@@ -4,17 +4,27 @@ The execution engine keeps recently touched cells in memory.  Reads are
 *read-through* (misses pull from the storage layer) and writes are
 *write-through* (updates are pushed to the storage layer immediately, then
 cached).
+
+For batched edits the cache additionally supports a *deferred* write mode:
+between ``begin_deferred()`` and ``end_deferred()`` puts are buffered in a
+pending map and pushed to the storage layer in one bulk call (via
+``bulk_writer`` when provided, else the per-cell writer).  Pending entries
+survive LRU eviction — a read miss consults the pending map before the
+loader — so a batch larger than the cache capacity still flushes completely
+and never reads stale storage.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
 
 CellLoader = Callable[[int, int], Cell]
 CellWriter = Callable[[int, int, Cell], None]
+BulkCellWriter = Callable[[Iterable[tuple[int, int, Cell]]], None]
 
 DEFAULT_CAPACITY = 100_000
 
@@ -27,13 +37,17 @@ class LRUCellCache:
         loader: CellLoader,
         writer: CellWriter,
         capacity: int = DEFAULT_CAPACITY,
+        *,
+        bulk_writer: BulkCellWriter | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self._loader = loader
         self._writer = writer
+        self._bulk_writer = bulk_writer
         self._capacity = capacity
         self._entries: OrderedDict[tuple[int, int], Cell] = OrderedDict()
+        self._pending: dict[tuple[int, int], Cell] | None = None
         self.hits = 0
         self.misses = 0
 
@@ -46,6 +60,16 @@ class LRUCellCache:
         """Maximum number of cached cells."""
         return self._capacity
 
+    @property
+    def deferred(self) -> bool:
+        """Whether writes are currently buffered instead of written through."""
+        return self._pending is not None
+
+    @property
+    def pending_count(self) -> int:
+        """Number of buffered writes awaiting a flush."""
+        return len(self._pending) if self._pending is not None else 0
+
     def get(self, row: int, column: int) -> Cell:
         """Read a cell, pulling it from the storage layer on a miss."""
         key = (row, column)
@@ -55,22 +79,75 @@ class LRUCellCache:
             self.hits += 1
             return cached
         self.misses += 1
+        if self._pending is not None:
+            pending = self._pending.get(key)
+            if pending is not None:
+                # A buffered write that was LRU-evicted: storage is stale.
+                self._store(key, pending)
+                return pending
         cell = self._loader(row, column)
         self._store(key, cell)
         return cell
 
     def put(self, row: int, column: int, cell: Cell) -> None:
-        """Write a cell through to storage and cache it."""
-        self._writer(row, column, cell)
-        self._store((row, column), cell)
+        """Write a cell through to storage (or buffer it in deferred mode)."""
+        key = (row, column)
+        if self._pending is not None:
+            self._pending[key] = cell
+        else:
+            self._writer(row, column, cell)
+        self._store(key, cell)
 
     def invalidate(self, row: int, column: int) -> None:
         """Drop a cached cell (e.g. after structural edits)."""
         self._entries.pop((row, column), None)
 
     def clear(self) -> None:
-        """Drop every cached cell."""
+        """Drop every cached cell *and* any buffered writes (a discard)."""
         self._entries.clear()
+        if self._pending is not None:
+            self._pending.clear()
+
+    # ------------------------------------------------------------------ #
+    # deferred (batched) write-through
+    # ------------------------------------------------------------------ #
+    def begin_deferred(self) -> None:
+        """Start buffering writes; idempotent."""
+        if self._pending is None:
+            self._pending = {}
+
+    def flush_pending(self) -> int:
+        """Push buffered writes to storage in bulk; stays in deferred mode.
+
+        Returns the number of cells written.
+        """
+        if not self._pending:
+            return 0
+        items = [(row, column, cell) for (row, column), cell in self._pending.items()]
+        if self._bulk_writer is not None:
+            self._bulk_writer(items)
+        else:
+            for row, column, cell in items:
+                self._writer(row, column, cell)
+        self._pending.clear()
+        return len(items)
+
+    def end_deferred(self) -> int:
+        """Flush buffered writes and return to write-through mode."""
+        flushed = self.flush_pending()
+        self._pending = None
+        return flushed
+
+    def pending_values(self, region: RangeRef) -> dict[tuple[int, int], Cell]:
+        """The buffered writes falling inside ``region`` (for read overlays)."""
+        if not self._pending:
+            return {}
+        return {
+            key: cell
+            for key, cell in self._pending.items()
+            if region.top <= key[0] <= region.bottom
+            and region.left <= key[1] <= region.right
+        }
 
     # ------------------------------------------------------------------ #
     def _store(self, key: tuple[int, int], cell: Cell) -> None:

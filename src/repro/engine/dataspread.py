@@ -5,13 +5,36 @@ paper's architecture (Figure 12): the hybrid translator (routing cell reads
 and writes to ROM/COM/RCV/TOM regions), the positional mapper (inside each
 data model), the LRU cell cache, the formula parser/evaluator and dependency
 graph, the hybrid optimizer, and the spreadsheet-level relational operators.
+
+Recompute architecture
+----------------------
+Every edit funnels into one reactive recompute path:
+
+* Single edits (``set_value``/``set_formula``/``clear_cell``) ask the
+  dependency graph for the transitive dependents of the edited cell — an
+  interval-indexed lookup, not a scan of every formula — and re-evaluate
+  them in topological order.
+* Batched edits (``with spread.batch(): ...``, ``set_values``, and the bulk
+  entry points ``import_rows``/``import_csv``/``place_table``/
+  ``from_sheet``) collect a *dirty set* instead of recomputing per cell.
+  When the outermost batch exits, the engine runs **one** topological
+  recompute over the union of dirty seeds and flushes the LRU cache's
+  buffered writes to the storage layer in bulk.  ``recompute_passes``
+  counts topological passes so tests can observe the batching.
+* Formulas are parsed exactly once: the parsed AST is shared between
+  dependency registration and evaluation, and recomputes reuse the
+  evaluator's bounded AST cache.
+* Range references (``SUM(A1:A10000)``) materialise through the model-level
+  ``get_values`` bulk read — one call per range, no per-cell cache probes —
+  overlaid with any writes still buffered in the current batch.
 """
 
 from __future__ import annotations
 
 import csv
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.decomposition import (
     DecompositionResult,
@@ -22,9 +45,10 @@ from repro.decomposition import (
 from repro.engine.cache import LRUCellCache
 from repro.engine.relational import TableValue
 from repro.engine.sql import execute_sql
-from repro.errors import FormulaEvaluationError, LinkTableError
+from repro.errors import FormulaEvaluationError, FormulaSyntaxError, LinkTableError
+from repro.formula.ast_nodes import FormulaNode
 from repro.formula.dependencies import DependencyGraph
-from repro.formula.evaluator import Evaluator
+from repro.formula.evaluator import DEFAULT_PARSE_CACHE_CAPACITY, Evaluator
 from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
@@ -57,6 +81,8 @@ class DataSpread:
     database:
         Optional shared database (for linked tables); a private one is
         created when omitted.
+    parse_cache_capacity:
+        Bound on the evaluator's LRU cache of parsed formula ASTs.
     """
 
     def __init__(
@@ -67,6 +93,7 @@ class DataSpread:
         cache_capacity: int = 100_000,
         database: Database | None = None,
         auto_evaluate: bool = True,
+        parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
     ) -> None:
         self.costs = costs
         self.mapping_scheme = mapping_scheme
@@ -75,24 +102,42 @@ class DataSpread:
         self._model = HybridDataModel(mapping_scheme=mapping_scheme)
         self._dependencies = DependencyGraph()
         self._cache = LRUCellCache(
-            loader=self._load_cell, writer=self._write_cell, capacity=cache_capacity
+            loader=self._load_cell,
+            writer=self._write_cell,
+            capacity=cache_capacity,
+            bulk_writer=self._write_cells,
         )
-        self._evaluator = Evaluator(self._provide_value)
+        self._evaluator = Evaluator(
+            self._provide_value,
+            range_provider=self._provide_range,
+            parse_cache_capacity=parse_cache_capacity,
+        )
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
+        self._batch_depth = 0
+        self._batch_dirty: set[CellAddress] = set()
+        #: Number of topological recompute passes run so far (a batched edit
+        #: of any size contributes exactly one; exposed for tests/benchmarks).
+        self.recompute_passes = 0
 
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
     def from_sheet(cls, sheet: Sheet, **kwargs) -> "DataSpread":
-        """Import an in-memory :class:`Sheet` (formulae are evaluated)."""
+        """Import an in-memory :class:`Sheet` (formulae are evaluated).
+
+        The import runs as one batch: constants and formula registrations
+        are buffered, then every formula is evaluated in a single
+        topological pass regardless of iteration order.
+        """
         spread = cls(**kwargs)
-        for address, cell in sheet.items():
-            if cell.has_formula:
-                spread.set_formula(address.row, address.column, cell.formula or "")
-            else:
-                spread.set_value(address.row, address.column, cell.value)
+        with spread.batch():
+            for address, cell in sheet.items():
+                if cell.has_formula:
+                    spread.set_formula(address.row, address.column, cell.formula or "")
+                else:
+                    spread.set_value(address.row, address.column, cell.value)
         return spread
 
     def import_rows(
@@ -104,32 +149,99 @@ class DataSpread:
     ) -> int:
         """Bulk-import a dense block of values anchored at (top, left).
 
-        Returns the number of rows imported.  Bulk import bypasses formula
-        evaluation (values are constants), mirroring a file import.
+        Returns the number of rows imported.  The whole block is written as
+        one batch: storage writes are flushed in bulk and formulas reading
+        the block re-evaluate in a single topological pass at the end.
         """
         count = 0
-        for row_offset, row_values in enumerate(rows):
-            for column_offset, value in enumerate(row_values):
-                if value is None:
-                    continue
-                self._set_constant(top + row_offset, left + column_offset, value)
-            count += 1
+        with self.batch():
+            for row_offset, row_values in enumerate(rows):
+                row = top + row_offset
+                for column_offset, value in enumerate(row_values):
+                    if value is None:
+                        continue
+                    self.set_value(row, left + column_offset, value)
+                count += 1
         return count
 
     def import_csv(self, path: str | Path, *, top: int = 1, left: int = 1,
                    delimiter: str = ",") -> int:
         """Import a CSV/TSV file; numeric-looking fields are coerced."""
         imported = 0
-        with open(path, newline="", encoding="utf-8") as handle:
+        with self.batch(), open(path, newline="", encoding="utf-8") as handle:
             reader = csv.reader(handle, delimiter=delimiter)
             for row_offset, row in enumerate(reader):
                 for column_offset, text in enumerate(row):
                     if text == "":
                         continue
                     cell = Cell.from_input(text)
-                    self._cache.put(top + row_offset, left + column_offset, cell)
+                    if cell.has_formula:
+                        try:
+                            self.set_formula(top + row_offset, left + column_offset,
+                                             cell.formula or "")
+                        except FormulaSyntaxError:
+                            # A field that merely looks like a formula must
+                            # not abort the import; keep it as raw text.
+                            self.set_value(top + row_offset, left + column_offset, text)
+                    else:
+                        self.set_value(top + row_offset, left + column_offset, cell.value)
                 imported += 1
         return imported
+
+    # ------------------------------------------------------------------ #
+    # batched edits
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def batch(self) -> Iterator["DataSpread"]:
+        """Group many edits into one recompute and one bulk storage flush.
+
+        Inside the ``with`` block, ``set_value``/``set_formula``/
+        ``clear_cell`` only record dirty cells (``set_formula`` returns
+        ``None``; its value materialises at batch exit).  When the outermost
+        batch exits cleanly, the engine evaluates the dirty formulas and all
+        their transitive dependents in one topological pass, then flushes
+        the buffered cache writes to the storage layer in bulk.  Nested
+        batches join the outermost one.  If the body raises, buffered
+        writes are still flushed but no recompute runs.
+        """
+        if self._batch_depth == 0:
+            self._cache.begin_deferred()
+        self._batch_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._batch_dirty.clear()
+                self._cache.end_deferred()
+            raise
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            try:
+                dirty = self._batch_dirty
+                self._batch_dirty = set()
+                if dirty:
+                    self._recompute_batch(dirty)
+            finally:
+                self._cache.end_deferred()
+
+    @property
+    def in_batch(self) -> bool:
+        """Whether a batch is currently open."""
+        return self._batch_depth > 0
+
+    def set_values(self, updates: Iterable[tuple[int, int, CellValue]]) -> int:
+        """Set many constants at once; dependents recompute in one pass.
+
+        ``updates`` yields ``(row, column, value)`` triples.  Returns the
+        number of cells written.
+        """
+        count = 0
+        with self.batch():
+            for row, column, value in updates:
+                self.set_value(row, column, value)
+                count += 1
+        return count
 
     # ------------------------------------------------------------------ #
     # cell reads
@@ -190,15 +302,27 @@ class DataSpread:
     def set_value(self, row: int, column: int, value: CellValue) -> None:
         """The ``updateCell`` primitive for constants; dependents re-evaluate."""
         self._set_constant(row, column, value)
-        if self.auto_evaluate:
-            self._recompute_dependents(CellAddress(row, column))
+        address = CellAddress(row, column)
+        if self.in_batch:
+            self._batch_dirty.add(address)
+        elif self.auto_evaluate:
+            self._recompute_dependents(address)
 
     def set_formula(self, row: int, column: int, formula: str) -> CellValue:
-        """Store a formula, register its dependencies and evaluate it."""
+        """Store a formula, register its dependencies and evaluate it.
+
+        Inside a batch the evaluation is deferred to batch exit and ``None``
+        is returned; outside a batch the evaluated value is returned.
+        """
         text = formula[1:] if formula.startswith("=") else formula
         address = CellAddress(row, column)
-        self._dependencies.register(address, text)
-        value = self._safe_evaluate(text)
+        node = self._evaluator.parse(text)
+        self._dependencies.register(address, node)
+        if self.in_batch:
+            self._cache.put(row, column, Cell(value=None, formula=text))
+            self._batch_dirty.add(address)
+            return None
+        value = self._safe_evaluate(node)
         self._cache.put(row, column, Cell(value=value, formula=text))
         if self.auto_evaluate:
             self._recompute_dependents(address)
@@ -210,7 +334,9 @@ class DataSpread:
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell())
         self._composite_values.pop((row, column), None)
-        if self.auto_evaluate:
+        if self.in_batch:
+            self._batch_dirty.add(address)
+        elif self.auto_evaluate:
             self._recompute_dependents(address)
 
     # ------------------------------------------------------------------ #
@@ -218,21 +344,25 @@ class DataSpread:
     # ------------------------------------------------------------------ #
     def insert_row_after(self, row: int, count: int = 1) -> None:
         """Insert rows; stored data shifts without cascading renumbering."""
+        self._flush_batch_writes()
         self._model.insert_row_after(row, count)
         self._cache.clear()
 
     def delete_row(self, row: int, count: int = 1) -> None:
         """Delete rows."""
+        self._flush_batch_writes()
         self._model.delete_row(row, count)
         self._cache.clear()
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
         """Insert columns."""
+        self._flush_batch_writes()
         self._model.insert_column_after(column, count)
         self._cache.clear()
 
     def delete_column(self, column: int, count: int = 1) -> None:
         """Delete columns."""
+        self._flush_batch_writes()
         self._model.delete_column(column, count)
         self._cache.clear()
 
@@ -250,6 +380,7 @@ class DataSpread:
             optimizer = _OPTIMIZERS[algorithm]
         except KeyError as exc:
             raise ValueError(f"unknown optimizer {algorithm!r}") from exc
+        self._flush_batch_writes()
         snapshot = self._snapshot_native_cells()
         coordinates = snapshot.coordinates()
         plan = optimizer(coordinates, self.costs, **options)
@@ -281,6 +412,11 @@ class DataSpread:
         """The LRU cell cache."""
         return self._cache
 
+    @property
+    def evaluator(self) -> Evaluator:
+        """The formula evaluator (exposed for tests and benchmarks)."""
+        return self._evaluator
+
     # ------------------------------------------------------------------ #
     # database-oriented operations
     # ------------------------------------------------------------------ #
@@ -308,6 +444,7 @@ class DataSpread:
             if rows is not None:
                 self.database.insert_many(table_name, [tuple(row) for row in rows])
         table = self.database.table(table_name)
+        self._flush_batch_writes()
         tom = TableOrientedModel(table, top=anchor.row, left=anchor.column, header=header)
         self._model.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
         self._linked_tables[table_name] = tom
@@ -328,15 +465,16 @@ class DataSpread:
         """Spill a composite table value onto the sheet (the ``index`` helper)."""
         anchor = CellAddress.from_a1(at) if isinstance(at, str) else at
         row = anchor.row
-        if include_header:
-            for offset, name in enumerate(table.columns):
-                self.set_value(row, anchor.column + offset, name)
-            row += 1
-        for record in table.rows:
-            for offset, value in enumerate(record):
-                if value is not None:
-                    self.set_value(row, anchor.column + offset, value)
-            row += 1
+        with self.batch():
+            if include_header:
+                for offset, name in enumerate(table.columns):
+                    self.set_value(row, anchor.column + offset, name)
+                row += 1
+            for record in table.rows:
+                for offset, value in enumerate(record):
+                    if value is not None:
+                        self.set_value(row, anchor.column + offset, value)
+                row += 1
         self._composite_values[(anchor.row, anchor.column)] = table
         bottom = max(row - 1, anchor.row)
         right = anchor.column + max(table.column_count - 1, 0)
@@ -361,24 +499,67 @@ class DataSpread:
     def _write_cell(self, row: int, column: int, cell: Cell) -> None:
         self._model.update_cell(row, column, cell)
 
+    def _write_cells(self, items: Iterable[tuple[int, int, Cell]]) -> None:
+        self._model.update_cells(items)
+
     def _provide_value(self, row: int, column: int) -> CellValue:
         return self._cache.get(row, column).value
 
-    def _safe_evaluate(self, formula: str) -> CellValue:
+    def _provide_range(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        """Materialise a range with one bulk model read.
+
+        Writes still buffered in an open batch are overlaid so formulas
+        evaluated during the batch flush see the batch's own edits.
+        """
+        values = self._model.get_values(region)
+        pending = self._cache.pending_values(region)
+        if pending:
+            for key, cell in pending.items():
+                values[key] = cell.value
+        return values
+
+    def _safe_evaluate(self, formula: str | FormulaNode) -> CellValue:
         try:
-            return self._evaluator.evaluate(formula)
+            if isinstance(formula, str):
+                return self._evaluator.evaluate(formula)
+            return self._evaluator.evaluate_node(formula)
         except FormulaEvaluationError as error:
             return error.code
 
     def _recompute_dependents(self, changed: CellAddress) -> None:
+        self.recompute_passes += 1
         for dependent in self._dependencies.dependents_of(changed):
-            _cells, _ranges = self._dependencies.precedents_of(dependent)
-            existing = self._cache.get(dependent.row, dependent.column)
-            if existing.formula is None:
-                continue
-            value = self._safe_evaluate(existing.formula)
-            if value != existing.value:
-                self._cache.put(dependent.row, dependent.column, existing.with_value(value))
+            self._reevaluate(dependent)
+
+    def _recompute_batch(self, dirty: set[CellAddress]) -> None:
+        """One topological recompute over the union of a batch's dirty seeds."""
+        if self.auto_evaluate:
+            self.recompute_passes += 1
+            for address in self._dependencies.recompute_order(dirty):
+                self._reevaluate(address)
+        else:
+            # Match the non-batch contract: a stored formula still computes
+            # its own value even when dependent propagation is disabled.
+            for address in sorted(dirty, key=lambda a: (a.row, a.column)):
+                self._reevaluate(address)
+
+    def _reevaluate(self, address: CellAddress) -> None:
+        existing = self._cache.get(address.row, address.column)
+        if existing.formula is None:
+            return
+        value = self._safe_evaluate(existing.formula)
+        if value != existing.value:
+            self._cache.put(address.row, address.column, existing.with_value(value))
+
+    def _flush_batch_writes(self) -> None:
+        """Push buffered batch writes to storage before a structural rebuild.
+
+        Structural operations mutate the model's coordinate space directly;
+        any writes still buffered against the old coordinates must land
+        first (the subsequent ``cache.clear()`` would discard them).
+        """
+        if self.in_batch:
+            self._cache.flush_pending()
 
     def _snapshot_native_cells(self) -> Sheet:
         """Copy all cells except those owned by linked tables into a Sheet."""

@@ -21,7 +21,7 @@ from repro.formula.ast_nodes import (
 )
 from repro.formula.parser import parse_formula
 from repro.formula.evaluator import Evaluator, extract_references
-from repro.formula.dependencies import DependencyGraph
+from repro.formula.dependencies import DependencyGraph, DependencyGraphStats
 from repro.formula.functions import FUNCTION_REGISTRY, register_function
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "Evaluator",
     "extract_references",
     "DependencyGraph",
+    "DependencyGraphStats",
     "FUNCTION_REGISTRY",
     "register_function",
 ]

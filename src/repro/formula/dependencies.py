@@ -5,17 +5,171 @@ updated, the engine asks the graph for the transitive set of dependents in a
 topological order and re-evaluates them.  Range dependencies are kept as
 rectangles and matched by containment, so ``SUM(A1:A1000)`` costs one edge,
 not a thousand.
+
+Recompute architecture
+----------------------
+Finding the formulas that read a changed cell is the hot operation: it runs
+once per BFS node on every edit.  Range precedents are therefore held in a
+*spatial interval index* instead of being scanned linearly:
+
+* Ranges spanning at most :data:`WIDE_COLUMN_SPAN` columns are bucketed per
+  spanned column (*column stripes*).  A lookup for a changed cell touches
+  only the bucket of the cell's column.
+* Wider ranges (whole-row style references) share a single *wide* bucket and
+  are filtered by column span after row stabbing.
+
+Each bucket keeps a static centered interval tree over the row spans of its
+ranges, rebuilt lazily after a register/unregister invalidates it, so
+``direct_dependents`` costs O(log n + matches) rather than a scan of every
+registered formula.  :attr:`DependencyGraph.stats` counts interval entries
+probed, which tests use to assert sub-linear behaviour; setting
+:attr:`DependencyGraph.use_range_index` to ``False`` restores the legacy
+full-scan lookup for benchmarking.
+
+``register`` accepts either formula source text or an already-parsed
+:class:`~repro.formula.ast_nodes.FormulaNode`, so the engine can parse each
+formula exactly once and share the AST between dependency extraction and
+evaluation.  ``recompute_order`` extends ``dependents_of`` for batched
+edits: it returns one topological order covering the dirty formula cells
+themselves plus every transitive dependent of the dirty set.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.errors import CircularDependencyError
+from repro.formula.ast_nodes import FormulaNode
 from repro.formula.evaluator import extract_references
 from repro.grid.address import CellAddress
 from repro.grid.range import RangeRef
+
+#: Ranges spanning more columns than this go to the shared wide bucket
+#: instead of one entry per column stripe.
+WIDE_COLUMN_SPAN = 64
+
+#: Bucket key for ranges too wide for per-column stripes.
+_WIDE_BUCKET = None
+
+
+@dataclass
+class DependencyGraphStats:
+    """Instrumentation counters for the range index (exposed for tests)."""
+
+    lookups: int = 0          # direct_dependents calls
+    range_probes: int = 0     # interval entries examined while stabbing
+    index_rebuilds: int = 0   # lazy interval-tree rebuilds
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.range_probes = 0
+        self.index_rebuilds = 0
+
+
+class _IntervalTree:
+    """Static centered interval tree over inclusive [top, bottom] row spans.
+
+    Every interval stored at a node contains the node's center row, kept in
+    two orders: ascending by top (for stabs left of center) and descending
+    by bottom (for stabs right of center).  A stab visits O(log n) nodes and
+    examines only entries that match plus one terminator per node.
+    """
+
+    __slots__ = ("center", "left", "right", "by_top", "by_bottom")
+
+    def __init__(self, entries: Sequence[tuple[int, int, object]]) -> None:
+        # entries: (top, bottom, payload); callers guarantee non-empty.
+        endpoints = sorted(top for top, _bottom, _payload in entries)
+        self.center = endpoints[len(endpoints) // 2]
+        here: list[tuple[int, int, object]] = []
+        lower: list[tuple[int, int, object]] = []
+        upper: list[tuple[int, int, object]] = []
+        for entry in entries:
+            top, bottom, _payload = entry
+            if bottom < self.center:
+                lower.append(entry)
+            elif top > self.center:
+                upper.append(entry)
+            else:
+                here.append(entry)
+        self.by_top = sorted(here, key=lambda entry: entry[0])
+        self.by_bottom = sorted(here, key=lambda entry: -entry[1])
+        self.left = _IntervalTree(lower) if lower else None
+        self.right = _IntervalTree(upper) if upper else None
+
+    def stab(self, row: int, out: list, stats: DependencyGraphStats) -> None:
+        """Append the payloads of all intervals containing ``row`` to ``out``."""
+        node: _IntervalTree | None = self
+        while node is not None:
+            if row < node.center:
+                for top, _bottom, payload in node.by_top:
+                    stats.range_probes += 1
+                    if top > row:
+                        break
+                    out.append(payload)
+                node = node.left
+            elif row > node.center:
+                for _top, bottom, payload in node.by_bottom:
+                    stats.range_probes += 1
+                    if bottom < row:
+                        break
+                    out.append(payload)
+                node = node.right
+            else:
+                stats.range_probes += len(node.by_top)
+                out.extend(payload for _top, _bottom, payload in node.by_top)
+                return
+
+
+class _StripeBucket:
+    """The ranges assigned to one column stripe (or the wide bucket).
+
+    Entries are kept per formula cell so unregister is O(ranges of that
+    formula); the interval tree is rebuilt lazily on the next stab after any
+    mutation.
+    """
+
+    __slots__ = ("entries", "tree", "stale")
+
+    def __init__(self) -> None:
+        # formula cell -> list of (top, bottom, left, right) spans
+        self.entries: dict[CellAddress, list[tuple[int, int, int, int]]] = {}
+        self.tree: _IntervalTree | None = None
+        self.stale = False
+
+    def add(self, address: CellAddress, region: RangeRef) -> None:
+        self.entries.setdefault(address, []).append(
+            (region.top, region.bottom, region.left, region.right)
+        )
+        self.stale = True
+
+    def remove(self, address: CellAddress) -> bool:
+        """Drop every span of ``address``; returns True when the bucket empties."""
+        if self.entries.pop(address, None) is not None:
+            self.stale = True
+        return not self.entries
+
+    def stab(self, row: int, column: int, out: set[CellAddress],
+             stats: DependencyGraphStats) -> None:
+        """Add the formula cells whose spans contain (row, column) to ``out``."""
+        if self.tree is None or self.stale:
+            flat = [
+                (top, bottom, (left, right, address))
+                for address, spans in self.entries.items()
+                for top, bottom, left, right in spans
+            ]
+            self.tree = _IntervalTree(flat) if flat else None
+            self.stale = False
+            stats.index_rebuilds += 1
+        if self.tree is None:
+            return
+        hits: list[tuple[int, int, CellAddress]] = []
+        self.tree.stab(row, hits, stats)
+        for left, right, address in hits:
+            if left <= column <= right:
+                out.add(address)
 
 
 class DependencyGraph:
@@ -26,29 +180,60 @@ class DependencyGraph:
         self._precedents: dict[CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]]] = {}
         # precedent cell -> set of formula cells reading it directly
         self._cell_dependents: dict[CellAddress, set[CellAddress]] = {}
+        # column stripe (or _WIDE_BUCKET) -> ranges whose spans cross it
+        self._range_buckets: dict[int | None, _StripeBucket] = {}
+        #: Flip to ``False`` to fall back to the legacy linear scan of every
+        #: registered formula (kept for benchmarking the index speedup).
+        self.use_range_index = True
+        self.stats = DependencyGraphStats()
 
     # ------------------------------------------------------------------ #
-    def register(self, address: CellAddress, formula: str) -> None:
-        """Register (or replace) the formula at ``address``."""
+    def register(self, address: CellAddress, formula: str | FormulaNode) -> None:
+        """Register (or replace) the formula at ``address``.
+
+        ``formula`` may be source text or a pre-parsed AST; passing the AST
+        lets the engine parse each formula exactly once.
+        """
         self.unregister(address)
         cells, ranges = extract_references(formula)
         cell_set = frozenset(cells)
         self._precedents[address] = (cell_set, tuple(ranges))
         for precedent in cell_set:
             self._cell_dependents.setdefault(precedent, set()).add(address)
+        for region in ranges:
+            for key in self._bucket_keys(region):
+                bucket = self._range_buckets.get(key)
+                if bucket is None:
+                    bucket = self._range_buckets[key] = _StripeBucket()
+                bucket.add(address, region)
 
     def unregister(self, address: CellAddress) -> None:
         """Remove the formula at ``address`` from the graph (no-op if absent)."""
         entry = self._precedents.pop(address, None)
         if entry is None:
             return
-        cells, _ranges = entry
+        cells, ranges = entry
         for precedent in cells:
             dependents = self._cell_dependents.get(precedent)
             if dependents is not None:
                 dependents.discard(address)
                 if not dependents:
                     del self._cell_dependents[precedent]
+        seen_keys: set[int | None] = set()
+        for region in ranges:
+            for key in self._bucket_keys(region):
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                bucket = self._range_buckets.get(key)
+                if bucket is not None and bucket.remove(address):
+                    del self._range_buckets[key]
+
+    @staticmethod
+    def _bucket_keys(region: RangeRef) -> Iterable[int | None]:
+        if region.columns > WIDE_COLUMN_SPAN:
+            return (_WIDE_BUCKET,)
+        return range(region.left, region.right + 1)
 
     def formula_cells(self) -> list[CellAddress]:
         """All registered formula cells."""
@@ -61,11 +246,22 @@ class DependencyGraph:
     # ------------------------------------------------------------------ #
     def direct_dependents(self, changed: CellAddress) -> set[CellAddress]:
         """Formula cells that directly read ``changed`` (via a cell or range ref)."""
+        self.stats.lookups += 1
         dependents = set(self._cell_dependents.get(changed, ()))
+        if self.use_range_index:
+            bucket = self._range_buckets.get(changed.column)
+            if bucket is not None:
+                bucket.stab(changed.row, changed.column, dependents, self.stats)
+            wide = self._range_buckets.get(_WIDE_BUCKET)
+            if wide is not None:
+                wide.stab(changed.row, changed.column, dependents, self.stats)
+            return dependents
+        # Legacy path: scan every registered formula (benchmark baseline).
         for formula_cell, (_cells, ranges) in self._precedents.items():
             if formula_cell in dependents:
                 continue
             for region in ranges:
+                self.stats.range_probes += 1
                 if region.contains(changed):
                     dependents.add(formula_cell)
                     break
@@ -80,31 +276,53 @@ class DependencyGraph:
         a cycle.
         """
         seeds = [changed] if isinstance(changed, CellAddress) else list(changed)
+        return self._ordered_closure(seeds, include_seed_formulas=False)
+
+    def recompute_order(self, dirty: Iterable[CellAddress]) -> list[CellAddress]:
+        """Evaluation order for a batch of edits.
+
+        Like :meth:`dependents_of`, but dirty cells that are themselves
+        formulas are included in the order (they need evaluating too), so a
+        batched edit runs exactly one topological pass.
+        """
+        return self._ordered_closure(list(dirty), include_seed_formulas=True)
+
+    def _ordered_closure(self, seeds: list[CellAddress],
+                         include_seed_formulas: bool) -> list[CellAddress]:
         affected: set[CellAddress] = set()
+        if include_seed_formulas:
+            affected.update(seed for seed in seeds if seed in self._precedents)
+        # BFS from the seeds; record (reader-of, read-by) pairs as they are
+        # discovered so the topological sort needs no pairwise containment
+        # scan over the affected set afterwards.
+        pairs: list[tuple[CellAddress, CellAddress]] = []
+        visited: set[CellAddress] = set()
         frontier: deque[CellAddress] = deque(seeds)
         while frontier:
             current = frontier.popleft()
+            if current in visited:
+                continue
+            visited.add(current)
             for dependent in self.direct_dependents(current):
+                pairs.append((current, dependent))
                 if dependent not in affected:
                     affected.add(dependent)
                     frontier.append(dependent)
-        return self._topological_order(affected)
+        return self._topological_order(affected, pairs)
 
-    def _topological_order(self, affected: set[CellAddress]) -> list[CellAddress]:
-        # Build edges restricted to the affected set: precedent -> dependent.
+    def _topological_order(self, affected: set[CellAddress],
+                           pairs: list[tuple[CellAddress, CellAddress]]) -> list[CellAddress]:
         indegree: dict[CellAddress, int] = {address: 0 for address in affected}
         edges: dict[CellAddress, list[CellAddress]] = {address: [] for address in affected}
-        for dependent in affected:
-            cells, ranges = self._precedents[dependent]
-            precedent_formulas: set[CellAddress] = set()
-            for other in affected:
-                if other == dependent:
-                    continue
-                if other in cells or any(region.contains(other) for region in ranges):
-                    precedent_formulas.add(other)
-            for precedent in precedent_formulas:
-                edges[precedent].append(dependent)
-                indegree[dependent] += 1
+        seen: set[tuple[CellAddress, CellAddress]] = set()
+        for precedent, dependent in pairs:
+            if precedent not in affected or dependent not in affected:
+                continue
+            if precedent == dependent or (precedent, dependent) in seen:
+                continue
+            seen.add((precedent, dependent))
+            edges[precedent].append(dependent)
+            indegree[dependent] += 1
         ready = deque(sorted((a for a, degree in indegree.items() if degree == 0),
                              key=lambda a: (a.row, a.column)))
         ordered: list[CellAddress] = []
@@ -124,7 +342,7 @@ class DependencyGraph:
     def detect_cycle(self) -> bool:
         """Whether the full graph currently contains a cycle."""
         try:
-            self._topological_order(set(self._precedents))
+            self._ordered_closure(list(self._precedents), include_seed_formulas=True)
         except CircularDependencyError:
             return True
         return False

@@ -8,6 +8,7 @@ the LRU cell cache of the execution engine, or a raw data model.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Iterable
 
 from repro.errors import FormulaEvaluationError, FormulaSyntaxError
@@ -25,7 +26,7 @@ from repro.formula.ast_nodes import (
 from repro.formula.functions import FUNCTION_REGISTRY, RangeValue, to_number, to_text
 from repro.formula.parser import parse_formula
 from repro.grid.address import CellAddress
-from repro.grid.cell import CellValue
+from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 
 CellProvider = Callable[[int, int], CellValue]
@@ -35,6 +36,9 @@ RangeProvider = Callable[[RangeRef], dict]
 #: accidental whole-column references on huge sheets).
 MAX_RANGE_CELLS = 10_000_000
 
+#: Default bound on the number of distinct formula ASTs kept parsed.
+DEFAULT_PARSE_CACHE_CAPACITY = 10_000
+
 
 class Evaluator:
     """Evaluates formula ASTs by pulling referenced cells from a provider.
@@ -43,23 +47,46 @@ class Evaluator:
     are materialised with a single ``getCells(range)`` call (the storage
     engine's bulk access path) instead of one cell probe per coordinate,
     which is how the DataSpread engine actually evaluates SUM/VLOOKUP-style
-    formulae over a data model.
+    formulae over a data model.  The provider may return either the classic
+    ``{CellAddress: Cell}`` mapping or the allocation-free fast-path form
+    ``{(row, column): value}`` (see ``HybridDataModel.get_values``).
+
+    Parsed ASTs are cached with LRU eviction bounded by
+    ``parse_cache_capacity`` so millions of distinct formulas cannot grow
+    the cache without limit.
     """
 
     def __init__(self, cell_provider: CellProvider,
-                 range_provider: RangeProvider | None = None) -> None:
+                 range_provider: RangeProvider | None = None,
+                 *, parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY) -> None:
+        if parse_cache_capacity < 1:
+            raise ValueError("parse cache capacity must be >= 1")
         self._provider = cell_provider
         self._range_provider = range_provider
-        self._parse_cache: dict[str, FormulaNode] = {}
+        self._parse_cache: OrderedDict[str, FormulaNode] = OrderedDict()
+        self._parse_cache_capacity = parse_cache_capacity
+
+    @property
+    def parse_cache_size(self) -> int:
+        """Number of distinct formulas currently held parsed."""
+        return len(self._parse_cache)
 
     # ------------------------------------------------------------------ #
+    def parse(self, formula: str) -> FormulaNode:
+        """Parse a formula body through the bounded LRU AST cache."""
+        node = self._parse_cache.get(formula)
+        if node is not None:
+            self._parse_cache.move_to_end(formula)
+            return node
+        node = parse_formula(formula)
+        self._parse_cache[formula] = node
+        while len(self._parse_cache) > self._parse_cache_capacity:
+            self._parse_cache.popitem(last=False)
+        return node
+
     def evaluate(self, formula: str) -> CellValue:
         """Parse (with caching) and evaluate a formula body."""
-        node = self._parse_cache.get(formula)
-        if node is None:
-            node = parse_formula(formula)
-            self._parse_cache[formula] = node
-        return self.evaluate_node(node)
+        return self.evaluate_node(self.parse(formula))
 
     def evaluate_node(self, node: FormulaNode) -> CellValue:
         """Evaluate an already-parsed AST to a scalar value."""
@@ -97,9 +124,13 @@ class Evaluator:
             )
         if self._range_provider is not None:
             filled = self._range_provider(region)
-            values = {
-                (address.row, address.column): cell.value for address, cell in filled.items()
-            }
+            # Accept both provider shapes: {CellAddress: Cell} (the classic
+            # getCells contract) and {(row, column): value} (the model-level
+            # fast path that avoids per-cell CellAddress/Cell allocation).
+            values: dict[tuple[int, int], CellValue] = {}
+            for key, item in filled.items():
+                coordinate = key if type(key) is tuple else (key.row, key.column)
+                values[coordinate] = item.value if isinstance(item, Cell) else item
             rows = [
                 tuple(values.get((row, column))
                       for column in range(region.left, region.right + 1))

@@ -45,6 +45,18 @@ class DataModel(ABC):
     def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
         """Return the filled cells of this model that fall inside ``region``."""
 
+    def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        """Bulk value read: ``{(row, column): value}`` for filled cells.
+
+        This is the allocation-light path used to materialise formula range
+        references; subclasses override it to skip per-cell
+        :class:`CellAddress` construction entirely.
+        """
+        return {
+            (address.row, address.column): cell.value
+            for address, cell in self.get_cells(region).items()
+        }
+
     @abstractmethod
     def cell_count(self) -> int:
         """Number of filled cells stored."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.grid.address import CellAddress
-from repro.grid.cell import Cell
+from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.models.base import DataModel, ModelKind
@@ -84,6 +84,21 @@ class ColumnOrientedModel(DataModel):
             for offset, cell in enumerate(cells):
                 if not cell.is_empty:
                     result[CellAddress(overlap.top + offset, column)] = cell
+        return result
+
+    def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        own = self.region()
+        overlap = own.intersection(region)
+        if overlap is None:
+            return {}
+        result: dict[tuple[int, int], CellValue] = {}
+        minor_start = overlap.top - self._top + 1
+        minor_end = overlap.bottom - self._top + 1
+        for column in range(overlap.left, overlap.right + 1):
+            cells = self._store.get_major_slice(column - self._left + 1, minor_start, minor_end)
+            for offset, cell in enumerate(cells):
+                if not cell.is_empty:
+                    result[(overlap.top + offset, column)] = cell.value
         return result
 
     def get_cell(self, row: int, column: int) -> Cell:

@@ -18,7 +18,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import RegionOverlapError
 from repro.grid.address import CellAddress
-from repro.grid.cell import Cell
+from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.models.base import DataModel, ModelKind
@@ -56,6 +56,7 @@ class HybridDataModel(DataModel):
         self._regions: list[HybridRegion] = []
         self._mapping_scheme = mapping_scheme
         self._catch_all: RowColumnValueModel | None = None
+        self._has_overlaps = False
         for region in regions:
             self.add_region(region, allow_overlap=allow_overlap)
 
@@ -90,12 +91,13 @@ class HybridDataModel(DataModel):
 
     def add_region(self, region: HybridRegion, *, allow_overlap: bool = False) -> None:
         """Add a constituent region; rejects overlaps unless permitted."""
-        if not allow_overlap:
-            for existing in self._regions:
-                if existing.range.overlaps(region.range):
+        for existing in self._regions:
+            if existing.range.overlaps(region.range):
+                if not allow_overlap:
                     raise RegionOverlapError(
                         f"region {region.range.to_a1()} overlaps {existing.range.to_a1()}"
                     )
+                self._has_overlaps = True
         self._regions.append(region)
 
     @property
@@ -137,6 +139,15 @@ class HybridDataModel(DataModel):
             result.update(self._catch_all.get_cells(region))
         return result
 
+    def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        result: dict[tuple[int, int], CellValue] = {}
+        for entry in self._regions:
+            if entry.range.overlaps(region):
+                result.update(entry.model.get_values(region))
+        if self._catch_all is not None:
+            result.update(self._catch_all.get_values(region))
+        return result
+
     def get_cell(self, row: int, column: int) -> Cell:
         owner = self._owning_region(row, column)
         if owner is not None:
@@ -153,6 +164,33 @@ class HybridDataModel(DataModel):
         if owner is not None:
             owner.model.update_cell(row, column, cell)
             return
+        self._update_catch_all(row, column, cell)
+
+    def update_cells(self, items: Iterable[tuple[int, int, Cell]]) -> None:
+        """Bulk write: route many cells to their owning regions in one pass.
+
+        Consecutive cells usually land in the same region, so the owner
+        found for the previous cell is retried before the linear region
+        lookup — bulk imports pay the routing cost once per region run, not
+        once per cell.  When overlapping regions exist (linked tables), the
+        cached owner may not be the *first* containing region, so the fast
+        path is disabled to keep routing identical to ``update_cell``.
+        """
+        owner: HybridRegion | None = None
+        reuse_owner = not self._has_overlaps
+        for row, column, cell in items:
+            if reuse_owner and owner is not None:
+                box = owner.range
+                if not (box.top <= row <= box.bottom and box.left <= column <= box.right):
+                    owner = self._owning_region(row, column)
+            else:
+                owner = self._owning_region(row, column)
+            if owner is not None:
+                owner.model.update_cell(row, column, cell)
+            else:
+                self._update_catch_all(row, column, cell)
+
+    def _update_catch_all(self, row: int, column: int, cell: Cell) -> None:
         if self._catch_all is None:
             self._catch_all = RowColumnValueModel(
                 top=row, left=column, mapping_scheme=self._mapping_scheme
@@ -239,7 +277,8 @@ class HybridDataModel(DataModel):
     # ------------------------------------------------------------------ #
     def _owning_region(self, row: int, column: int) -> HybridRegion | None:
         for entry in self._regions:
-            if entry.range.contains(CellAddress(row, column)):
+            box = entry.range
+            if box.top <= row <= box.bottom and box.left <= column <= box.right:
                 return entry
         return None
 

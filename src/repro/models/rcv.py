@@ -14,7 +14,7 @@ stored cells (no cascading updates).
 from __future__ import annotations
 
 from repro.grid.address import CellAddress
-from repro.grid.cell import Cell
+from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.models.base import DataModel, ModelKind
@@ -88,11 +88,23 @@ class RowColumnValueModel(DataModel):
         self._column_extent = max(self._column_extent, count)
 
     def _row_id(self, row: int) -> int:
+        if row < self._top:
+            # Grow upward: prepend identifiers so the anchor moves to ``row``
+            # (writes are not restricted to land below the first-seen cell).
+            for _ in range(self._top - row):
+                self._row_ids.insert_at(1, self._next_row_id)
+                self._next_row_id += 1
+            self._top = row
         relative = row - self._top + 1
         self._ensure_rows(relative)
         return self._row_ids.fetch(relative)
 
     def _column_id(self, column: int) -> int:
+        if column < self._left:
+            for _ in range(self._left - column):
+                self._column_ids.insert_at(1, self._next_column_id)
+                self._next_column_id += 1
+            self._left = column
         relative = column - self._left + 1
         self._ensure_columns(relative)
         return self._column_ids.fetch(relative)
@@ -135,6 +147,36 @@ class RowColumnValueModel(DataModel):
                 if row_position is not None and column_position is not None:
                     result[CellAddress(self._top + row_position - 1,
                                        self._left + column_position - 1)] = cell
+        return result
+
+    def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        own = self.region()
+        overlap = own.intersection(region)
+        if overlap is None:
+            return {}
+        result: dict[tuple[int, int], CellValue] = {}
+        if overlap.area <= len(self._cells):
+            column_ids = [
+                (column, self._column_ids.fetch(column - self._left + 1))
+                for column in range(overlap.left, overlap.right + 1)
+            ]
+            for row in range(overlap.top, overlap.bottom + 1):
+                row_id = self._row_ids.fetch(row - self._top + 1)
+                for column, column_id in column_ids:
+                    cell = self._cells.get((row_id, column_id))
+                    if cell is not None:
+                        result[(row, column)] = cell.value
+        else:
+            row_positions = {self._row_ids.fetch(p): p for p in
+                             range(overlap.top - self._top + 1, overlap.bottom - self._top + 2)}
+            column_positions = {self._column_ids.fetch(p): p for p in
+                                range(overlap.left - self._left + 1, overlap.right - self._left + 2)}
+            for (row_id, column_id), cell in self._cells.items():
+                row_position = row_positions.get(row_id)
+                column_position = column_positions.get(column_id)
+                if row_position is not None and column_position is not None:
+                    result[(self._top + row_position - 1,
+                            self._left + column_position - 1)] = cell.value
         return result
 
     def get_cell(self, row: int, column: int) -> Cell:

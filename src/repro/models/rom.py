@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.grid.address import CellAddress
-from repro.grid.cell import Cell
+from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.models.base import DataModel, ModelKind
@@ -89,6 +89,21 @@ class RowOrientedModel(DataModel):
             for offset, cell in enumerate(cells):
                 if not cell.is_empty:
                     result[CellAddress(row, overlap.left + offset)] = cell
+        return result
+
+    def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        own = self.region()
+        overlap = own.intersection(region)
+        if overlap is None:
+            return {}
+        result: dict[tuple[int, int], CellValue] = {}
+        minor_start = overlap.left - self._left + 1
+        minor_end = overlap.right - self._left + 1
+        for row in range(overlap.top, overlap.bottom + 1):
+            cells = self._store.get_major_slice(row - self._top + 1, minor_start, minor_end)
+            for offset, cell in enumerate(cells):
+                if not cell.is_empty:
+                    result[(row, overlap.left + offset)] = cell.value
         return result
 
     def get_cell(self, row: int, column: int) -> Cell:

@@ -1,0 +1,339 @@
+"""Tests for the reactive recompute overhaul.
+
+Covers the interval-indexed dependency graph (containment lookups,
+overlapping ranges, unregister, sub-linear probe counts), the DataSpread
+batch API (equivalence with cell-by-cell edits, single topological pass,
+cycle detection at flush), topological ordering with mixed cell+range
+edges, the bulk range-read path, and the bounded evaluator parse cache.
+"""
+
+import pytest
+
+from repro.engine.dataspread import DataSpread
+from repro.errors import CircularDependencyError
+from repro.formula.dependencies import DependencyGraph, WIDE_COLUMN_SPAN
+from repro.formula.evaluator import Evaluator
+from repro.grid.address import CellAddress
+from repro.grid.sheet import Sheet
+
+
+def addr(reference: str) -> CellAddress:
+    return CellAddress.from_a1(reference)
+
+
+class TestIntervalIndex:
+    def test_overlapping_ranges_all_found(self):
+        graph = DependencyGraph()
+        graph.register(addr("D1"), "SUM(A1:A100)")
+        graph.register(addr("E1"), "SUM(A50:A60)")
+        graph.register(addr("F1"), "SUM(B1:B10)")
+        assert graph.direct_dependents(addr("A55")) == {addr("D1"), addr("E1")}
+        assert graph.direct_dependents(addr("A5")) == {addr("D1")}
+        assert graph.direct_dependents(addr("B5")) == {addr("F1")}
+        assert graph.direct_dependents(addr("C5")) == set()
+
+    def test_unregister_removes_from_index(self):
+        graph = DependencyGraph()
+        graph.register(addr("D1"), "SUM(A1:A100)")
+        graph.register(addr("E1"), "SUM(A50:A60)")
+        graph.unregister(addr("E1"))
+        assert graph.direct_dependents(addr("A55")) == {addr("D1")}
+        graph.unregister(addr("D1"))
+        assert graph.direct_dependents(addr("A55")) == set()
+
+    def test_reregister_replaces_old_range(self):
+        graph = DependencyGraph()
+        graph.register(addr("D1"), "SUM(A1:A100)")
+        graph.register(addr("D1"), "SUM(B1:B100)")
+        assert graph.direct_dependents(addr("A50")) == set()
+        assert graph.direct_dependents(addr("B50")) == {addr("D1")}
+
+    def test_multi_column_range(self):
+        graph = DependencyGraph()
+        graph.register(addr("Z1"), "SUM(A1:C10)")
+        for cell in ("A1", "B5", "C10"):
+            assert graph.direct_dependents(addr(cell)) == {addr("Z1")}
+        assert graph.direct_dependents(addr("D1")) == set()
+
+    def test_wide_range_uses_shared_bucket(self):
+        graph = DependencyGraph()
+        width = WIDE_COLUMN_SPAN + 36
+        end = CellAddress(5, width).to_a1()
+        graph.register(addr("AAA1"), f"SUM(A2:{end})")
+        assert graph.direct_dependents(CellAddress(3, width // 2)) == {addr("AAA1")}
+        assert graph.direct_dependents(CellAddress(1, width // 2)) == set()
+        assert graph.direct_dependents(CellAddress(3, width + 1)) == set()
+
+    def test_probe_counts_sublinear(self):
+        """The index must not touch every registered formula per lookup."""
+        graph = DependencyGraph()
+        formulas = 1_000
+        for index in range(formulas):
+            column_letter = CellAddress(1, index + 1).to_a1().rstrip("1")
+            graph.register(
+                CellAddress(1, 2_000 + index),
+                f"SUM({column_letter}1:{column_letter}100)",
+            )
+        graph.stats.reset()
+        hit = graph.direct_dependents(CellAddress(50, 5))
+        assert len(hit) == 1
+        indexed_probes = graph.stats.range_probes
+        assert indexed_probes < formulas / 10
+
+        graph.use_range_index = False
+        graph.stats.reset()
+        assert graph.direct_dependents(CellAddress(50, 5)) == hit
+        assert graph.stats.range_probes >= formulas - 1
+        assert indexed_probes * 10 < graph.stats.range_probes
+
+    def test_index_and_scan_agree_on_random_workload(self):
+        import random
+
+        rng = random.Random(7)
+        graph = DependencyGraph()
+        for index in range(300):
+            top = rng.randint(1, 400)
+            bottom = top + rng.randint(0, 60)
+            left = rng.randint(1, 30)
+            right = left + rng.randint(0, 80)  # some exceed WIDE_COLUMN_SPAN
+            region = f"{CellAddress(top, left).to_a1()}:{CellAddress(bottom, right).to_a1()}"
+            graph.register(CellAddress(500 + index, 1), f"SUM({region})")
+        for _ in range(200):
+            probe = CellAddress(rng.randint(1, 470), rng.randint(1, 120))
+            graph.use_range_index = True
+            indexed = graph.direct_dependents(probe)
+            graph.use_range_index = False
+            scanned = graph.direct_dependents(probe)
+            assert indexed == scanned
+
+
+class TestTopologicalOrder:
+    def test_mixed_cell_and_range_edges(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        graph.register(addr("C1"), "SUM(B1:B2)")
+        graph.register(addr("D1"), "C1*2")
+        order = graph.dependents_of(addr("A1"))
+        assert order == [addr("B1"), addr("C1"), addr("D1")]
+
+    def test_recompute_order_includes_dirty_formulas(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        graph.register(addr("C1"), "SUM(B1:B2)")
+        order = graph.recompute_order([addr("A1"), addr("C1")])
+        assert order == [addr("B1"), addr("C1")]
+        # A dirty formula precedes its own dependents even when registered last.
+        order = graph.recompute_order([addr("B1")])
+        assert order == [addr("B1"), addr("C1")]
+
+    def test_cycle_detection_via_ranges(self):
+        graph = DependencyGraph()
+        graph.register(addr("A1"), "SUM(B1:B5)")
+        graph.register(addr("B2"), "A1+1")
+        with pytest.raises(CircularDependencyError):
+            graph.dependents_of(addr("B1"))
+        assert graph.detect_cycle()
+
+
+class TestBatchedRecompute:
+    @staticmethod
+    def _apply_edits(spread: DataSpread) -> None:
+        spread.set_formula(1, 3, "A1+B1")          # C1
+        spread.set_formula(2, 3, "SUM(A1:A5)")     # C2
+        spread.set_formula(3, 3, "C1+C2")          # C3
+        for row in range(1, 6):
+            spread.set_value(row, 1, row * 10)     # A1..A5
+        spread.set_value(1, 2, 7)                  # B1
+
+    def test_batch_matches_cell_by_cell(self):
+        plain = DataSpread()
+        self._apply_edits(plain)
+        batched = DataSpread()
+        with batched.batch():
+            self._apply_edits(batched)
+        for row in range(1, 6):
+            for column in range(1, 4):
+                assert batched.get_value(row, column) == plain.get_value(row, column), (row, column)
+
+    def test_batch_runs_one_topological_pass(self):
+        spread = DataSpread()
+        with spread.batch():
+            self._apply_edits(spread)
+        assert spread.recompute_passes == 1
+        # Non-batched edits pay one pass each.
+        spread.set_value(5, 1, 99)
+        assert spread.recompute_passes == 2
+
+    def test_bulk_import_single_pass_and_values(self):
+        spread = DataSpread()
+        with spread.batch():
+            for column in range(1, 11):
+                letter = CellAddress(1, column).to_a1().rstrip("1")
+                spread.set_formula(101, column, f"SUM({letter}1:{letter}100)")
+        assert spread.recompute_passes == 1
+        spread.import_rows([[1] * 10 for _ in range(100)])
+        assert spread.recompute_passes == 2
+        assert spread.get_value(101, 4) == 100
+
+    def test_set_values_bulk(self):
+        spread = DataSpread()
+        spread.set_formula(1, 2, "SUM(A1:A50)")
+        written = spread.set_values((row, 1, 2) for row in range(1, 51))
+        assert written == 50
+        assert spread.get_value(1, 2) == 100
+        assert spread.recompute_passes == 2  # one for the formula, one for the bulk
+
+    def test_set_formula_inside_batch_defers_value(self):
+        spread = DataSpread()
+        with spread.batch():
+            assert spread.set_formula(1, 2, "A1*2") is None
+            spread.set_value(1, 1, 21)
+        assert spread.get_value(1, 2) == 42
+
+    def test_nested_batches_join(self):
+        spread = DataSpread()
+        with spread.batch():
+            spread.set_value(1, 1, 5)
+            with spread.batch():
+                spread.set_formula(1, 2, "A1+1")
+            assert spread.in_batch
+        assert not spread.in_batch
+        assert spread.recompute_passes == 1
+        assert spread.get_value(1, 2) == 6
+
+    def test_cycle_inside_batch_raises_at_flush(self):
+        spread = DataSpread()
+        with pytest.raises(CircularDependencyError):
+            with spread.batch():
+                spread.set_formula(1, 1, "B1+1")
+                spread.set_formula(1, 2, "A1+1")
+        # The batch is closed and buffered writes were not lost.
+        assert not spread.in_batch
+        assert spread.get_cell(1, 1).formula == "B1+1"
+
+    def test_batch_flushes_storage_in_bulk(self):
+        spread = DataSpread()
+        with spread.batch():
+            for row in range(1, 21):
+                spread.set_value(row, 1, row)
+            assert spread.cache.pending_count == 20
+            # Model not yet written; reads inside the batch come from pending.
+            assert spread.get_value(10, 1) == 10
+        assert spread.cache.pending_count == 0
+        assert spread.model.get_cell(10, 1).value == 10
+
+    def test_structural_edit_inside_batch_flushes_first(self):
+        spread = DataSpread()
+        with spread.batch():
+            spread.set_value(1, 1, "header")
+            spread.set_value(2, 1, "row1")
+            spread.insert_row_after(1)
+            spread.set_value(2, 1, "inserted")
+        assert spread.get_value(1, 1) == "header"
+        assert spread.get_value(2, 1) == "inserted"
+        assert spread.get_value(3, 1) == "row1"
+
+    def test_from_sheet_evaluates_in_dependency_order(self):
+        sheet = Sheet()
+        # Formula registered before the values it reads exist.
+        sheet.set_input(1, 3, "=SUM(A1:B1)")
+        sheet.set_input(1, 1, 4)
+        sheet.set_input(1, 2, 5)
+        spread = DataSpread.from_sheet(sheet)
+        assert spread.get_value(1, 3) == 9
+        assert spread.recompute_passes == 1
+
+
+class TestBulkRangeReads:
+    def test_range_formula_uses_one_bulk_model_read(self):
+        spread = DataSpread()
+        spread.import_rows([[row] for row in range(1, 101)])
+        calls = []
+        original = spread.model.get_values
+
+        def counting(region):
+            calls.append(region)
+            return original(region)
+
+        spread.model.get_values = counting
+        try:
+            assert spread.set_formula(1, 2, "SUM(A1:A100)") == 5050
+        finally:
+            del spread.model.get_values
+        assert len(calls) == 1
+        assert (calls[0].top, calls[0].bottom) == (1, 100)
+
+    def test_range_read_sees_pending_batch_writes(self):
+        spread = DataSpread()
+        with spread.batch():
+            for row in range(1, 11):
+                spread.set_value(row, 1, 3)
+            spread.set_formula(1, 2, "SUM(A1:A10)")
+        assert spread.get_value(1, 2) == 30
+
+    def test_model_get_values_matches_get_cells(self):
+        spread = DataSpread()
+        spread.import_rows([[1, None, 3], [None, 5, None]])
+        region = spread.used_range()
+        values = spread.model.get_values(region)
+        cells = spread.model.get_cells(region)
+        assert values == {(a.row, a.column): c.value for a, c in cells.items()}
+
+
+class TestReviewRegressions:
+    def test_bulk_update_cells_routes_like_update_cell_with_overlaps(self, tmp_path):
+        from repro.grid.range import RangeRef
+        from repro.models.hybrid import HybridDataModel, HybridRegion
+        from repro.models.rcv import RowColumnValueModel
+
+        model = HybridDataModel()
+        first = RowColumnValueModel(top=1, left=1, rows=10, columns=5)
+        second = RowColumnValueModel(top=5, left=1, rows=11, columns=5)
+        model.add_region(HybridRegion(RangeRef(1, 1, 10, 5), first))
+        model.add_region(HybridRegion(RangeRef(5, 1, 15, 5), second), allow_overlap=True)
+        # First item lands in the second region; the overlapping cell (7, 3)
+        # must still route to the first region, exactly like update_cell.
+        from repro.grid.cell import Cell
+
+        model.update_cells([(12, 3, Cell(value="deep")), (7, 3, Cell(value="bulk"))])
+        assert model.get_cell(7, 3).value == "bulk"
+        assert first.get_cell(7, 3).value == "bulk"
+        assert second.get_cell(7, 3).value is None
+
+    def test_import_csv_keeps_malformed_formula_as_text(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,=SUM(\n2,=A1+1\n")
+        spread = DataSpread()
+        assert spread.import_csv(path) == 2
+        assert spread.get_value(1, 2) == "=SUM("
+        assert spread.get_value(2, 2) == 2  # the valid formula still evaluates
+
+
+class TestParseCacheBounds:
+    def test_parse_cache_is_lru_bounded(self):
+        evaluator = Evaluator(lambda row, column: 0, parse_cache_capacity=4)
+        for index in range(10):
+            evaluator.evaluate(f"1+{index}")
+        assert evaluator.parse_cache_size == 4
+        # Most-recent formulas survive; the oldest were evicted.
+        evaluator.evaluate("1+9")
+        assert evaluator.parse_cache_size == 4
+
+    def test_parse_cache_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Evaluator(lambda row, column: 0, parse_cache_capacity=0)
+
+    def test_formula_parsed_once_per_registration(self, monkeypatch):
+        import repro.formula.evaluator as evaluator_module
+
+        calls = []
+        original = evaluator_module.parse_formula
+
+        def counting(text):
+            calls.append(text)
+            return original(text)
+
+        monkeypatch.setattr(evaluator_module, "parse_formula", counting)
+        spread = DataSpread()
+        spread.set_formula(1, 2, "A1*2+1")
+        assert calls.count("A1*2+1") == 1
