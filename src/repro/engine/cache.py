@@ -11,7 +11,8 @@ pending map and pushed to the storage layer in one bulk call (via
 ``bulk_writer`` when provided, else the per-cell writer).  Pending entries
 survive LRU eviction — a read miss consults the pending map before the
 loader — so a batch larger than the cache capacity still flushes completely
-and never reads stale storage.
+and never reads stale storage.  A failed batch can instead abandon its
+buffered writes with ``discard_deferred()``, leaving storage untouched.
 """
 
 from __future__ import annotations
@@ -138,6 +139,27 @@ class LRUCellCache:
         self._pending = None
         return flushed
 
+    def discard_deferred(self) -> int:
+        """Drop buffered writes *unflushed* and return to write-through mode.
+
+        Used when a batch body fails: the cached entries mirroring the
+        discarded writes are dropped too, so subsequent reads reload the
+        untouched storage state.  Returns the number of writes discarded.
+        """
+        if self._pending is None:
+            return 0
+        discarded = len(self._pending)
+        # Only entries mirroring buffered writes can diverge from storage;
+        # the rest of the working set stays warm.
+        for key in self._pending:
+            self._entries.pop(key, None)
+        self._pending = None
+        return discarded
+
+    def pending_items(self) -> list[tuple[tuple[int, int], Cell]]:
+        """All buffered writes, keyed by (row, column) (for batch overlays)."""
+        return list(self._pending.items()) if self._pending else []
+
     def pending_values(self, region: RangeRef) -> dict[tuple[int, int], Cell]:
         """The buffered writes falling inside ``region`` (for read overlays)."""
         if not self._pending:
@@ -145,8 +167,7 @@ class LRUCellCache:
         return {
             key: cell
             for key, cell in self._pending.items()
-            if region.top <= key[0] <= region.bottom
-            and region.left <= key[1] <= region.right
+            if region.contains_coordinates(key[0], key[1])
         }
 
     # ------------------------------------------------------------------ #

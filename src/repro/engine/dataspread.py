@@ -17,10 +17,12 @@ Every edit funnels into one reactive recompute path:
 * Batched edits (``with spread.batch(): ...``, ``set_values``, and the bulk
   entry points ``import_rows``/``import_csv``/``place_table``/
   ``from_sheet``) collect a *dirty set* instead of recomputing per cell.
-  When the outermost batch exits, the engine runs **one** topological
-  recompute over the union of dirty seeds and flushes the LRU cache's
-  buffered writes to the storage layer in bulk.  ``recompute_passes``
-  counts topological passes so tests can observe the batching.
+  When the outermost batch exits cleanly, the engine flushes the LRU
+  cache's buffered writes to the storage layer in bulk, then runs **one**
+  topological recompute over the union of dirty seeds; if the batch body
+  raises, the buffered writes are discarded and storage keeps its
+  pre-batch state.  ``recompute_passes`` counts topological passes so
+  tests can observe the batching.
 * Formulas are parsed exactly once: the parsed AST is shared between
   dependency registration and evaluation, and recomputes reuse the
   evaluator's bounded AST cache.
@@ -45,7 +47,12 @@ from repro.decomposition import (
 from repro.engine.cache import LRUCellCache
 from repro.engine.relational import TableValue
 from repro.engine.sql import execute_sql
-from repro.errors import FormulaEvaluationError, FormulaSyntaxError, LinkTableError
+from repro.errors import (
+    CircularDependencyError,
+    FormulaEvaluationError,
+    FormulaSyntaxError,
+    LinkTableError,
+)
 from repro.formula.ast_nodes import FormulaNode
 from repro.formula.dependencies import DependencyGraph
 from repro.formula.evaluator import DEFAULT_PARSE_CACHE_CAPACITY, Evaluator
@@ -115,7 +122,20 @@ class DataSpread:
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
         self._batch_depth = 0
-        self._batch_dirty: set[CellAddress] = set()
+        # Insertion-ordered dirty set (dict keys): with auto_evaluate off,
+        # batched formulas must evaluate in the order they were set.
+        self._batch_dirty: dict[CellAddress, None] = {}
+        # Pre-batch dependency registrations (first touch wins), so a failed
+        # batch can roll the graph back alongside its discarded writes.
+        self._batch_undo: dict[
+            CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]] | None
+        ] = {}
+        # Dirty cells whose writes a mid-batch flush already committed to
+        # storage: their registrations survive a failed batch and they still
+        # get recomputed, so flushed formulas never linger at value None.
+        self._batch_flushed: dict[CellAddress, None] = {}
+        # Pre-batch composite table values displaced inside the batch.
+        self._batch_composite_undo: dict[tuple[int, int], TableValue | None] = {}
         #: Number of topological recompute passes run so far (a batched edit
         #: of any size contributes exactly one; exposed for tests/benchmarks).
         self.recompute_passes = 0
@@ -198,11 +218,20 @@ class DataSpread:
         Inside the ``with`` block, ``set_value``/``set_formula``/
         ``clear_cell`` only record dirty cells (``set_formula`` returns
         ``None``; its value materialises at batch exit).  When the outermost
-        batch exits cleanly, the engine evaluates the dirty formulas and all
-        their transitive dependents in one topological pass, then flushes
-        the buffered cache writes to the storage layer in bulk.  Nested
-        batches join the outermost one.  If the body raises, buffered
-        writes are still flushed but no recompute runs.
+        batch exits cleanly, the engine flushes the buffered writes to the
+        storage layer in bulk, then evaluates the dirty formulas and all
+        their transitive dependents in one topological pass.  Nested
+        batches join the outermost one.  If an exception unwinds the
+        outermost batch, the buffered writes are *discarded* and dependency
+        registrations made inside the batch are rolled back — no recompute
+        runs and storage keeps its pre-batch state — rather than persisting
+        a half-applied batch.  Two scoping caveats: a *nested* batch is not
+        a savepoint, so catching its exception inside the outer batch keeps
+        its edits in the outer batch (join semantics); and structural edits
+        inside the batch flush the writes buffered so far — those flushed
+        writes persist, registrations included, and their cells are still
+        recomputed on abort.  Bulk reads overlay the buffered writes
+        without flushing, so reading never commits anything.
         """
         if self._batch_depth == 0:
             self._cache.begin_deferred()
@@ -212,18 +241,57 @@ class DataSpread:
         except BaseException:
             self._batch_depth -= 1
             if self._batch_depth == 0:
-                self._batch_dirty.clear()
-                self._cache.end_deferred()
+                self._abort_batch()
             raise
         self._batch_depth -= 1
         if self._batch_depth == 0:
             try:
-                dirty = self._batch_dirty
-                self._batch_dirty = set()
+                dirty = self._batch_flushed
+                dirty.update(self._batch_dirty)
+                self._batch_dirty = {}
+                self._batch_flushed = {}
+                self._batch_undo = {}
+                self._batch_composite_undo = {}
                 if dirty:
+                    # Land the batch's raw writes before recomputing so
+                    # range reads during the recompute go straight to the
+                    # bulk model path instead of overlaying (and linearly
+                    # scanning) a pending map holding every batched cell.
+                    self._cache.flush_pending()
                     self._recompute_batch(dirty)
             finally:
                 self._cache.end_deferred()
+
+    def _abort_batch(self) -> None:
+        """Roll back a batch whose body raised.
+
+        Unflushed writes are discarded and their dependency registrations
+        restored; composite values displaced by the batch are reinstated.
+        Writes a mid-batch flush already committed stay committed — their
+        cells are recomputed so no flushed formula is left at value None.
+        """
+        undo = self._batch_undo
+        flushed = self._batch_flushed
+        composites = self._batch_composite_undo
+        self._batch_undo = {}
+        self._batch_dirty = {}
+        self._batch_flushed = {}
+        self._batch_composite_undo = {}
+        for address, snapshot in undo.items():
+            self._dependencies.restore_registration(address, snapshot)
+        for key, table in composites.items():
+            if table is None:
+                self._composite_values.pop(key, None)
+            else:
+                self._composite_values[key] = table
+        self._cache.discard_deferred()
+        if flushed:
+            try:
+                self._recompute_batch(flushed)
+            except CircularDependencyError:
+                # A flushed cycle cannot be evaluated mid-unwind; the cells
+                # keep their stored values until the cycle is edited away.
+                pass
 
     @property
     def in_batch(self) -> bool:
@@ -255,9 +323,21 @@ class DataSpread:
         return self.get_cell(row, column).value
 
     def get_cells(self, region: RangeRef | str) -> dict[CellAddress, Cell]:
-        """The ``getCells(range)`` primitive: all filled cells in a rectangle."""
+        """The ``getCells(range)`` primitive: all filled cells in a rectangle.
+
+        Inside an open batch the buffered writes are overlaid (not flushed),
+        so bulk reads see the batch's own edits just like per-cell
+        ``get_value`` while the batch stays fully discardable.
+        """
         region = RangeRef.from_a1(region) if isinstance(region, str) else region
-        return self._model.get_cells(region)
+        result = self._model.get_cells(region)
+        for key, cell in self._cache.pending_values(region).items():
+            address = CellAddress(key[0], key[1])
+            if cell.is_empty:
+                result.pop(address, None)  # a buffered clear
+            else:
+                result[address] = cell
+        return result
 
     def get_range_values(self, region: RangeRef | str) -> list[list[CellValue]]:
         """Dense 2-D values for a rectangle (empty cells are ``None``)."""
@@ -280,12 +360,33 @@ class DataSpread:
         return self.get_range_values(region)
 
     def used_range(self) -> RangeRef:
-        """The bounding rectangle of everything stored."""
-        return self._model.region()
+        """The bounding rectangle of everything stored or buffered in a batch."""
+        region: RangeRef | None = self._model.region()
+        if region == RangeRef(1, 1, 1, 1) and self._model.cell_count() == 0:
+            region = None  # the empty-sheet sentinel, not a real extent
+        for (row, column), cell in self._cache.pending_items():
+            if cell.is_empty:
+                continue
+            box = RangeRef(row, column, row, column)
+            region = box if region is None else region.union_bounding(box)
+        # Match the model's empty-sheet sentinel when nothing is stored.
+        return region if region is not None else RangeRef(1, 1, 1, 1)
 
     def cell_count(self) -> int:
-        """Number of filled cells stored across all regions."""
-        return self._model.cell_count()
+        """Number of filled cells stored across all regions.
+
+        Inside an open batch the count already reflects the buffered writes
+        as if they were flushed (one storage probe per pending cell), so it
+        agrees with the value the flush will produce.
+        """
+        count = self._model.cell_count()
+        for (row, column), cell in self._cache.pending_items():
+            stored = bool(self._model.get_cells(RangeRef(row, column, row, column)))
+            if cell.is_empty:
+                count -= 1 if stored else 0
+            elif not stored:
+                count += 1
+        return count
 
     # ------------------------------------------------------------------ #
     # cell writes
@@ -301,10 +402,12 @@ class DataSpread:
 
     def set_value(self, row: int, column: int, value: CellValue) -> None:
         """The ``updateCell`` primitive for constants; dependents re-evaluate."""
-        self._set_constant(row, column, value)
         address = CellAddress(row, column)
         if self.in_batch:
-            self._batch_dirty.add(address)
+            self._snapshot_registration(address)
+        self._set_constant(row, column, value)
+        if self.in_batch:
+            self._batch_dirty[address] = None
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -317,10 +420,12 @@ class DataSpread:
         text = formula[1:] if formula.startswith("=") else formula
         address = CellAddress(row, column)
         node = self._evaluator.parse(text)
+        if self.in_batch:
+            self._snapshot_registration(address)
         self._dependencies.register(address, node)
         if self.in_batch:
             self._cache.put(row, column, Cell(value=None, formula=text))
-            self._batch_dirty.add(address)
+            self._batch_dirty[address] = None
             return None
         value = self._safe_evaluate(node)
         self._cache.put(row, column, Cell(value=value, formula=text))
@@ -331,11 +436,14 @@ class DataSpread:
     def clear_cell(self, row: int, column: int) -> None:
         """Empty a cell and re-evaluate its dependents."""
         address = CellAddress(row, column)
+        if self.in_batch:
+            self._snapshot_registration(address)
+            self._snapshot_composite((row, column))
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell())
         self._composite_values.pop((row, column), None)
         if self.in_batch:
-            self._batch_dirty.add(address)
+            self._batch_dirty[address] = None
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -347,6 +455,9 @@ class DataSpread:
         self._flush_batch_writes()
         self._model.insert_row_after(row, count)
         self._cache.clear()
+        self._remap_batch_addresses(
+            lambda a: CellAddress(a.row + count, a.column) if a.row > row else a
+        )
 
     def delete_row(self, row: int, count: int = 1) -> None:
         """Delete rows."""
@@ -354,17 +465,38 @@ class DataSpread:
         self._model.delete_row(row, count)
         self._cache.clear()
 
+        def remap(address: CellAddress) -> CellAddress | None:
+            if address.row > row + count - 1:
+                return CellAddress(address.row - count, address.column)
+            if address.row >= row:
+                return None  # the cell was deleted
+            return address
+
+        self._remap_batch_addresses(remap)
+
     def insert_column_after(self, column: int, count: int = 1) -> None:
         """Insert columns."""
         self._flush_batch_writes()
         self._model.insert_column_after(column, count)
         self._cache.clear()
+        self._remap_batch_addresses(
+            lambda a: CellAddress(a.row, a.column + count) if a.column > column else a
+        )
 
     def delete_column(self, column: int, count: int = 1) -> None:
         """Delete columns."""
         self._flush_batch_writes()
         self._model.delete_column(column, count)
         self._cache.clear()
+
+        def remap(address: CellAddress) -> CellAddress | None:
+            if address.column > column + count - 1:
+                return CellAddress(address.row, address.column - count)
+            if address.column >= column:
+                return None  # the cell was deleted
+            return address
+
+        self._remap_batch_addresses(remap)
 
     # ------------------------------------------------------------------ #
     # storage optimisation
@@ -475,6 +607,8 @@ class DataSpread:
                     if value is not None:
                         self.set_value(row, anchor.column + offset, value)
                 row += 1
+        if self.in_batch:
+            self._snapshot_composite((anchor.row, anchor.column))
         self._composite_values[(anchor.row, anchor.column)] = table
         bottom = max(row - 1, anchor.row)
         right = anchor.column + max(table.column_count - 1, 0)
@@ -492,6 +626,51 @@ class DataSpread:
         address = CellAddress(row, column)
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell(value=value))
+
+    def _snapshot_registration(self, address: CellAddress) -> None:
+        """Capture a cell's pre-batch dependency registration (first touch)."""
+        if address not in self._batch_undo:
+            self._batch_undo[address] = self._dependencies.snapshot_registration(address)
+
+    def _remap_batch_addresses(self, mapper) -> None:
+        """Renumber batch bookkeeping after a mid-batch structural edit.
+
+        Dirty/flushed addresses are remapped and the dependency
+        registrations of moved formulas are re-keyed to their new
+        coordinates, so the batch-exit recompute orders them and later
+        precedent edits still reach them.  ``mapper`` returns the new
+        address, or ``None`` for a deleted cell.  (Formulas set *outside*
+        the batch keep their un-renumbered registrations — a pre-existing
+        limitation tracked in ROADMAP.md.)
+        """
+        if not self.in_batch:
+            return
+        moves: dict[CellAddress, CellAddress | None] = {}
+        for attribute in ("_batch_dirty", "_batch_flushed"):
+            remapped: dict[CellAddress, None] = {}
+            for address in getattr(self, attribute):
+                moved = mapper(address)
+                if moved is not None:
+                    remapped[moved] = None
+                if moved != address:
+                    moves[address] = moved
+            setattr(self, attribute, remapped)
+        if moves:
+            # Capture every snapshot before tearing any registration down:
+            # with chained shifts, one cell's new address is another's old.
+            snapshots = {
+                old: self._dependencies.snapshot_registration(old) for old in moves
+            }
+            for old in moves:
+                self._dependencies.unregister(old)
+            for old, new in moves.items():
+                if new is not None and snapshots[old] is not None:
+                    self._dependencies.restore_registration(new, snapshots[old])
+
+    def _snapshot_composite(self, key: tuple[int, int]) -> None:
+        """Capture a composite value about to be displaced (first touch)."""
+        if key not in self._batch_composite_undo:
+            self._batch_composite_undo[key] = self._composite_values.get(key)
 
     def _load_cell(self, row: int, column: int) -> Cell:
         return self._model.get_cell(row, column)
@@ -531,7 +710,7 @@ class DataSpread:
         for dependent in self._dependencies.dependents_of(changed):
             self._reevaluate(dependent)
 
-    def _recompute_batch(self, dirty: set[CellAddress]) -> None:
+    def _recompute_batch(self, dirty: dict[CellAddress, None]) -> None:
         """One topological recompute over the union of a batch's dirty seeds."""
         if self.auto_evaluate:
             self.recompute_passes += 1
@@ -539,8 +718,12 @@ class DataSpread:
                 self._reevaluate(address)
         else:
             # Match the non-batch contract: a stored formula still computes
-            # its own value even when dependent propagation is disabled.
-            for address in sorted(dirty, key=lambda a: (a.row, a.column)):
+            # its own value even when dependent propagation is disabled,
+            # and it does so in first-set order.  When each cell is edited
+            # at most once in the batch this reproduces the identical
+            # un-batched call sequence exactly; a cell re-edited within one
+            # batch evaluates only its final formula, once.
+            for address in dirty:
                 self._reevaluate(address)
 
     def _reevaluate(self, address: CellAddress) -> None:
@@ -552,14 +735,23 @@ class DataSpread:
             self._cache.put(address.row, address.column, existing.with_value(value))
 
     def _flush_batch_writes(self) -> None:
-        """Push buffered batch writes to storage before a structural rebuild.
+        """Push buffered batch writes to storage mid-batch.
 
-        Structural operations mutate the model's coordinate space directly;
-        any writes still buffered against the old coordinates must land
-        first (the subsequent ``cache.clear()`` would discard them).
+        Used before structural rebuilds (which mutate the model's coordinate
+        space directly, so writes buffered against the old coordinates must
+        land first — the subsequent ``cache.clear()`` would discard them).
+
+        The flush is a *commit point*: the landed writes, their dependency
+        registrations, and any composite-value changes are no longer rolled
+        back if the batch body later raises, but the flushed cells still
+        get the batch-exit recompute (or the abort-path recompute).
         """
         if self.in_batch:
             self._cache.flush_pending()
+            self._batch_flushed.update(self._batch_dirty)
+            self._batch_dirty = {}
+            self._batch_undo = {}
+            self._batch_composite_undo = {}
 
     def _snapshot_native_cells(self) -> Sheet:
         """Copy all cells except those owned by linked tables into a Sheet."""

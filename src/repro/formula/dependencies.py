@@ -196,9 +196,16 @@ class DependencyGraph:
         """
         self.unregister(address)
         cells, ranges = extract_references(formula)
-        cell_set = frozenset(cells)
-        self._precedents[address] = (cell_set, tuple(ranges))
-        for precedent in cell_set:
+        self._install(address, frozenset(cells), tuple(ranges))
+
+    def _install(
+        self,
+        address: CellAddress,
+        cells: frozenset[CellAddress],
+        ranges: tuple[RangeRef, ...],
+    ) -> None:
+        self._precedents[address] = (cells, ranges)
+        for precedent in cells:
             self._cell_dependents.setdefault(precedent, set()).add(address)
         for region in ranges:
             for key in self._bucket_keys(region):
@@ -206,6 +213,29 @@ class DependencyGraph:
                 if bucket is None:
                     bucket = self._range_buckets[key] = _StripeBucket()
                 bucket.add(address, region)
+
+    def snapshot_registration(
+        self, address: CellAddress
+    ) -> tuple[frozenset[CellAddress], tuple[RangeRef, ...]] | None:
+        """Snapshot of ``address``'s registration (``None`` when absent).
+
+        Unlike :meth:`precedents_of`, distinguishes an unregistered cell
+        from a registered formula with no references.  Pair with
+        :meth:`restore_registration` to roll back the registrations of a
+        failed batch.
+        """
+        return self._precedents.get(address)
+
+    def restore_registration(
+        self,
+        address: CellAddress,
+        snapshot: tuple[frozenset[CellAddress], tuple[RangeRef, ...]] | None,
+    ) -> None:
+        """Reset ``address``'s registration to a captured snapshot."""
+        self.unregister(address)
+        if snapshot is not None:
+            cells, ranges = snapshot
+            self._install(address, cells, ranges)
 
     def unregister(self, address: CellAddress) -> None:
         """Remove the formula at ``address`` from the graph (no-op if absent)."""

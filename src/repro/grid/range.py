@@ -98,6 +98,10 @@ class RangeRef:
             and self.left <= address.column <= self.right
         )
 
+    def contains_coordinates(self, row: int, column: int) -> bool:
+        """Like :meth:`contains`, without requiring a CellAddress allocation."""
+        return self.top <= row <= self.bottom and self.left <= column <= self.right
+
     def contains_range(self, other: "RangeRef") -> bool:
         """Whether ``other`` is entirely inside this range."""
         return (

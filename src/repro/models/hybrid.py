@@ -131,22 +131,56 @@ class HybridDataModel(DataModel):
         return total
 
     def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
-        result: dict[CellAddress, Cell] = {}
-        for entry in self._regions:
-            if entry.range.overlaps(region):
-                result.update(entry.model.get_cells(region))
-        if self._catch_all is not None:
-            result.update(self._catch_all.get_cells(region))
-        return result
+        """Bulk cell read with the same per-cell precedence as ``get_cell``:
+        the first containing region owns a coordinate (even where it stores
+        nothing) and the catch-all only supplies coordinates outside every
+        region."""
+        return self._merge_owned(
+            region,
+            lambda model: model.get_cells(region),
+            lambda address: (address.row, address.column),
+        )
 
     def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
-        result: dict[tuple[int, int], CellValue] = {}
+        """Bulk value read; per-cell precedence matches ``get_cell`` exactly
+        (first containing region wins, catch-all fills only unowned
+        coordinates), so range formulas agree with per-cell reads."""
+        return self._merge_owned(region, lambda model: model.get_values(region), lambda key: key)
+
+    def _merge_owned(self, region, read, coords):
+        """Merge per-model bulk reads under ``get_cell`` precedence.
+
+        ``read`` performs the bulk read against one model; ``coords`` maps a
+        result key to its (row, column).  A later model only contributes
+        keys outside every earlier region's rectangle, and a model whose
+        visible slice is entirely inside one earlier rectangle is skipped
+        without being read at all.
+        """
+        result: dict = {}
+        claimed: list[RangeRef] = []
         for entry in self._regions:
-            if entry.range.overlaps(region):
-                result.update(entry.model.get_values(region))
-        if self._catch_all is not None:
-            result.update(self._catch_all.get_values(region))
+            if not entry.range.overlaps(region):
+                continue
+            visible = entry.range.intersection(region)
+            if any(box.contains_range(visible) for box in claimed):
+                continue
+            self._merge_unclaimed(result, read(entry.model), claimed, coords)
+            claimed.append(entry.range)
+        if self._catch_all is not None and not any(
+            box.contains_range(region) for box in claimed
+        ):
+            self._merge_unclaimed(result, read(self._catch_all), claimed, coords)
         return result
+
+    @staticmethod
+    def _merge_unclaimed(result: dict, items: dict, claimed: list[RangeRef], coords) -> None:
+        if not claimed:
+            result.update(items)
+            return
+        for key, value in items.items():
+            row, column = coords(key)
+            if not any(box.contains_coordinates(row, column) for box in claimed):
+                result[key] = value
 
     def get_cell(self, row: int, column: int) -> Cell:
         owner = self._owning_region(row, column)
@@ -180,8 +214,7 @@ class HybridDataModel(DataModel):
         reuse_owner = not self._has_overlaps
         for row, column, cell in items:
             if reuse_owner and owner is not None:
-                box = owner.range
-                if not (box.top <= row <= box.bottom and box.left <= column <= box.right):
+                if not owner.range.contains_coordinates(row, column):
                     owner = self._owning_region(row, column)
             else:
                 owner = self._owning_region(row, column)
@@ -277,8 +310,7 @@ class HybridDataModel(DataModel):
     # ------------------------------------------------------------------ #
     def _owning_region(self, row: int, column: int) -> HybridRegion | None:
         for entry in self._regions:
-            box = entry.range
-            if box.top <= row <= box.bottom and box.left <= column <= box.right:
+            if entry.range.contains_coordinates(row, column):
                 return entry
         return None
 

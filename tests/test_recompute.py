@@ -300,6 +300,186 @@ class TestReviewRegressions:
         assert first.get_cell(7, 3).value == "bulk"
         assert second.get_cell(7, 3).value is None
 
+    def test_range_formula_over_linked_table_matches_per_cell_reads(self):
+        """get_values must give the owning region precedence over the
+        catch-all, exactly like get_cell, so SUM over a linked table that
+        overlaps pre-existing data does not resurrect stale values."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 100)
+        spread.set_value(2, 1, 200)
+        spread.link_table("t", at="A1", columns=["v"], rows=[[1], [2]], header=False)
+        assert spread.get_value(1, 1) == 1
+        assert spread.get_value(2, 1) == 2
+        assert spread.set_formula(1, 2, "SUM(A1:A2)") == 3
+        assert spread.get_range_values("A1:A2") == [[1], [2]]
+
+    def test_batch_body_exception_discards_buffered_writes(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, "keep")
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_value(1, 1, "doomed")
+                spread.set_formula(1, 2, "A1*2")
+                raise RuntimeError("boom")
+        assert not spread.in_batch
+        assert spread.cache.pending_count == 0
+        # Storage kept its pre-batch state: no half-applied writes and no
+        # formula persisted with a never-computed None value.
+        assert spread.get_value(1, 1) == "keep"
+        assert spread.model.get_cell(1, 2).formula is None
+        assert spread.get_cell(1, 2).formula is None
+
+    def test_batch_body_exception_rolls_back_dependency_registrations(self):
+        spread = DataSpread()
+        spread.set_formula(1, 1, "SUM(B1:B10)")  # A1 reads column B
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_formula(2, 2, "A1+1")   # B2 -> A1 would close a cycle
+                spread.set_formula(1, 1, "C1*2")   # replaces A1's precedents
+                raise RuntimeError("boom")
+        # The phantom B2 registration is gone: editing column B must not
+        # trip cycle detection, and A1 still reads its original precedents.
+        spread.set_value(5, 2, 42)
+        assert spread.get_value(1, 1) == 42
+        spread.set_value(3, 1, 0)  # C1 edits no longer reach A1
+        assert spread.dependency_graph.direct_dependents(addr("C1")) == set()
+
+    def test_mid_batch_flush_then_exception_leaves_no_zombie_formula(self):
+        """A flush inside the batch commits the flushed writes: on a later
+        body exception their registrations survive and the flushed formula
+        is recomputed instead of lingering at value None forever."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 4)
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_formula(1, 2, "A1+1")
+                spread.insert_row_after(10)  # structural edit flushes (commits)
+                raise RuntimeError("boom")
+        assert spread.get_value(1, 2) == 5  # recomputed on abort, not None
+        spread.set_value(1, 1, 10)          # registration survived
+        assert spread.get_value(1, 2) == 11
+
+    def test_structural_shift_mid_batch_remaps_dirty_addresses(self):
+        """A row insert that shifts a batched formula must not strand the
+        batch-exit recompute on the pre-shift coordinates."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 4)
+        with spread.batch():
+            spread.set_formula(20, 1, "A1+1")
+            spread.insert_row_after(5)  # shifts the formula to row 21
+        assert spread.get_value(21, 1) == 5
+        assert spread.get_cell(20, 1).formula is None
+        # The registration moved with the cell: it stays reactive.
+        spread.set_value(1, 1, 10)
+        assert spread.get_value(21, 1) == 11
+
+    def test_used_range_inside_batch_matches_post_flush_value(self):
+        spread = DataSpread()
+        with spread.batch():
+            spread.set_value(5, 5, "x")
+            inside = spread.used_range()
+        assert inside == spread.used_range()
+
+    def test_cell_count_agrees_inside_and_outside_batch_with_overlaps(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, 100)
+        spread.set_value(2, 1, 200)
+        spread.link_table("t", at="A1", columns=["v"], rows=[[1], [2]], header=False)
+        outside = spread.cell_count()
+        with spread.batch():
+            spread.set_value(9, 9, "pending")
+            assert spread.cell_count() == outside + 1
+        assert spread.cell_count() == outside + 1
+
+    def test_failed_batch_restores_displaced_composite_value(self):
+        from repro.engine.relational import TableValue
+
+        spread = DataSpread()
+        table = TableValue(columns=["v"], rows=[(1,)])
+        spread.place_table(table, at="A1")
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.clear_cell(1, 1)
+                raise RuntimeError("boom")
+        assert spread.composite_at("A1") is table
+
+    def test_bulk_reads_inside_batch_see_buffered_writes(self):
+        spread = DataSpread()
+        with spread.batch():
+            spread.set_value(1, 1, 5)
+            assert spread.get_range_values("A1:A1") == [[5]]
+            assert spread.scroll(1, height=1, width=1) == [[5]]
+            assert spread.cell_count() == 1
+            assert spread.used_range().to_a1() == "A1"
+        assert spread.get_value(1, 1) == 5
+
+    def test_bulk_reads_inside_batch_do_not_commit(self):
+        """Reads overlay the buffered writes without flushing, so a later
+        body exception still discards the whole batch."""
+        spread = DataSpread()
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_value(1, 1, "doomed")
+                assert spread.get_range_values("A1:A1") == [["doomed"]]
+                assert spread.cell_count() == 1
+                raise RuntimeError("boom")
+        assert spread.get_value(1, 1) is None
+        assert spread.cell_count() == 0
+
+    def test_nested_batch_is_not_a_savepoint(self):
+        """Nested batches join the outermost one: catching an inner batch's
+        exception inside the outer batch keeps the inner edits."""
+        spread = DataSpread()
+        with spread.batch():
+            try:
+                with spread.batch():
+                    spread.set_value(1, 1, "inner")
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            spread.set_value(1, 2, "outer")
+        assert spread.get_value(1, 1) == "inner"
+        assert spread.get_value(1, 2) == "outer"
+
+    def test_batch_without_auto_evaluate_matches_unbatched_order(self):
+        """With auto_evaluate off, batched formulas evaluate in the order
+        they were set — same as the identical un-batched call sequence
+        (guaranteed when each cell is edited at most once per batch)."""
+        def edits(spread):
+            spread.set_value(1, 1, 1)          # A1
+            spread.set_formula(1, 3, "B1+1")   # C1 reads B1 before B1 is set
+            spread.set_formula(1, 2, "A1+1")   # B1
+
+        plain = DataSpread(auto_evaluate=False)
+        edits(plain)
+        batched = DataSpread(auto_evaluate=False)
+        with batched.batch():
+            edits(batched)
+        for column in (1, 2, 3):
+            assert batched.get_value(1, column) == plain.get_value(1, column), column
+
+    def test_batch_flushes_raw_writes_before_recompute(self):
+        """At recompute time the batch's raw writes are already in storage,
+        so range reads do not scan a pending map holding every batched cell."""
+        spread = DataSpread()
+        pending_at_range_read = []
+        original = spread.model.get_values
+
+        def probing(region):
+            pending_at_range_read.append(spread.cache.pending_count)
+            return original(region)
+
+        spread.model.get_values = probing
+        try:
+            with spread.batch():
+                for row in range(1, 51):
+                    spread.set_value(row, 1, 1)
+                spread.set_formula(1, 2, "SUM(A1:A50)")
+        finally:
+            del spread.model.get_values
+        assert spread.get_value(1, 2) == 50
+        assert pending_at_range_read == [0]
+
     def test_import_csv_keeps_malformed_formula_as_text(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("1,=SUM(\n2,=A1+1\n")
