@@ -1,0 +1,28 @@
+# Developer entry points. Everything runs from the repository root with the
+# in-tree sources on PYTHONPATH (no install step required).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check examples all
+
+## Tier-1 test suite (fast; what CI gates on).
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+## Paper-figure benchmarks (slow; pytest-benchmark).
+bench:
+	$(PYTHON) -m pytest -q benchmarks
+
+## Execute every Python snippet embedded in the docs; fails if any raises.
+docs-check:
+	$(PYTHON) scripts/check_docs.py README.md
+
+## Run the example walkthroughs end to end.
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/customer_management.py
+	$(PYTHON) examples/genomics_vcf.py
+	$(PYTHON) examples/storage_tuning.py
+
+all: test docs-check

@@ -49,6 +49,25 @@ def main() -> None:
     for row in summary.rows:
         print(f"  {row[0]:<22} {row[1]:>3} invoices  ${row[2]:>10.2f}")
 
+    # A grand-total formula over the spilled totals, registered *before*
+    # restructuring: inserting a row shifts both the data and the formula's
+    # references, so the recomputed value is unchanged.
+    grand_row = region.bottom + 2
+    grand = spread.set_formula(grand_row, 1, f"=SUM(C{region.top + 1}:C{region.bottom})")
+    spread.insert_row_after(region.top)  # a blank separator under the header
+    shifted = spread.get_cell(grand_row + 1, 1)
+    assert shifted.formula == f"SUM(C{region.top + 2}:C{region.bottom + 1})"
+    assert spread.get_value(grand_row + 1, 1) == grand
+    print(f"Grand total ${grand:,.2f} survived the row insert; its formula "
+          f"is now ={shifted.formula}")
+
+    # Deleting the top supplier's row contracts the straddled range and
+    # triggers a recompute at the formula's (shifted-back) home.
+    spread.delete_row(region.top + 2)
+    remaining = spread.get_value(grand_row, 1)
+    assert abs(remaining - (grand - summary.rows[0][2])) < 1e-6
+    print(f"Grand total without {summary.rows[0][0]}: ${remaining:,.2f}")
+
     # Relational operators on composite table values: top overdue invoices.
     invoice_table = spread.sql("SELECT inv_id, amount, status, due_day FROM invoice")
     overdue = select(invoice_table, lambda r: r["status"] == "overdue")

@@ -48,9 +48,28 @@ def main() -> None:
     for visible_row in window:
         print(visible_row)
 
-    # Row insertion shifts everything below without renumbering stored tuples.
+    # Row insertion shifts everything below without renumbering stored
+    # tuples — and every formula's references shift with their referents.
+    class_average = spread.get_value(7, 6)
     spread.insert_row_after(1)
     print("After inserting a row, Alice now lives on row 3:", spread.get_value(3, 1))
+    assert spread.get_cell(3, 6).formula == "AVERAGE(B3:C3)+D3+E3"
+    assert spread.get_cell(8, 6).formula == "AVERAGE(F3:F6)"
+    assert spread.get_value(8, 6) == class_average
+    print("Class-average formula after the insert:", spread.get_cell(8, 6).formula)
+
+    # The shifted formulas stay reactive: regrading Bob (now row 4)
+    # recomputes his total and the class average at their new homes.
+    spread.set_value(4, 5, 50)
+    assert spread.get_value(4, 6) == 7.5 + 25 + 50
+    assert spread.get_value(8, 6) != class_average
+    print("Class average after Bob's regrade:", spread.get_value(8, 6))
+
+    # Deleting a student's row collapses references to it into #REF!,
+    # while ranges merely straddling the deletion contract.
+    spread.delete_row(6)  # Dave
+    assert spread.get_cell(7, 6).formula == "AVERAGE(F3:F5)"
+    print("Class average without Dave:", spread.get_value(7, 6))
 
     # Ask the hybrid optimizer to (re)plan the physical layout.
     plan = spread.optimize_storage("aggressive")

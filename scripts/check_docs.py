@@ -1,0 +1,58 @@
+"""Execute the Python snippets embedded in Markdown docs.
+
+Used by ``make docs-check``: extracts every fenced ```python code block from
+the given Markdown files and runs each one in a fresh namespace. A snippet
+that raises (including a failed ``assert``) fails the check, so README
+examples cannot silently rot.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py README.md [more.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+_FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def extract_snippets(text: str) -> list[str]:
+    """Return the bodies of all ```python fenced blocks, in order."""
+    return [match.group(1) for match in _FENCE.finditer(text)]
+
+
+def check_file(path: Path) -> int:
+    """Run every snippet in ``path``; return the number of failures."""
+    snippets = extract_snippets(path.read_text(encoding="utf-8"))
+    if not snippets:
+        print(f"{path}: no python snippets")
+        return 0
+    failures = 0
+    for index, snippet in enumerate(snippets, start=1):
+        try:
+            exec(compile(snippet, f"{path}:snippet-{index}", "exec"), {"__name__": "__docs__"})
+        except Exception:
+            failures += 1
+            print(f"FAIL {path} snippet {index}:")
+            traceback.print_exc()
+        else:
+            print(f"ok   {path} snippet {index}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(argument) for argument in argv] or [Path("README.md")]
+    failures = sum(check_file(path) for path in paths)
+    if failures:
+        print(f"{failures} snippet(s) failed")
+        return 1
+    print("all doc snippets ran cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,27 @@ Every edit funnels into one reactive recompute path:
 * Range references (``SUM(A1:A10000)``) materialise through the model-level
   ``get_values`` bulk read — one call per range, no per-cell cache probes —
   overlaid with any writes still buffered in the current batch.
+
+Structural-edit reference rewriting
+-----------------------------------
+Row/column inserts and deletes (``insert_row_after``/``delete_row``/
+``insert_column_after``/``delete_column``) keep formulas live instead of
+letting them silently read shifted cells:
+
+* The storage model shifts first (no cascading renumbering of stored
+  tuples), then ``DependencyGraph.apply_structural_edit`` re-keys every
+  dependency registration — formula-cell keys, precedent cells, and range
+  spans — through the same coordinate mapping
+  (:class:`~repro.formula.rewrite.StructuralEdit`).
+* Formulas whose precedents moved get their source text rewritten: the old
+  text parses through the bounded AST cache, the AST is shifted with
+  :func:`~repro.formula.rewrite.rewrite_formula` (ranges straddling the
+  edit expand or contract; fully deleted referents collapse to ``#REF!``),
+  serialized back to text, and primed into the cache.
+* The rewritten formulas and their transitive dependents recompute in one
+  topological pass.  Mid-batch, the edit is a commit point: buffered writes
+  flush first, pre-batch and batch-local formulas are renumbered alike, and
+  the rewritten cells join the batch's recompute at exit.
 """
 
 from __future__ import annotations
@@ -56,6 +77,8 @@ from repro.errors import (
 from repro.formula.ast_nodes import FormulaNode
 from repro.formula.dependencies import DependencyGraph
 from repro.formula.evaluator import DEFAULT_PARSE_CACHE_CAPACITY, Evaluator
+from repro.formula.rewrite import StructuralEdit, rewrite_formula
+from repro.formula.serializer import to_formula
 from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
@@ -451,52 +474,99 @@ class DataSpread:
     # structural operations
     # ------------------------------------------------------------------ #
     def insert_row_after(self, row: int, count: int = 1) -> None:
-        """Insert rows; stored data shifts without cascading renumbering."""
-        self._flush_batch_writes()
-        self._model.insert_row_after(row, count)
-        self._cache.clear()
-        self._remap_batch_addresses(
-            lambda a: CellAddress(a.row + count, a.column) if a.row > row else a
+        """Insert rows; stored data shifts and formula references shift with it."""
+        self._apply_structural_edit(
+            StructuralEdit.insert_rows(row, count),
+            lambda: self._model.insert_row_after(row, count),
         )
 
     def delete_row(self, row: int, count: int = 1) -> None:
-        """Delete rows."""
-        self._flush_batch_writes()
-        self._model.delete_row(row, count)
-        self._cache.clear()
-
-        def remap(address: CellAddress) -> CellAddress | None:
-            if address.row > row + count - 1:
-                return CellAddress(address.row - count, address.column)
-            if address.row >= row:
-                return None  # the cell was deleted
-            return address
-
-        self._remap_batch_addresses(remap)
+        """Delete rows; references to deleted cells collapse to ``#REF!``."""
+        self._apply_structural_edit(
+            StructuralEdit.delete_rows(row, count),
+            lambda: self._model.delete_row(row, count),
+        )
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
-        """Insert columns."""
-        self._flush_batch_writes()
-        self._model.insert_column_after(column, count)
-        self._cache.clear()
-        self._remap_batch_addresses(
-            lambda a: CellAddress(a.row, a.column + count) if a.column > column else a
+        """Insert columns; stored data shifts and formula references shift with it."""
+        self._apply_structural_edit(
+            StructuralEdit.insert_columns(column, count),
+            lambda: self._model.insert_column_after(column, count),
         )
 
     def delete_column(self, column: int, count: int = 1) -> None:
-        """Delete columns."""
+        """Delete columns; references to deleted cells collapse to ``#REF!``."""
+        self._apply_structural_edit(
+            StructuralEdit.delete_columns(column, count),
+            lambda: self._model.delete_column(column, count),
+        )
+
+    def _apply_structural_edit(self, edit: StructuralEdit, model_op) -> None:
+        """One structural edit, end to end: shift storage, re-key the graph,
+        rewrite affected formula text, and recompute.
+
+        The sequence is a *commit point* even mid-batch: writes buffered so
+        far are flushed first (they were addressed against the pre-edit
+        coordinate space), the model shifts, the dependency graph re-keys
+        every registration — pre-batch and batch-local formulas alike — and
+        the formulas whose precedents moved get their source text rewritten
+        through the AST rewriter and serializer.  Outside a batch the
+        rewritten formulas and their transitive dependents recompute in one
+        topological pass; inside a batch they join the batch's dirty set and
+        recompute at batch exit.
+        """
         self._flush_batch_writes()
-        self._model.delete_column(column, count)
+        model_op()
         self._cache.clear()
+        rewrite = self._dependencies.apply_structural_edit(edit)
+        self._remap_batch_addresses(edit.map_address)
+        self._composite_values = {
+            (moved.row, moved.column): table
+            for (row, column), table in self._composite_values.items()
+            if (moved := edit.map_address(CellAddress(row, column))) is not None
+        }
+        dirty = self._rewrite_formula_texts(edit, rewrite.changed)
+        if self.in_batch:
+            # The rewritten texts belong to the commit point: land them now
+            # so an aborted batch cannot discard them and leave cell text
+            # disagreeing with the re-keyed graph.  The cells still get the
+            # batch-exit (or abort-path) recompute via the flushed set.
+            self._cache.flush_pending()
+            self._batch_flushed.update(dirty)
+        elif dirty:
+            try:
+                self._recompute_batch(dirty)
+            except CircularDependencyError:
+                # The structural edit itself succeeded; a pre-existing cycle
+                # among the shifted formulas cannot be evaluated, so the
+                # cells keep their stored values until the cycle is edited
+                # away (mirrors the abort-path recompute).
+                pass
 
-        def remap(address: CellAddress) -> CellAddress | None:
-            if address.column > column + count - 1:
-                return CellAddress(address.row, address.column - count)
-            if address.column >= column:
-                return None  # the cell was deleted
-            return address
+    def _rewrite_formula_texts(
+        self, edit: StructuralEdit, changed: Iterable[CellAddress]
+    ) -> dict[CellAddress, None]:
+        """Rewrite the stored source text of formulas whose references moved.
 
-        self._remap_batch_addresses(remap)
+        ``changed`` holds post-edit addresses; the cells already live there
+        (the model shifted first).  Each formula's old text parses through
+        the bounded AST cache, the AST is shifted, serialized, stored back,
+        and the new text/AST pair is primed into the cache so the recompute
+        does not re-parse it.  Returns the rewritten cells as a dirty set.
+        """
+        dirty: dict[CellAddress, None] = {}
+        for address in sorted(changed):
+            cell = self._cache.get(address.row, address.column)
+            if cell.formula is None:
+                continue  # graph and storage disagree; leave the cell alone
+            node, node_changed = rewrite_formula(self._evaluator.parse(cell.formula), edit)
+            if not node_changed:
+                continue
+            text = to_formula(node)
+            self._evaluator.prime(text, node)
+            self._cache.put(address.row, address.column, Cell(value=cell.value, formula=text))
+            dirty[address] = None
+        return dirty
 
     # ------------------------------------------------------------------ #
     # storage optimisation
@@ -635,37 +705,21 @@ class DataSpread:
     def _remap_batch_addresses(self, mapper) -> None:
         """Renumber batch bookkeeping after a mid-batch structural edit.
 
-        Dirty/flushed addresses are remapped and the dependency
-        registrations of moved formulas are re-keyed to their new
-        coordinates, so the batch-exit recompute orders them and later
-        precedent edits still reach them.  ``mapper`` returns the new
-        address, or ``None`` for a deleted cell.  (Formulas set *outside*
-        the batch keep their un-renumbered registrations — a pre-existing
-        limitation tracked in ROADMAP.md.)
+        Dirty/flushed addresses are remapped so the batch-exit recompute
+        finds the moved cells at their new coordinates.  ``mapper`` returns
+        the new address, or ``None`` for a deleted cell.  Dependency
+        registrations are *not* touched here — the graph re-keys every
+        registration itself in ``DependencyGraph.apply_structural_edit``.
         """
         if not self.in_batch:
             return
-        moves: dict[CellAddress, CellAddress | None] = {}
         for attribute in ("_batch_dirty", "_batch_flushed"):
             remapped: dict[CellAddress, None] = {}
             for address in getattr(self, attribute):
                 moved = mapper(address)
                 if moved is not None:
                     remapped[moved] = None
-                if moved != address:
-                    moves[address] = moved
             setattr(self, attribute, remapped)
-        if moves:
-            # Capture every snapshot before tearing any registration down:
-            # with chained shifts, one cell's new address is another's old.
-            snapshots = {
-                old: self._dependencies.snapshot_registration(old) for old in moves
-            }
-            for old in moves:
-                self._dependencies.unregister(old)
-            for old, new in moves.items():
-                if new is not None and snapshots[old] is not None:
-                    self._dependencies.restore_registration(new, snapshots[old])
 
     def _snapshot_composite(self, key: tuple[int, int]) -> None:
         """Capture a composite value about to be displaced (first touch)."""

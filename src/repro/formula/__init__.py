@@ -15,13 +15,20 @@ from repro.formula.ast_nodes import (
     BoolNode,
     CellRefNode,
     RangeRefNode,
+    ErrorNode,
     UnaryOpNode,
     BinaryOpNode,
     FunctionCallNode,
 )
 from repro.formula.parser import parse_formula
+from repro.formula.serializer import to_formula
+from repro.formula.rewrite import StructuralEdit, rewrite_formula
 from repro.formula.evaluator import Evaluator, extract_references
-from repro.formula.dependencies import DependencyGraph, DependencyGraphStats
+from repro.formula.dependencies import (
+    DependencyGraph,
+    DependencyGraphStats,
+    StructuralRewrite,
+)
 from repro.formula.functions import FUNCTION_REGISTRY, register_function
 
 __all__ = [
@@ -29,19 +36,24 @@ __all__ = [
     "Token",
     "TokenType",
     "parse_formula",
+    "to_formula",
     "FormulaNode",
     "NumberNode",
     "StringNode",
     "BoolNode",
     "CellRefNode",
     "RangeRefNode",
+    "ErrorNode",
     "UnaryOpNode",
     "BinaryOpNode",
     "FunctionCallNode",
+    "StructuralEdit",
+    "rewrite_formula",
     "Evaluator",
     "extract_references",
     "DependencyGraph",
     "DependencyGraphStats",
+    "StructuralRewrite",
     "FUNCTION_REGISTRY",
     "register_function",
 ]

@@ -46,16 +46,44 @@ class BoolNode(FormulaNode):
 
 @dataclass(frozen=True, slots=True)
 class CellRefNode(FormulaNode):
-    """A single-cell reference (e.g. ``B2``)."""
+    """A single-cell reference (e.g. ``B2`` or ``$B$2``).
+
+    ``column_absolute``/``row_absolute`` record the ``$`` markers of the
+    source text.  They do not affect evaluation or dependency tracking —
+    absoluteness matters for copy/fill semantics — but they survive the
+    serializer, so structural-edit rewriting never strips a user's ``$``.
+    """
 
     address: CellAddress
+    column_absolute: bool = False
+    row_absolute: bool = False
 
 
 @dataclass(frozen=True, slots=True)
 class RangeRefNode(FormulaNode):
-    """A rectangular range reference (e.g. ``B2:C10``)."""
+    """A rectangular range reference (e.g. ``B2:C10`` or ``$B$2:C$10``).
+
+    The four ``*_absolute`` flags mirror the ``$`` markers on the start and
+    end corners of the source text (see :class:`CellRefNode`).
+    """
 
     range: RangeRef
+    start_column_absolute: bool = False
+    start_row_absolute: bool = False
+    end_column_absolute: bool = False
+    end_row_absolute: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorNode(FormulaNode):
+    """A literal spreadsheet error such as ``#REF!``.
+
+    Produced by the parser for error literals and by the structural-edit
+    rewriter when a reference's entire referent was deleted.  Evaluating an
+    error node yields the error code itself.
+    """
+
+    code: str
 
 
 @dataclass(frozen=True, slots=True)

@@ -32,6 +32,39 @@ formula exactly once and share the AST between dependency extraction and
 evaluation.  ``recompute_order`` extends ``dependents_of`` for batched
 edits: it returns one topological order covering the dirty formula cells
 themselves plus every transitive dependent of the dirty set.
+
+Interval-index contract
+-----------------------
+The index answers exactly one question — *which formula cells read
+coordinate (row, column)?* — and maintains these invariants:
+
+* Every registered range appears in one bucket per spanned column (or the
+  single wide bucket when it spans more than :data:`WIDE_COLUMN_SPAN`
+  columns), keyed by the formula cell that owns it.
+* A bucket's interval tree is immutable once built; any mutation of the
+  bucket's entries (register, unregister, structural re-key) marks the
+  bucket *stale* and the tree is rebuilt lazily on the next stab.  Buckets
+  never share trees.
+* Lookup results are exact, not conservative: ``direct_dependents`` agrees
+  with the legacy linear scan (``use_range_index = False``) on every input.
+
+Structural-edit rewrite hook
+----------------------------
+:meth:`DependencyGraph.apply_structural_edit` keeps the graph live across
+row/column inserts and deletes.  Given a
+:class:`~repro.formula.rewrite.StructuralEdit` it re-keys every registration
+in place: formula-cell keys are shifted through the edit (registrations on
+deleted lines are dropped), precedent cells and range spans are shifted with
+the same mapping functions the AST rewriter uses (fully deleted precedents
+are removed — mirroring the reference collapsing to ``#REF!``), and the
+column-stripe buckets are rebuilt around the new spans.  Invalidation is
+*incremental*: a stripe whose entries are unchanged by the edit keeps its
+already-built interval tree (counted by ``stats.stripes_reused``) instead
+of being rebuilt, so an edit near the bottom of the sheet does not discard
+index work for untouched columns.  The returned
+:class:`StructuralRewrite` reports which formulas' precedents changed, so
+the engine can rewrite exactly those cells' formula text and seed one
+topological recompute.
 """
 
 from __future__ import annotations
@@ -43,6 +76,7 @@ from typing import Iterable, Sequence
 from repro.errors import CircularDependencyError
 from repro.formula.ast_nodes import FormulaNode
 from repro.formula.evaluator import extract_references
+from repro.formula.rewrite import StructuralEdit
 from repro.grid.address import CellAddress
 from repro.grid.range import RangeRef
 
@@ -61,11 +95,13 @@ class DependencyGraphStats:
     lookups: int = 0          # direct_dependents calls
     range_probes: int = 0     # interval entries examined while stabbing
     index_rebuilds: int = 0   # lazy interval-tree rebuilds
+    stripes_reused: int = 0   # built trees carried across a structural edit
 
     def reset(self) -> None:
         self.lookups = 0
         self.range_probes = 0
         self.index_rebuilds = 0
+        self.stripes_reused = 0
 
 
 class _IntervalTree:
@@ -172,6 +208,19 @@ class _StripeBucket:
                 out.add(address)
 
 
+@dataclass
+class StructuralRewrite:
+    """What :meth:`DependencyGraph.apply_structural_edit` did to the graph.
+
+    ``changed`` holds the *post-edit* addresses of formulas whose precedent
+    set shifted, expanded, contracted, or lost a referent — exactly the
+    formulas whose source text needs rewriting and whose values need one
+    topological recompute.
+    """
+
+    changed: set[CellAddress] = field(default_factory=set)
+
+
 class DependencyGraph:
     """Tracks which formula cells depend on which precedent cells/ranges."""
 
@@ -264,6 +313,67 @@ class DependencyGraph:
         if region.columns > WIDE_COLUMN_SPAN:
             return (_WIDE_BUCKET,)
         return range(region.left, region.right + 1)
+
+    # ------------------------------------------------------------------ #
+    def apply_structural_edit(self, edit: StructuralEdit) -> StructuralRewrite:
+        """Re-key every registration across a row/column insert or delete.
+
+        Formula-cell keys, precedent cells, and precedent range spans are
+        all shifted through ``edit`` with the same mapping the AST rewriter
+        applies to formula text, so the graph stays consistent with the
+        rewritten formulas without re-parsing a single one.  Registrations
+        whose own cell was deleted are dropped; precedents that were fully
+        deleted are removed from their formula's registration (the formula
+        itself survives — its reference now reads ``#REF!``).
+
+        Stripe invalidation is incremental: buckets whose entries come out
+        of the edit unchanged keep their already-built interval trees
+        (``stats.stripes_reused`` counts them); only genuinely affected
+        stripes are rebuilt on their next stab.
+        """
+        changed: set[CellAddress] = set()
+        new_precedents: dict[
+            CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]]
+        ] = {}
+        for address, (cells, ranges) in self._precedents.items():
+            new_address = edit.map_address(address)
+            if new_address is None:
+                continue  # the formula's own cell was deleted
+            new_cells = frozenset(
+                mapped for mapped in (edit.map_address(cell) for cell in cells)
+                if mapped is not None
+            )
+            new_ranges = tuple(
+                mapped for mapped in (edit.map_range(region) for region in ranges)
+                if mapped is not None
+            )
+            if new_cells != cells or new_ranges != ranges:
+                changed.add(new_address)
+            new_precedents[new_address] = (new_cells, new_ranges)
+        self._precedents = new_precedents
+
+        cell_dependents: dict[CellAddress, set[CellAddress]] = {}
+        for address, (cells, _ranges) in new_precedents.items():
+            for precedent in cells:
+                cell_dependents.setdefault(precedent, set()).add(address)
+        self._cell_dependents = cell_dependents
+
+        new_buckets: dict[int | None, _StripeBucket] = {}
+        for address, (_cells, ranges) in new_precedents.items():
+            for region in ranges:
+                for key in self._bucket_keys(region):
+                    bucket = new_buckets.get(key)
+                    if bucket is None:
+                        bucket = new_buckets[key] = _StripeBucket()
+                    bucket.add(address, region)
+        for key, bucket in new_buckets.items():
+            old = self._range_buckets.get(key)
+            if old is not None and not old.stale and old.tree is not None \
+                    and old.entries == bucket.entries:
+                new_buckets[key] = old
+                self.stats.stripes_reused += 1
+        self._range_buckets = new_buckets
+        return StructuralRewrite(changed=changed)
 
     def formula_cells(self) -> list[CellAddress]:
         """All registered formula cells."""

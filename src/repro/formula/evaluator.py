@@ -16,6 +16,7 @@ from repro.formula.ast_nodes import (
     BinaryOpNode,
     BoolNode,
     CellRefNode,
+    ErrorNode,
     FormulaNode,
     FunctionCallNode,
     NumberNode,
@@ -79,10 +80,21 @@ class Evaluator:
             self._parse_cache.move_to_end(formula)
             return node
         node = parse_formula(formula)
+        self.prime(formula, node)
+        return node
+
+    def prime(self, formula: str, node: FormulaNode) -> None:
+        """Seed the AST cache with an already-parsed formula.
+
+        Used by the structural-edit rewriter: a rewritten AST is serialized
+        back to text, and priming the cache lets the new text evaluate
+        without a round-trip through the parser.  The caller guarantees
+        ``parse_formula(formula) == node``.
+        """
         self._parse_cache[formula] = node
+        self._parse_cache.move_to_end(formula)
         while len(self._parse_cache) > self._parse_cache_capacity:
             self._parse_cache.popitem(last=False)
-        return node
 
     def evaluate(self, formula: str) -> CellValue:
         """Parse (with caching) and evaluate a formula body."""
@@ -109,6 +121,8 @@ class Evaluator:
             return self._provider(node.address.row, node.address.column)
         if isinstance(node, RangeRefNode):
             return self._materialize_range(node.range)
+        if isinstance(node, ErrorNode):
+            raise FormulaEvaluationError(node.code, f"error literal {node.code}")
         if isinstance(node, UnaryOpNode):
             return self._evaluate_unary(node)
         if isinstance(node, BinaryOpNode):

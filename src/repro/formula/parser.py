@@ -7,6 +7,7 @@ from repro.formula.ast_nodes import (
     BinaryOpNode,
     BoolNode,
     CellRefNode,
+    ErrorNode,
     FormulaNode,
     FunctionCallNode,
     NumberNode,
@@ -36,6 +37,36 @@ _BINARY_PRECEDENCE = {
 }
 
 _RIGHT_ASSOCIATIVE = {"^"}
+
+
+def _absolute_flags(reference: str) -> tuple[bool, bool]:
+    """The (column_absolute, row_absolute) ``$`` markers of one A1 corner."""
+    text = reference.strip()
+    return text.startswith("$"), "$" in text[1:]
+
+
+def _parse_range_reference(text: str) -> RangeRefNode:
+    """Build a range node, keeping each corner's ``$`` markers.
+
+    Corners may arrive in any order (``B10:A1``); the range normalises to
+    top-left/bottom-right, so the flags follow the coordinate they annotate.
+    """
+    start_text, end_text = text.split(":", 1)
+    start_column_absolute, start_row_absolute = _absolute_flags(start_text)
+    end_column_absolute, end_row_absolute = _absolute_flags(end_text)
+    start = CellAddress.from_a1(start_text)
+    end = CellAddress.from_a1(end_text)
+    if start.column > end.column:
+        start_column_absolute, end_column_absolute = end_column_absolute, start_column_absolute
+    if start.row > end.row:
+        start_row_absolute, end_row_absolute = end_row_absolute, start_row_absolute
+    return RangeRefNode(
+        range=RangeRef.from_addresses(start, end),
+        start_column_absolute=start_column_absolute,
+        start_row_absolute=start_row_absolute,
+        end_column_absolute=end_column_absolute,
+        end_row_absolute=end_row_absolute,
+    )
 
 
 class _Parser:
@@ -116,9 +147,16 @@ class _Parser:
         if token.type is TokenType.BOOLEAN:
             return BoolNode(value=token.text == "TRUE")
         if token.type is TokenType.RANGE:
-            return RangeRefNode(range=RangeRef.from_a1(token.text.replace("$", "")))
+            return _parse_range_reference(token.text)
         if token.type is TokenType.CELL:
-            return CellRefNode(address=CellAddress.from_a1(token.text))
+            column_absolute, row_absolute = _absolute_flags(token.text)
+            return CellRefNode(
+                address=CellAddress.from_a1(token.text),
+                column_absolute=column_absolute,
+                row_absolute=row_absolute,
+            )
+        if token.type is TokenType.ERROR:
+            return ErrorNode(code=token.text.upper())
         if token.type is TokenType.IDENTIFIER:
             if self._current.type is TokenType.LPAREN:
                 return self._parse_function_call(token)

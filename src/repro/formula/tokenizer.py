@@ -17,6 +17,7 @@ class TokenType(Enum):
     BOOLEAN = auto()
     CELL = auto()          # e.g. B2, $C$10
     RANGE = auto()         # e.g. B2:C10
+    ERROR = auto()         # e.g. #REF!, #DIV/0!, #N/A
     IDENTIFIER = auto()    # function names
     OPERATOR = auto()      # + - * / ^ % & = <> < > <= >=
     LPAREN = auto()
@@ -39,6 +40,7 @@ _TOKEN_SPEC = [
     ("RANGE", r"\$?[A-Za-z]{1,7}\$?[0-9]+\s*:\s*\$?[A-Za-z]{1,7}\$?[0-9]+"),
     ("NUMBER", r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"),
     ("STRING", r'"(?:[^"]|"")*"'),
+    ("ERROR", r"#[A-Za-z][A-Za-z0-9/]*[!?]?"),
     ("CELL", r"\$?[A-Za-z]{1,7}\$?[0-9]+"),
     ("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_\.]*"),
     ("OPERATOR", r"<=|>=|<>|[+\-*/^&%=<>]"),

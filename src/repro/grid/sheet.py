@@ -176,7 +176,8 @@ class Sheet:
 
         ``insert_row_after(0)`` inserts before the first row.  Cells on
         subsequent rows shift down — the cascading update the storage layer
-        must avoid paying for (Section V).
+        must avoid paying for (Section V) — and formula references shift
+        with them.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
@@ -184,9 +185,14 @@ class Sheet:
         for (r, c), cell in self._cells.items():
             updated[(r + count, c) if r > row else (r, c)] = cell
         self._cells = updated
+        self._rewrite_formula_references("row", "insert", row, count)
 
     def delete_row(self, row: int, count: int = 1) -> None:
-        """Delete ``count`` rows starting at ``row``; later rows shift up."""
+        """Delete ``count`` rows starting at ``row``; later rows shift up.
+
+        Formula references shift with their referents; references whose
+        entire referent was deleted become ``#REF!``.
+        """
         if count < 1:
             raise ValueError("count must be >= 1")
         updated = {}
@@ -195,6 +201,7 @@ class Sheet:
                 continue
             updated[(r - count, c) if r >= row + count else (r, c)] = cell
         self._cells = updated
+        self._rewrite_formula_references("row", "delete", row, count)
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
         """Insert ``count`` empty columns immediately after ``column``."""
@@ -204,6 +211,7 @@ class Sheet:
         for (r, c), cell in self._cells.items():
             updated[(r, c + count) if c > column else (r, c)] = cell
         self._cells = updated
+        self._rewrite_formula_references("column", "insert", column, count)
 
     def delete_column(self, column: int, count: int = 1) -> None:
         """Delete ``count`` columns starting at ``column``; later columns shift left."""
@@ -215,6 +223,35 @@ class Sheet:
                 continue
             updated[(r, c - count) if c >= column + count else (r, c)] = cell
         self._cells = updated
+        self._rewrite_formula_references("column", "delete", column, count)
+
+    def _rewrite_formula_references(self, axis: str, kind: str, line: int,
+                                    count: int) -> None:
+        """Shift every stored formula's references through a structural edit.
+
+        The sheet is the behavioural oracle, so it applies the same
+        reference rewriting the engine does: references shift with their
+        referents and fully deleted referents become ``#REF!``.  Formulas
+        that do not parse are left untouched (the sheet never validates
+        formula text on entry).
+        """
+        # Imported lazily: the formula engine sits above the grid layer.
+        from repro.errors import FormulaSyntaxError
+        from repro.formula.parser import parse_formula
+        from repro.formula.rewrite import StructuralEdit, rewrite_formula
+        from repro.formula.serializer import to_formula
+
+        edit = StructuralEdit(axis=axis, kind=kind, line=line, count=count)
+        for key, cell in self._cells.items():
+            if not cell.has_formula:
+                continue
+            try:
+                node = parse_formula(cell.formula or "")
+            except FormulaSyntaxError:
+                continue
+            node, changed = rewrite_formula(node, edit)
+            if changed:
+                self._cells[key] = Cell(value=cell.value, formula=to_formula(node))
 
     # ------------------------------------------------------------------ #
     # construction helpers

@@ -4,7 +4,10 @@ Covers the interval-indexed dependency graph (containment lookups,
 overlapping ranges, unregister, sub-linear probe counts), the DataSpread
 batch API (equivalence with cell-by-cell edits, single topological pass,
 cycle detection at flush), topological ordering with mixed cell+range
-edges, the bulk range-read path, and the bounded evaluator parse cache.
+edges, the bulk range-read path, the bounded evaluator parse cache, and
+structural-edit reference rewriting (shifted references, straddling-range
+expansion/contraction, ``#REF!`` collapse, serializer round-trips, and
+incremental interval-stripe invalidation).
 """
 
 import pytest
@@ -13,6 +16,9 @@ from repro.engine.dataspread import DataSpread
 from repro.errors import CircularDependencyError
 from repro.formula.dependencies import DependencyGraph, WIDE_COLUMN_SPAN
 from repro.formula.evaluator import Evaluator
+from repro.formula.parser import parse_formula
+from repro.formula.rewrite import StructuralEdit, rewrite_formula
+from repro.formula.serializer import to_formula
 from repro.grid.address import CellAddress
 from repro.grid.sheet import Sheet
 
@@ -487,6 +493,322 @@ class TestReviewRegressions:
         assert spread.import_csv(path) == 2
         assert spread.get_value(1, 2) == "=SUM("
         assert spread.get_value(2, 2) == 2  # the valid formula still evaluates
+
+
+class TestStructuralRewrite:
+    """Formulas stay live across row/column inserts and deletes."""
+
+    def test_formula_survives_insert_row(self):
+        spread = DataSpread()
+        for row in range(1, 6):
+            spread.set_value(row, 1, row * 10)
+        spread.set_formula(10, 2, "SUM(A1:A5)+A3")
+        assert spread.get_value(10, 2) == 180
+        spread.insert_row_after(0)  # shift everything down one row
+        # Same value, shifted references, shifted formula cell.
+        assert spread.get_cell(11, 2).formula == "SUM(A2:A6)+A4"
+        assert spread.get_value(11, 2) == 180
+        # Editing the shifted precedent still triggers recompute: A4 (the
+        # old A3=30) becomes 100, changing both the SUM and the cell ref.
+        spread.set_value(4, 1, 100)
+        assert spread.get_value(11, 2) == (150 - 30 + 100) + 100
+
+    def test_range_straddling_insert_expands(self):
+        spread = DataSpread()
+        for row in range(1, 5):
+            spread.set_value(row, 1, 1)
+        spread.set_formula(9, 1, "SUM(A1:A4)")
+        spread.insert_row_after(2)
+        assert spread.get_cell(10, 1).formula == "SUM(A1:A5)"
+        assert spread.get_value(10, 1) == 4  # inserted row is empty
+        spread.set_value(3, 1, 7)  # fill the inserted row
+        assert spread.get_value(10, 1) == 11
+
+    def test_range_straddling_delete_contracts(self):
+        spread = DataSpread()
+        for row in range(1, 7):
+            spread.set_value(row, 1, row)  # 1..6
+        spread.set_formula(9, 1, "SUM(A2:A5)")  # 2+3+4+5
+        spread.delete_row(3, count=2)  # drop rows 3 and 4 (values 3, 4)
+        assert spread.get_cell(7, 1).formula == "SUM(A2:A3)"
+        assert spread.get_value(7, 1) == 2 + 5
+
+    def test_delete_entire_precedent_range_collapses_to_ref(self):
+        spread = DataSpread()
+        spread.set_value(3, 1, 5)
+        spread.set_formula(10, 1, "SUM(A3:A4)*2")
+        spread.delete_row(3, count=2)
+        assert spread.get_cell(8, 1).formula == "SUM(#REF!)*2"
+        assert spread.get_value(8, 1) == "#REF!"
+
+    def test_delete_single_cell_precedent_collapses_to_ref(self):
+        spread = DataSpread()
+        spread.set_value(4, 1, 30)
+        spread.set_formula(1, 3, "A4+1")
+        spread.delete_row(4)
+        assert spread.get_cell(1, 3).formula == "#REF!+1"
+        assert spread.get_value(1, 3) == "#REF!"
+        # A later edit elsewhere must not resurrect the dead reference.
+        spread.set_value(4, 1, 99)
+        assert spread.get_value(1, 3) == "#REF!"
+
+    def test_column_insert_and_delete_rewrite(self):
+        spread = DataSpread()
+        spread.set_value(1, 2, 8)                    # B1
+        spread.set_formula(1, 5, "B1*3")             # E1
+        spread.insert_column_after(1)
+        assert spread.get_cell(1, 6).formula == "C1*3"
+        assert spread.get_value(1, 6) == 24
+        spread.set_value(1, 3, 9)  # edit the shifted precedent
+        assert spread.get_value(1, 6) == 27
+        spread.delete_column(3)
+        assert spread.get_cell(1, 5).formula == "#REF!*3"
+        assert spread.get_value(1, 5) == "#REF!"
+
+    def test_edit_inside_open_batch_renumbers_prebatch_formulas(self):
+        """Pre-batch formulas are renumbered just like batch-local ones."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 4)
+        spread.set_formula(5, 5, "A1+1")      # registered before the batch
+        with spread.batch():
+            spread.set_formula(6, 5, "A1+2")  # registered inside the batch
+            spread.insert_row_after(3)
+        assert spread.get_cell(6, 5).formula == "A1+1"
+        assert spread.get_value(6, 5) == 5
+        assert spread.get_cell(7, 5).formula == "A1+2"
+        assert spread.get_value(7, 5) == 6
+        # Both stay reactive at their new coordinates.
+        spread.set_value(1, 1, 10)
+        assert spread.get_value(6, 5) == 11
+        assert spread.get_value(7, 5) == 12
+
+    def test_edit_inside_batch_shifts_precedent_reference(self):
+        """A reference below the edit line is rewritten mid-batch."""
+        spread = DataSpread()
+        spread.set_value(10, 1, 6)
+        spread.set_formula(1, 2, "A10*2")
+        with spread.batch():
+            spread.insert_row_after(5)
+            spread.set_value(11, 1, 8)  # overwrite the shifted precedent
+        assert spread.get_cell(1, 2).formula == "A11*2"
+        assert spread.get_value(1, 2) == 16
+
+    def test_rewritten_text_survives_batch_abort(self):
+        """Structural edits are commit points: the rewritten formula text
+        and re-keyed registration persist even when the batch body raises."""
+        spread = DataSpread()
+        spread.set_value(10, 1, 6)
+        spread.set_formula(1, 2, "A10*2")
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.insert_row_after(5)
+                raise RuntimeError("boom")
+        assert spread.get_cell(1, 2).formula == "A11*2"
+        assert spread.get_value(1, 2) == 12
+        spread.set_value(11, 1, 7)
+        assert spread.get_value(1, 2) == 14
+
+    def test_dependents_of_rewritten_formula_recompute(self):
+        """A formula that references a #REF!-collapsed formula recomputes."""
+        spread = DataSpread()
+        spread.set_value(5, 1, 3)
+        spread.set_formula(1, 2, "A5*2")   # B1 -> 6
+        spread.set_formula(1, 3, "B1+1")   # C1 -> 7 (unchanged by the edit)
+        spread.delete_row(5)
+        assert spread.get_value(1, 2) == "#REF!"
+        # C1's own reference (B1) did not move, so its text is untouched —
+        # but it must re-evaluate: adding 1 to the "#REF!" string is an
+        # error, not the stale 7.
+        assert spread.get_cell(1, 3).formula == "B1+1"
+        assert spread.get_value(1, 3) == "#VALUE!"
+
+    def test_formula_on_deleted_row_is_unregistered(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, 2)
+        spread.set_formula(3, 1, "A1*10")
+        spread.delete_row(3)
+        assert spread.get_cell(3, 1).formula is None
+        assert len(spread.dependency_graph) == 0
+        spread.set_value(1, 1, 5)  # must not touch the dead registration
+        assert spread.get_value(3, 1) is None
+
+    def test_edit_with_preexisting_cycle_does_not_raise(self):
+        """A structural edit on a sheet already containing a circular
+        dependency succeeds; the cyclic cells keep their stored values."""
+        spread = DataSpread()
+        spread.set_formula(1, 1, "B1+1")
+        with pytest.raises(CircularDependencyError):
+            spread.set_formula(1, 2, "A1+1")  # closes the cycle
+        spread.insert_row_after(0)
+        assert spread.get_cell(2, 1).formula == "B2+1"
+        assert spread.get_cell(2, 2).formula == "A2+1"
+
+    def test_multi_count_insert_shifts_by_count(self):
+        spread = DataSpread()
+        spread.set_value(2, 1, 5)
+        spread.set_formula(1, 2, "A2^2")
+        spread.insert_row_after(1, count=3)
+        assert spread.get_cell(1, 2).formula == "A5^2"
+        assert spread.get_value(1, 2) == 25
+
+    def test_absolute_markers_survive_rewriting(self):
+        """$ anchors are cosmetic for structural edits (absolute references
+        shift with their referents too) but must not be stripped."""
+        spread = DataSpread()
+        spread.set_value(5, 1, 3)
+        spread.set_formula(1, 2, "$A$5+A5+SUM($A$5:A5)")
+        spread.insert_row_after(2)
+        assert spread.get_cell(1, 2).formula == "$A$6+A6+SUM($A$6:A6)"
+        assert spread.get_value(1, 2) == 9
+
+    def test_reference_pushed_off_sheet_collapses_to_ref(self):
+        """An insert that shifts a referent past the sheet's row limit must
+        collapse the reference to #REF!, not explode mid-edit."""
+        from repro.grid.address import MAX_ROWS
+
+        spread = DataSpread()
+        spread.set_formula(2, 1, f"A{MAX_ROWS}&\"\"")
+        spread.insert_row_after(5)
+        assert spread.get_cell(2, 1).formula == '#REF!&""'
+        assert spread.get_value(2, 1) == "#REF!"
+        # A straddling range clamps to the limit instead of vanishing.
+        edit = StructuralEdit.insert_rows(5, count=10)
+        node, changed = rewrite_formula(
+            parse_formula(f"SUM(A10:A{MAX_ROWS})"), edit
+        )
+        assert changed
+        assert to_formula(node) == f"SUM(A20:A{MAX_ROWS})"
+
+    def test_sheet_oracle_rewrites_formula_text(self):
+        sheet = Sheet.from_rows([[1], [2], ["=SUM(A1:A2)"], ["=A1+A2"]])
+        sheet.insert_row_after(1)
+        assert sheet.get_cell(4, 1).formula == "SUM(A1:A3)"
+        assert sheet.get_cell(5, 1).formula == "A1+A3"
+        sheet.delete_row(3)  # the original row 2 (value 2)
+        assert sheet.get_cell(3, 1).formula == "SUM(A1:A2)"
+        assert sheet.get_cell(4, 1).formula == "A1+#REF!"
+
+    def test_spread_matches_sheet_oracle_after_edits(self):
+        rows = [[1, 2], [3, 4], ["=SUM(A1:A2)", "=B1+B2"], [None, "=A3*2"]]
+        sheet = Sheet.from_rows(rows)
+        spread = DataSpread.from_sheet(Sheet.from_rows(rows))
+        for operation in (
+            lambda target: target.insert_row_after(1),
+            lambda target: target.delete_row(3),
+            lambda target: target.insert_column_after(1),
+        ):
+            operation(sheet)
+            operation(spread)
+            for address, cell in sheet.items():
+                if cell.has_formula:
+                    actual = spread.get_cell(address.row, address.column)
+                    assert actual.formula == cell.formula, address
+
+    def test_stripe_invalidation_is_incremental(self):
+        """An edit that only affects some columns' ranges must keep the
+        already-built interval trees of untouched stripes."""
+        graph = DependencyGraph()
+        graph.register(addr("Z1"), "SUM(A1:A10)")
+        graph.register(addr("Z2"), "SUM(C100:C200)")
+        # Build both stripes' trees.
+        graph.direct_dependents(addr("A5"))
+        graph.direct_dependents(addr("C150"))
+        rebuilds_before = graph.stats.index_rebuilds
+        graph.stats.reset()
+        # Rows 150+: only the C-stripe range changes span.
+        report = graph.apply_structural_edit(StructuralEdit.insert_rows(150))
+        assert report.changed == {addr("Z2")}
+        assert graph.stats.stripes_reused == 1  # the A stripe kept its tree
+        graph.stats.reset()
+        assert graph.direct_dependents(addr("A5")) == {addr("Z1")}
+        assert graph.stats.index_rebuilds == 0  # served from the reused tree
+        assert graph.direct_dependents(addr("C150")) == {addr("Z2")}
+        assert graph.direct_dependents(addr("C201")) == {addr("Z2")}
+        assert graph.stats.index_rebuilds == 1  # only the C stripe rebuilt
+        assert rebuilds_before == 2
+
+    def test_graph_rekey_matches_fresh_registration(self):
+        """apply_structural_edit must leave the graph exactly as if every
+        rewritten formula had been freshly re-registered."""
+        import random
+
+        rng = random.Random(11)
+        formulas = {}
+        graph = DependencyGraph()
+        for index in range(120):
+            top = rng.randint(1, 60)
+            bottom = top + rng.randint(0, 20)
+            column = rng.choice("ABCDEF")
+            address = CellAddress(200 + index, rng.randint(1, 8))
+            text = f"SUM({column}{top}:{column}{bottom})+{column}{rng.randint(1, 80)}"
+            formulas[address] = text
+            graph.register(address, text)
+        edit = StructuralEdit.delete_rows(20, count=5)
+        graph.apply_structural_edit(edit)
+
+        expected = DependencyGraph()
+        for address, text in formulas.items():
+            new_address = edit.map_address(address)
+            if new_address is None:
+                continue
+            node, _changed = rewrite_formula(parse_formula(text), edit)
+            expected.register(new_address, node)
+        for probe_row in range(1, 90):
+            for probe_column in range(1, 9):
+                probe = CellAddress(probe_row, probe_column)
+                assert graph.direct_dependents(probe) == expected.direct_dependents(probe), probe
+
+
+class TestSerializerRoundTrip:
+    CASES = [
+        "A1+B2*3",
+        "SUM(A1:A10)-MAX(B1:B5,C1)",
+        "(A1+B1)*2",
+        "A1-(B1-C1)",
+        "2^3^2",
+        "(2^3)^2",
+        "-A1^2",
+        "(-A1)%",
+        "-A1%",
+        "IF(A1>=3,\"yes\",\"no\")",
+        "\"he said \"\"hi\"\"\"&B1",
+        "TRUE",
+        "B2:B2",
+        "1.5E+20+0.25",
+        "IFERROR(A1/B1,0)",
+        "#REF!+1",
+        "SUM(A1:A3,#REF!)",
+        "$A$1+A$1+$A1",
+        "SUM($B$2:C$10)",
+    ]
+
+    @pytest.mark.parametrize("formula", CASES)
+    def test_parse_serialize_parse_is_identity(self, formula):
+        node = parse_formula(formula)
+        assert parse_formula(to_formula(node)) == node
+
+    def test_rewritten_ast_round_trips(self):
+        node = parse_formula("SUM(A2:A9)+A1-A20")
+        for edit in (
+            StructuralEdit.insert_rows(4, count=2),
+            StructuralEdit.delete_rows(3, count=4),
+            StructuralEdit.insert_columns(0),
+            StructuralEdit.delete_columns(1),
+        ):
+            rewritten, _changed = rewrite_formula(node, edit)
+            assert parse_formula(to_formula(rewritten)) == rewritten
+
+    def test_degenerate_range_stays_a_range(self):
+        node = parse_formula("SUM(A1:A2)")
+        contracted, changed = rewrite_formula(node, StructuralEdit.delete_rows(2))
+        assert changed
+        assert to_formula(contracted) == "SUM(A1:A1)"
+        assert parse_formula(to_formula(contracted)) == contracted
+
+    def test_error_literal_parses_and_evaluates(self):
+        spread = DataSpread()
+        assert spread.set_input("A1", "=#REF!+1") == "#REF!"
+        assert spread.get_value(1, 1) == "#REF!"
 
 
 class TestParseCacheBounds:
