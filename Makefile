@@ -4,15 +4,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check examples all
+.PHONY: test bench bench-async docs-check examples all
 
-## Tier-1 test suite (fast; what CI gates on).
+## Tier-1 test suite (fast; what CI gates on).  Includes the async
+## scheduler/oracle equivalence module (tests/test_async_compute.py).
 test:
 	$(PYTHON) -m pytest -x -q tests
 
 ## Paper-figure benchmarks (slow; pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+## Async compute scheduler benchmark on a small budget (edit-ack latency
+## vs the synchronous engine; full scale runs via `make bench`).
+bench-async:
+	$(PYTHON) -m repro.experiments recompute-async --scale 0.2
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:

@@ -29,3 +29,19 @@ def test_recompute_bulk_single_pass(run_figure):
     assert row["cells_imported"] == 100_000
     assert row["formulas"] == 1_000
     assert row["recompute_passes"] == 1
+
+
+def test_recompute_async_ack_latency(run_figure):
+    """Async edit acknowledgment must be >= 10x faster than synchronous
+    recompute on the 5k-formula hot-range scenario, while converging to
+    the identical grid after the drain."""
+    result = run_figure("recompute-async", scale=1.0, edits=5)
+    by_mode = {row["mode"]: row for row in result.rows}
+    sync = by_mode["synchronous"]
+    asynchronous = by_mode["async-scheduler"]
+    assert sync["formulas"] == 5_000
+    assert asynchronous["stale_after_edits"] == 5_000
+    assert asynchronous["grids_match"] is True
+    assert sync["ack_ms_per_edit"] >= 10.0 * asynchronous["ack_ms_per_edit"]
+    # The viewport (40 formulas) must come back well before the full drain.
+    assert asynchronous["viewport_fresh_ms"] < asynchronous["drain_ms"]

@@ -1,0 +1,19 @@
+"""Asynchronous compute scheduling: decoupling edits from recompute.
+
+The DataSpread follow-on work on "anti-freeze" formula computation observes
+that at database scale a synchronous recompute freezes the client: one edit
+upstream of thousands of formulas blocks until the whole dependency subtree
+has re-evaluated.  This package provides the alternative: acknowledge the
+edit immediately, mark the downstream formulas *stale*, and evaluate them
+incrementally — in dependency order, user-visible regions first — while
+reads of not-yet-computed cells return their last committed value as a
+stale placeholder.
+
+:class:`ComputeScheduler` is the engine-facing entry point; see
+:mod:`repro.compute.scheduler` for the queue semantics and
+``DataSpread(async_recompute=True)`` for the integration.
+"""
+
+from repro.compute.scheduler import CellState, ComputeScheduler, ComputeStats
+
+__all__ = ["CellState", "ComputeScheduler", "ComputeStats"]

@@ -1,0 +1,333 @@
+"""The priority-ordered, cancellable compute scheduler.
+
+The scheduler owns the set of *stale* formula cells — cells whose stored
+value no longer reflects their precedents — and evaluates them
+incrementally, decoupled from the edits that dirtied them:
+
+* **Topological work queue.**  ``mark_dirty(seeds)`` expands the seeds to
+  their transitive dependents through the interval-indexed
+  :class:`~repro.formula.dependencies.DependencyGraph`
+  (``affected_set`` — a BFS slice, never a full-graph sort) and unions them
+  into the stale set.  Evaluation order is rebuilt lazily from
+  ``slice_edges`` over exactly the stale subset, so a cell always evaluates
+  after every stale precedent it reads.
+* **Coalescing and cancellation.**  Re-editing a cell whose subtree is
+  already queued coalesces (the stale set is a set; ``stats.coalesced``
+  counts the hits), and the lazily rebuilt ordering always reflects the
+  *latest* graph — a superseding edit replaces the queued work for its
+  subtree rather than appending to it.  A queued formula that stops being
+  a formula (overwritten by a constant, cleared, or deleted by a
+  structural edit) is dropped without evaluation (``stats.cancelled``).
+* **Viewport priority.**  A registered region of interest
+  (``set_viewport``) promotes the stale cells inside it — and every stale
+  cell they transitively read, which must compute first anyway — ahead of
+  off-screen work, so the visible part of the sheet converges first.
+* **States and stale reads.**  Each cell is ``FRESH``, ``STALE`` or
+  ``COMPUTING`` (:meth:`ComputeScheduler.state_of`).  The scheduler never
+  touches storage itself; the engine keeps stale cells' last committed
+  values readable as placeholders and commits fresh values through the
+  ``evaluate`` callback, so reads never block on the queue.
+
+``run`` / ``ensure`` raise
+:class:`~repro.errors.CircularDependencyError` when the queued subset
+contains a cycle — the stale set is preserved, so editing the cycle away
+and draining again recovers, mirroring the synchronous engine's behaviour
+at batch exit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.errors import CircularDependencyError
+from repro.formula.dependencies import DependencyGraph
+from repro.formula.rewrite import StructuralEdit
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+
+class CellState(Enum):
+    """Freshness of one cell with respect to scheduled recomputation."""
+
+    FRESH = "fresh"          # value reflects all precedents
+    STALE = "stale"          # queued: reads see the last committed value
+    COMPUTING = "computing"  # currently being evaluated
+
+
+@dataclass
+class ComputeStats:
+    """Instrumentation counters (exposed for tests and experiments)."""
+
+    scheduled: int = 0             # cells newly enqueued by mark_dirty
+    evaluated: int = 0             # cells evaluated and committed
+    coalesced: int = 0             # mark_dirty hits on already-queued cells
+    cancelled: int = 0             # queued evaluations dropped unevaluated
+    priority_evaluations: int = 0  # evaluations served from the viewport queue
+
+    def reset(self) -> None:
+        self.scheduled = 0
+        self.evaluated = 0
+        self.coalesced = 0
+        self.cancelled = 0
+        self.priority_evaluations = 0
+
+
+#: Engine callback evaluating one formula cell and committing its value.
+EvaluateCell = Callable[[CellAddress], None]
+
+
+class ComputeScheduler:
+    """Incremental evaluator over the engine's dirty sets.
+
+    The scheduler is deliberately passive: it never evaluates unless asked
+    (``run``/``ensure``), so the engine controls when compute happens — on
+    explicit ``flush_compute()``, between requests, or in an idle loop.
+    """
+
+    def __init__(self, graph: DependencyGraph, evaluate: EvaluateCell) -> None:
+        self._graph = graph
+        self._evaluate = evaluate
+        self._stale: set[CellAddress] = set()
+        self._computing: CellAddress | None = None
+        self._viewport: RangeRef | None = None
+        self.stats = ComputeStats()
+        # Ordering structures, rebuilt lazily whenever the stale set, the
+        # graph, or the viewport changed since the last rebuild.
+        self._order_stale = True
+        self._indegree: dict[CellAddress, int] = {}
+        self._successors: dict[CellAddress, list[CellAddress]] = {}
+        self._predecessors: dict[CellAddress, list[CellAddress]] = {}
+        self._priority: set[CellAddress] = set()
+        self._ready_priority: deque[CellAddress] = deque()
+        self._ready: deque[CellAddress] = deque()
+
+    # ------------------------------------------------------------------ #
+    # enqueueing
+    # ------------------------------------------------------------------ #
+    def mark_dirty(self, seeds) -> int:
+        """Queue the seeds' affected slice; returns newly queued cell count.
+
+        Seeds that are no longer registered formulas cancel their own queued
+        evaluation (the edit that produced them overwrote the formula), but
+        their dependents still join the queue.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return 0
+        for seed in seeds:
+            if seed not in self._graph and seed in self._stale:
+                self._stale.discard(seed)
+                self.stats.cancelled += 1
+        affected = self._graph.affected_set(seeds)
+        new = len(affected - self._stale)
+        self.stats.scheduled += new
+        self.stats.coalesced += len(affected) - new
+        self._stale |= affected
+        self._order_stale = True
+        return new
+
+    def set_viewport(self, region: RangeRef | None) -> None:
+        """Register the region of interest scheduled ahead of other work."""
+        self._viewport = region
+        self._order_stale = True
+
+    @property
+    def viewport(self) -> RangeRef | None:
+        """The currently registered region of interest."""
+        return self._viewport
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    def state_of(self, address: CellAddress) -> CellState:
+        """The freshness of one cell."""
+        if address == self._computing:
+            return CellState.COMPUTING
+        if address in self._stale and address in self._graph:
+            return CellState.STALE
+        return CellState.FRESH
+
+    def is_fresh(self, address: CellAddress) -> bool:
+        """Whether the cell's stored value reflects all its precedents."""
+        return self.state_of(address) is CellState.FRESH
+
+    @property
+    def pending_count(self) -> int:
+        """Number of cells queued for evaluation."""
+        return len(self._stale)
+
+    def pending(self) -> set[CellAddress]:
+        """A snapshot of the queued (stale) cells."""
+        return set(self._stale)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def run(self, limit: int | None = None) -> int:
+        """Evaluate up to ``limit`` queued cells (all of them when ``None``).
+
+        Cells are popped in topological order, viewport-priority first.
+        Returns the number of cells evaluated.  Raises
+        :class:`CircularDependencyError` when only cyclic work remains; the
+        queue is kept so a later edit can break the cycle.
+        """
+        return self._drain(limit, None)
+
+    def ensure(self, address: CellAddress) -> int:
+        """Make one cell fresh, evaluating only the subtree it needs.
+
+        Evaluates the stale cells the target transitively reads (its
+        ancestor slice within the queue) plus the target itself, and nothing
+        else.  Returns the number of cells evaluated.
+        """
+        if self._order_stale:
+            self._rebuild()
+        if address not in self._stale:
+            return 0
+        needed = {address}
+        frontier = [address]
+        while frontier:
+            current = frontier.pop()
+            for predecessor in self._predecessors.get(current, ()):
+                if predecessor not in needed:
+                    needed.add(predecessor)
+                    frontier.append(predecessor)
+        return self._drain(None, needed)
+
+    def apply_structural_edit(self, edit: StructuralEdit) -> None:
+        """Rewrite queued work across a row/column insert or delete.
+
+        Queued addresses are remapped through the same coordinate arithmetic
+        the graph re-keying uses; queued cells whose line was deleted are
+        cancelled.  The dependency edges are rediscovered from the re-keyed
+        graph at the next rebuild, so ordering stays consistent with the
+        rewritten formulas.
+        """
+        if not self._stale:
+            return
+        remapped: set[CellAddress] = set()
+        for address in self._stale:
+            moved = edit.map_address(address)
+            if moved is None:
+                self.stats.cancelled += 1
+            else:
+                remapped.add(moved)
+        self._stale = remapped
+        self._order_stale = True
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _drain(self, limit: int | None, only: set[CellAddress] | None) -> int:
+        evaluated = 0
+        while self._stale and (limit is None or evaluated < limit):
+            if self._order_stale:
+                self._rebuild()
+                if only is not None:
+                    only &= self._stale
+            if only is not None and not only:
+                break
+            if not self._stale:
+                break
+            address = self._pop_ready(only)
+            if address is None:
+                raise CircularDependencyError(
+                    f"circular dependency among {len(self._stale)} queued formula cell(s)"
+                )
+            self._computing = address
+            try:
+                self._evaluate(address)
+            except BaseException:
+                # Leave the cell queued and re-runnable: it was popped but
+                # not evaluated, so put it back at the front of its queue.
+                queue = self._ready_priority if address in self._priority else self._ready
+                queue.appendleft(address)
+                raise
+            finally:
+                self._computing = None
+            self._stale.discard(address)
+            if only is not None:
+                only.discard(address)
+            self.stats.evaluated += 1
+            evaluated += 1
+            for successor in self._successors.get(address, ()):
+                self._indegree[successor] -= 1
+                if self._indegree[successor] == 0:
+                    if successor in self._priority:
+                        self._ready_priority.append(successor)
+                    else:
+                        self._ready.append(successor)
+        return evaluated
+
+    def _pop_ready(self, only: set[CellAddress] | None) -> CellAddress | None:
+        for queue, is_priority in ((self._ready_priority, True), (self._ready, False)):
+            if only is None:
+                if queue:
+                    if is_priority:
+                        self.stats.priority_evaluations += 1
+                    return queue.popleft()
+                continue
+            for index, address in enumerate(queue):
+                if address in only:
+                    del queue[index]
+                    if is_priority:
+                        self.stats.priority_evaluations += 1
+                    return address
+        return None
+
+    def _rebuild(self) -> None:
+        """Rebuild ordering structures from the current stale set and graph."""
+        dead = [address for address in self._stale if address not in self._graph]
+        for address in dead:
+            self._stale.discard(address)
+            self.stats.cancelled += 1
+
+        pairs = self._graph.slice_edges(self._stale)
+        indegree = {address: 0 for address in self._stale}
+        successors: dict[CellAddress, list[CellAddress]] = {
+            address: [] for address in self._stale
+        }
+        predecessors: dict[CellAddress, list[CellAddress]] = {
+            address: [] for address in self._stale
+        }
+        seen: set[tuple[CellAddress, CellAddress]] = set()
+        for precedent, dependent in pairs:
+            if (precedent, dependent) in seen:
+                continue
+            seen.add((precedent, dependent))
+            successors[precedent].append(dependent)
+            predecessors[dependent].append(precedent)
+            indegree[dependent] += 1
+
+        priority: set[CellAddress] = set()
+        viewport = self._viewport
+        if viewport is not None:
+            # The region of interest plus every stale cell it transitively
+            # reads: those precedents must evaluate first regardless, so
+            # promoting them is what actually makes the viewport fresh early.
+            frontier = [
+                address for address in self._stale
+                if viewport.contains_coordinates(address.row, address.column)
+            ]
+            priority = set(frontier)
+            while frontier:
+                current = frontier.pop()
+                for predecessor in predecessors.get(current, ()):
+                    if predecessor not in priority:
+                        priority.add(predecessor)
+                        frontier.append(predecessor)
+
+        ready = sorted(
+            (address for address in self._stale if indegree[address] == 0),
+            key=lambda address: (address.row, address.column),
+        )
+        self._indegree = indegree
+        self._successors = successors
+        self._predecessors = predecessors
+        self._priority = priority
+        self._ready_priority = deque(a for a in ready if a in priority)
+        self._ready = deque(a for a in ready if a not in priority)
+        self._order_stale = False

@@ -13,6 +13,15 @@ survive LRU eviction — a read miss consults the pending map before the
 loader — so a batch larger than the cache capacity still flushes completely
 and never reads stale storage.  A failed batch can instead abandon its
 buffered writes with ``discard_deferred()``, leaving storage untouched.
+
+For asynchronous recompute the cache also holds *provisional* entries
+(``put_provisional``): stale placeholders — typically a freshly entered
+formula still carrying the cell's previous value — that are readable like
+any cached cell but are **never** flushed to the storage layer, neither by
+write-through nor by a deferred-mode flush.  A provisional entry survives
+LRU eviction (it may be the only copy of the formula text) and is retired
+by the next real ``put`` of the same cell, which is how the compute
+scheduler commits a freshly evaluated value.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ class LRUCellCache:
         self._capacity = capacity
         self._entries: OrderedDict[tuple[int, int], Cell] = OrderedDict()
         self._pending: dict[tuple[int, int], Cell] | None = None
+        self._provisional: dict[tuple[int, int], Cell] = {}
         self.hits = 0
         self.misses = 0
 
@@ -80,6 +90,13 @@ class LRUCellCache:
             self.hits += 1
             return cached
         self.misses += 1
+        provisional = self._provisional.get(key)
+        if provisional is not None:
+            # A stale placeholder that was LRU-evicted: it is newer than
+            # both the pending map (a later provisional supersedes a
+            # buffered write for reads) and storage.
+            self._store(key, provisional)
+            return provisional
         if self._pending is not None:
             pending = self._pending.get(key)
             if pending is not None:
@@ -91,21 +108,78 @@ class LRUCellCache:
         return cell
 
     def put(self, row: int, column: int, cell: Cell) -> None:
-        """Write a cell through to storage (or buffer it in deferred mode)."""
+        """Write a cell through to storage (or buffer it in deferred mode).
+
+        A real write retires any provisional (stale-placeholder) entry for
+        the same cell — this is how a freshly computed value commits.
+        """
         key = (row, column)
         if self._pending is not None:
             self._pending[key] = cell
         else:
             self._writer(row, column, cell)
+        self._provisional.pop(key, None)
         self._store(key, cell)
+
+    # ------------------------------------------------------------------ #
+    # provisional (stale-placeholder) entries
+    # ------------------------------------------------------------------ #
+    def put_provisional(self, row: int, column: int, cell: Cell) -> None:
+        """Cache a cell *without* scheduling any storage write.
+
+        Used by the async engine for stale placeholders: the cell is
+        readable immediately (and survives eviction) but no flush — bulk or
+        write-through — will ever commit it.  The entry lives until a real
+        ``put`` of the same cell or ``restore_provisional(..., None)``.
+        """
+        key = (row, column)
+        self._provisional[key] = cell
+        self._store(key, cell)
+
+    def is_provisional(self, row: int, column: int) -> bool:
+        """Whether the cell currently holds an uncommitted placeholder."""
+        return (row, column) in self._provisional
+
+    def provisional_at(self, row: int, column: int) -> Cell | None:
+        """The provisional entry for a cell (``None`` when absent)."""
+        return self._provisional.get((row, column))
+
+    def provisional_items(self) -> list[tuple[tuple[int, int], Cell]]:
+        """All provisional entries, keyed by (row, column)."""
+        return list(self._provisional.items())
+
+    @property
+    def provisional_count(self) -> int:
+        """Number of provisional (never-flushed) entries."""
+        return len(self._provisional)
+
+    def restore_provisional(self, row: int, column: int, cell: Cell | None) -> None:
+        """Reset a cell's provisional entry to a captured snapshot.
+
+        ``None`` removes the entry (and its cached mirror, so the next read
+        reloads the committed state); a cell reinstates it.  Used to roll
+        back the placeholders of a failed batch.
+        """
+        key = (row, column)
+        if cell is None:
+            if self._provisional.pop(key, None) is not None:
+                self._entries.pop(key, None)
+        else:
+            self.put_provisional(row, column, cell)
 
     def invalidate(self, row: int, column: int) -> None:
         """Drop a cached cell (e.g. after structural edits)."""
         self._entries.pop((row, column), None)
 
     def clear(self) -> None:
-        """Drop every cached cell *and* any buffered writes (a discard)."""
+        """Drop every cached cell, buffered write *and* provisional entry.
+
+        Callers that must preserve uncommitted placeholders across a clear
+        (structural edits remapping the coordinate space) snapshot them
+        first via :meth:`provisional_items`.
+        """
         self._entries.clear()
+        self._provisional.clear()
         if self._pending is not None:
             self._pending.clear()
 
@@ -156,19 +230,50 @@ class LRUCellCache:
         self._pending = None
         return discarded
 
-    def pending_items(self) -> list[tuple[tuple[int, int], Cell]]:
-        """All buffered writes, keyed by (row, column) (for batch overlays)."""
-        return list(self._pending.items()) if self._pending else []
+    # ------------------------------------------------------------------ #
+    # read overlays (buffered writes + provisional placeholders)
+    # ------------------------------------------------------------------ #
+    def overlay_items(self) -> list[tuple[tuple[int, int], Cell]]:
+        """Every entry that supersedes storage for reads.
 
-    def pending_values(self, region: RangeRef) -> dict[tuple[int, int], Cell]:
-        """The buffered writes falling inside ``region`` (for read overlays)."""
-        if not self._pending:
+        Buffered (deferred-mode) writes merged with provisional
+        placeholders; a provisional entry wins for a cell holding both,
+        since it was written over the buffered content.
+        """
+        if not self._pending and not self._provisional:
+            return []
+        merged: dict[tuple[int, int], Cell] = dict(self._pending or {})
+        merged.update(self._provisional)
+        return list(merged.items())
+
+    def overlay_values(self, region: RangeRef) -> dict[tuple[int, int], Cell]:
+        """The read-superseding entries falling inside ``region``.
+
+        Small regions probe the overlay maps per coordinate (O(area))
+        instead of scanning every buffered/provisional entry, so a drain of
+        thousands of stale formulas does not pay an O(stale) scan on each
+        range read.
+        """
+        pending = self._pending or {}
+        provisional = self._provisional
+        if not pending and not provisional:
             return {}
-        return {
-            key: cell
-            for key, cell in self._pending.items()
-            if region.contains_coordinates(key[0], key[1])
-        }
+        merged: dict[tuple[int, int], Cell] = {}
+        if region.area <= len(pending) + len(provisional):
+            for row in range(region.top, region.bottom + 1):
+                for column in range(region.left, region.right + 1):
+                    key = (row, column)
+                    cell = provisional.get(key)
+                    if cell is None:
+                        cell = pending.get(key)
+                    if cell is not None:
+                        merged[key] = cell
+            return merged
+        for source in (pending, provisional):
+            for key, cell in source.items():
+                if region.contains_coordinates(key[0], key[1]):
+                    merged[key] = cell
+        return merged
 
     # ------------------------------------------------------------------ #
     def _store(self, key: tuple[int, int], cell: Cell) -> None:

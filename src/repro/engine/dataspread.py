@@ -30,6 +30,27 @@ Every edit funnels into one reactive recompute path:
   ``get_values`` bulk read — one call per range, no per-cell cache probes —
   overlaid with any writes still buffered in the current batch.
 
+Asynchronous recompute
+----------------------
+With ``async_recompute=True`` the engine decouples edits from recompute
+("anti-freeze" scheduling): ``set_value``/``set_formula``/``clear_cell``
+and batch exits *enqueue* the affected subtree on a
+:class:`~repro.compute.ComputeScheduler` instead of evaluating it, so an
+edit upstream of thousands of formulas returns immediately.
+
+* Reads never block: a stale cell serves its last committed value as a
+  placeholder (``cell_state``/``is_fresh`` expose freshness, and a freshly
+  entered formula carries its cell's previous value until computed).
+* Placeholders are held as *provisional* cache entries that no flush —
+  write-through or batched — ever commits to the storage layer; the
+  scheduler's evaluation callback performs the real write.
+* ``flush_compute()`` drains the queue deterministically (viewport-priority
+  cells first — register a region of interest with ``set_viewport``);
+  ``get_fresh_value`` evaluates just the subtree one cell needs.
+* Structural edits rewrite queued work through the same coordinate mapping
+  as the graph re-keying, and a batch abort rolls placeholders back with
+  the rest of the batch.
+
 Structural-edit reference rewriting
 -----------------------------------
 Row/column inserts and deletes (``insert_row_after``/``delete_row``/
@@ -59,6 +80,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.compute import CellState, ComputeScheduler
 from repro.decomposition import (
     DecompositionResult,
     decompose_aggressive,
@@ -113,6 +135,10 @@ class DataSpread:
         created when omitted.
     parse_cache_capacity:
         Bound on the evaluator's LRU cache of parsed formula ASTs.
+    async_recompute:
+        When ``True``, edits enqueue their affected subtree on the compute
+        scheduler instead of recomputing synchronously; drain with
+        ``flush_compute()``.  Requires ``auto_evaluate``.
     """
 
     def __init__(
@@ -124,6 +150,7 @@ class DataSpread:
         database: Database | None = None,
         auto_evaluate: bool = True,
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
+        async_recompute: bool = False,
     ) -> None:
         self.costs = costs
         self.mapping_scheme = mapping_scheme
@@ -159,9 +186,19 @@ class DataSpread:
         self._batch_flushed: dict[CellAddress, None] = {}
         # Pre-batch composite table values displaced inside the batch.
         self._batch_composite_undo: dict[tuple[int, int], TableValue | None] = {}
+        # Pre-batch provisional (stale-placeholder) cache entries displaced
+        # inside the batch (first touch wins), restored on abort.
+        self._batch_provisional_undo: dict[CellAddress, Cell | None] = {}
+        # Cells the scheduler evaluated *inside* the batch: their computed
+        # values sit in the discardable pending map, so an abort must
+        # re-queue them (their placeholders are restored alongside).
+        self._batch_drained: dict[CellAddress, None] = {}
         #: Number of topological recompute passes run so far (a batched edit
         #: of any size contributes exactly one; exposed for tests/benchmarks).
         self.recompute_passes = 0
+        self._scheduler = ComputeScheduler(self._dependencies, self._scheduler_evaluate)
+        self._async = False
+        self.async_recompute = async_recompute
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -275,13 +312,20 @@ class DataSpread:
                 self._batch_flushed = {}
                 self._batch_undo = {}
                 self._batch_composite_undo = {}
+                self._batch_provisional_undo = {}
+                self._batch_drained = {}
                 if dirty:
                     # Land the batch's raw writes before recomputing so
                     # range reads during the recompute go straight to the
                     # bulk model path instead of overlaying (and linearly
                     # scanning) a pending map holding every batched cell.
+                    # (Provisional placeholders are not raw writes and stay
+                    # uncommitted.)
                     self._cache.flush_pending()
-                    self._recompute_batch(dirty)
+                    if self._async:
+                        self._scheduler.mark_dirty(dirty)
+                    else:
+                        self._recompute_batch(dirty)
             finally:
                 self._cache.end_deferred()
 
@@ -296,10 +340,14 @@ class DataSpread:
         undo = self._batch_undo
         flushed = self._batch_flushed
         composites = self._batch_composite_undo
+        provisional = self._batch_provisional_undo
+        drained = self._batch_drained
         self._batch_undo = {}
         self._batch_dirty = {}
         self._batch_flushed = {}
         self._batch_composite_undo = {}
+        self._batch_provisional_undo = {}
+        self._batch_drained = {}
         for address, snapshot in undo.items():
             self._dependencies.restore_registration(address, snapshot)
         for key, table in composites.items():
@@ -308,7 +356,19 @@ class DataSpread:
             else:
                 self._composite_values[key] = table
         self._cache.discard_deferred()
+        for address, cell in provisional.items():
+            self._cache.restore_provisional(address.row, address.column, cell)
+        if self._async and drained:
+            # Values the scheduler computed mid-batch were buffered in the
+            # pending map the discard just dropped: those cells are stale
+            # again (their placeholders were restored above).
+            self._scheduler.mark_dirty(drained)
         if flushed:
+            if self._async:
+                # The flushed cells re-enter the compute queue; anything the
+                # abort rolled back simply cancels out at the next rebuild.
+                self._scheduler.mark_dirty(flushed)
+                return
             try:
                 self._recompute_batch(flushed)
             except CircularDependencyError:
@@ -354,7 +414,7 @@ class DataSpread:
         """
         region = RangeRef.from_a1(region) if isinstance(region, str) else region
         result = self._model.get_cells(region)
-        for key, cell in self._cache.pending_values(region).items():
+        for key, cell in self._cache.overlay_values(region).items():
             address = CellAddress(key[0], key[1])
             if cell.is_empty:
                 result.pop(address, None)  # a buffered clear
@@ -387,7 +447,7 @@ class DataSpread:
         region: RangeRef | None = self._model.region()
         if region == RangeRef(1, 1, 1, 1) and self._model.cell_count() == 0:
             region = None  # the empty-sheet sentinel, not a real extent
-        for (row, column), cell in self._cache.pending_items():
+        for (row, column), cell in self._cache.overlay_items():
             if cell.is_empty:
                 continue
             box = RangeRef(row, column, row, column)
@@ -403,7 +463,7 @@ class DataSpread:
         agrees with the value the flush will produce.
         """
         count = self._model.cell_count()
-        for (row, column), cell in self._cache.pending_items():
+        for (row, column), cell in self._cache.overlay_items():
             stored = bool(self._model.get_cells(RangeRef(row, column, row, column)))
             if cell.is_empty:
                 count -= 1 if stored else 0
@@ -424,13 +484,20 @@ class DataSpread:
         return cell.value
 
     def set_value(self, row: int, column: int, value: CellValue) -> None:
-        """The ``updateCell`` primitive for constants; dependents re-evaluate."""
+        """The ``updateCell`` primitive for constants; dependents re-evaluate.
+
+        In async mode the write is acknowledged immediately and the
+        dependents are queued stale instead of recomputed inline.
+        """
         address = CellAddress(row, column)
         if self.in_batch:
             self._snapshot_registration(address)
+            self._snapshot_provisional(address)
         self._set_constant(row, column, value)
         if self.in_batch:
             self._batch_dirty[address] = None
+        elif self._async:
+            self._scheduler.mark_dirty((address,))
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -438,17 +505,36 @@ class DataSpread:
         """Store a formula, register its dependencies and evaluate it.
 
         Inside a batch the evaluation is deferred to batch exit and ``None``
-        is returned; outside a batch the evaluated value is returned.
+        is returned; outside a batch the evaluated value is returned.  In
+        async mode the formula is stored as a stale placeholder (it keeps
+        the cell's previous value until the scheduler computes it) and
+        ``None`` is returned — read the result after ``flush_compute()`` or
+        with ``get_fresh_value``.
         """
         text = formula[1:] if formula.startswith("=") else formula
         address = CellAddress(row, column)
         node = self._evaluator.parse(text)
         if self.in_batch:
             self._snapshot_registration(address)
+            self._snapshot_provisional(address)
+        if self._async:
+            # The placeholder must be captured before the registration
+            # replaces the cell's content, so stale reads keep serving the
+            # previous committed (or overlaid) value.
+            placeholder = self._cache.get(row, column).value
         self._dependencies.register(address, node)
         if self.in_batch:
-            self._cache.put(row, column, Cell(value=None, formula=text))
+            if self._async:
+                self._ensure_stored_extent(row, column)
+                self._cache.put_provisional(row, column, Cell(value=placeholder, formula=text))
+            else:
+                self._cache.put(row, column, Cell(value=None, formula=text))
             self._batch_dirty[address] = None
+            return None
+        if self._async:
+            self._ensure_stored_extent(row, column)
+            self._cache.put_provisional(row, column, Cell(value=placeholder, formula=text))
+            self._scheduler.mark_dirty((address,))
             return None
         value = self._safe_evaluate(node)
         self._cache.put(row, column, Cell(value=value, formula=text))
@@ -462,11 +548,14 @@ class DataSpread:
         if self.in_batch:
             self._snapshot_registration(address)
             self._snapshot_composite((row, column))
+            self._snapshot_provisional(address)
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell())
         self._composite_values.pop((row, column), None)
         if self.in_batch:
             self._batch_dirty[address] = None
+        elif self._async:
+            self._scheduler.mark_dirty((address,))
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -516,9 +605,18 @@ class DataSpread:
         recompute at batch exit.
         """
         self._flush_batch_writes()
+        # Provisional placeholders are not flushable writes: carry them
+        # across the cache clear and re-key them through the edit, exactly
+        # like the graph re-keys its registrations.
+        provisional = self._cache.provisional_items()
         model_op()
         self._cache.clear()
         rewrite = self._dependencies.apply_structural_edit(edit)
+        self._scheduler.apply_structural_edit(edit)
+        for (row, column), cell in provisional:
+            moved = edit.map_address(CellAddress(row, column))
+            if moved is not None:
+                self._cache.put_provisional(moved.row, moved.column, cell)
         self._remap_batch_addresses(edit.map_address)
         self._composite_values = {
             (moved.row, moved.column): table
@@ -531,8 +629,13 @@ class DataSpread:
             # so an aborted batch cannot discard them and leave cell text
             # disagreeing with the re-keyed graph.  The cells still get the
             # batch-exit (or abort-path) recompute via the flushed set.
+            # (Rewritten *provisional* cells persist as placeholders instead
+            # — they are equally commit-point-durable, since the abort path
+            # only rolls back snapshots taken after this edit.)
             self._cache.flush_pending()
             self._batch_flushed.update(dirty)
+        elif self._async:
+            self._scheduler.mark_dirty(dirty)
         elif dirty:
             try:
                 self._recompute_batch(dirty)
@@ -564,7 +667,13 @@ class DataSpread:
                 continue
             text = to_formula(node)
             self._evaluator.prime(text, node)
-            self._cache.put(address.row, address.column, Cell(value=cell.value, formula=text))
+            rewritten = Cell(value=cell.value, formula=text)
+            if self._cache.is_provisional(address.row, address.column):
+                # A stale placeholder stays a placeholder: rewriting its
+                # text must not commit its stale value to storage.
+                self._cache.put_provisional(address.row, address.column, rewritten)
+            else:
+                self._cache.put(address.row, address.column, rewritten)
             dirty[address] = None
         return dirty
 
@@ -582,6 +691,11 @@ class DataSpread:
             optimizer = _OPTIMIZERS[algorithm]
         except KeyError as exc:
             raise ValueError(f"unknown optimizer {algorithm!r}") from exc
+        if self._async:
+            # The re-planned layout is rebuilt from *stored* cells; drain so
+            # provisional placeholders (whose formula text exists nowhere
+            # else) are committed before the snapshot.
+            self.flush_compute()
         self._flush_batch_writes()
         snapshot = self._snapshot_native_cells()
         coordinates = snapshot.coordinates()
@@ -620,6 +734,78 @@ class DataSpread:
         return self._evaluator
 
     # ------------------------------------------------------------------ #
+    # asynchronous recompute
+    # ------------------------------------------------------------------ #
+    @property
+    def async_recompute(self) -> bool:
+        """Whether edits enqueue recompute work instead of evaluating inline."""
+        return self._async
+
+    @async_recompute.setter
+    def async_recompute(self, enabled: bool) -> None:
+        enabled = bool(enabled)
+        if enabled and not self.auto_evaluate:
+            raise ValueError("async_recompute requires auto_evaluate")
+        if self._async and not enabled:
+            # Leaving async mode drains the queue so the synchronous
+            # invariant (every stored value is fresh) holds again.
+            self.flush_compute()
+        self._async = enabled
+
+    @property
+    def compute_scheduler(self) -> ComputeScheduler:
+        """The compute scheduler (exposed for tests and benchmarks)."""
+        return self._scheduler
+
+    @property
+    def compute_pending(self) -> int:
+        """Number of cells queued for recomputation."""
+        return self._scheduler.pending_count
+
+    def flush_compute(self, limit: int | None = None) -> int:
+        """Drain the compute queue deterministically.
+
+        Evaluates up to ``limit`` queued cells (all of them when ``None``)
+        in topological order, viewport-priority first, committing each
+        fresh value to the cache/storage path.  Returns the number of cells
+        evaluated.  Raises :class:`CircularDependencyError` when only
+        cyclic work remains (the queue is preserved, so breaking the cycle
+        and draining again recovers).
+        """
+        return self._scheduler.run(limit)
+
+    def is_fresh(self, row: int, column: int) -> bool:
+        """Whether a cell's stored value reflects all its precedents."""
+        return self._scheduler.is_fresh(CellAddress(row, column))
+
+    def cell_state(self, row: int, column: int) -> CellState:
+        """The scheduling state of one cell (FRESH / STALE / COMPUTING)."""
+        return self._scheduler.state_of(CellAddress(row, column))
+
+    def get_fresh_value(self, row: int, column: int) -> CellValue:
+        """Read one cell, first computing exactly the subtree it needs.
+
+        In async mode this drains only the cell's stale ancestors (plus the
+        cell itself); everything else stays queued.  Edits buffered in an
+        open batch are not scheduled until the batch exits, but *pre-batch*
+        queued work can be drained mid-batch — the computed values join the
+        batch's discardable writes, and an abort re-queues them.
+        """
+        self._scheduler.ensure(CellAddress(row, column))
+        return self.get_value(row, column)
+
+    def set_viewport(self, region: RangeRef | str | None) -> RangeRef | None:
+        """Register the user-visible region the scheduler serves first.
+
+        Stale cells inside the region — and the stale cells they
+        transitively read — are evaluated before off-screen work during a
+        drain.  Pass ``None`` to clear.  Returns the registered region.
+        """
+        region = RangeRef.from_a1(region) if isinstance(region, str) else region
+        self._scheduler.set_viewport(region)
+        return region
+
+    # ------------------------------------------------------------------ #
     # database-oriented operations
     # ------------------------------------------------------------------ #
     def link_table(
@@ -646,6 +832,9 @@ class DataSpread:
             if rows is not None:
                 self.database.insert_many(table_name, [tuple(row) for row in rows])
         table = self.database.table(table_name)
+        if self._async:
+            # add_region clears the cache; commit placeholders first.
+            self.flush_compute()
         self._flush_batch_writes()
         tom = TableOrientedModel(table, top=anchor.row, left=anchor.column, header=header)
         self._model.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
@@ -726,6 +915,36 @@ class DataSpread:
         if key not in self._batch_composite_undo:
             self._batch_composite_undo[key] = self._composite_values.get(key)
 
+    def _ensure_stored_extent(self, row: int, column: int) -> None:
+        """Grow the storage extent to cover a provisional-only cell.
+
+        A synchronous formula write lands in the model (immediately, or at
+        the batch flush), growing the positional extent; a provisional
+        placeholder must grow it on the same schedule or structural edits
+        near the sheet's edge would behave differently between the two
+        modes.  Only the coordinate space is touched: the write is an empty
+        cell, and only when storage holds nothing there.  Inside a batch
+        the empty write is *buffered* like any other batch write — it grows
+        the extent at the flush and is discarded with an aborted batch.
+        """
+        if not self._model.get_cell(row, column).is_empty:
+            return
+        if self.in_batch:
+            self._cache.put(row, column, Cell())
+        else:
+            self._model.update_cell(row, column, Cell())
+
+    def _snapshot_provisional(self, address: CellAddress) -> None:
+        """Capture a cell's provisional placeholder (first touch).
+
+        A no-op snapshot (``None``) when the cell holds no placeholder, so
+        the abort path can tell "remove the placeholder the batch created"
+        from "reinstate the one it displaced"."""
+        if address not in self._batch_provisional_undo:
+            self._batch_provisional_undo[address] = self._cache.provisional_at(
+                address.row, address.column
+            )
+
     def _load_cell(self, row: int, column: int) -> Cell:
         return self._model.get_cell(row, column)
 
@@ -741,11 +960,12 @@ class DataSpread:
     def _provide_range(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
         """Materialise a range with one bulk model read.
 
-        Writes still buffered in an open batch are overlaid so formulas
-        evaluated during the batch flush see the batch's own edits.
+        Writes still buffered in an open batch — and provisional stale
+        placeholders in async mode — are overlaid so formulas see the
+        batch's own edits and stale cells' last known values.
         """
         values = self._model.get_values(region)
-        pending = self._cache.pending_values(region)
+        pending = self._cache.overlay_values(region)
         if pending:
             for key, cell in pending.items():
                 values[key] = cell.value
@@ -788,6 +1008,27 @@ class DataSpread:
         if value != existing.value:
             self._cache.put(address.row, address.column, existing.with_value(value))
 
+    def _scheduler_evaluate(self, address: CellAddress) -> None:
+        """Evaluate one queued cell and *commit* it.
+
+        Unlike :meth:`_reevaluate`, a provisional placeholder is always
+        written back through the real put — even when the computed value
+        happens to equal the placeholder — because commitment (formula text
+        landing in storage) is the point, not just the value.
+
+        Inside an open batch the committing put lands in the discardable
+        pending map, so the evaluation is recorded (and the displaced
+        placeholder snapshotted) for the abort path to re-queue."""
+        existing = self._cache.get(address.row, address.column)
+        if existing.formula is None:
+            return
+        if self.in_batch:
+            self._snapshot_provisional(address)
+            self._batch_drained[address] = None
+        value = self._safe_evaluate(existing.formula)
+        if value != existing.value or self._cache.is_provisional(address.row, address.column):
+            self._cache.put(address.row, address.column, existing.with_value(value))
+
     def _flush_batch_writes(self) -> None:
         """Push buffered batch writes to storage mid-batch.
 
@@ -806,6 +1047,10 @@ class DataSpread:
             self._batch_dirty = {}
             self._batch_undo = {}
             self._batch_composite_undo = {}
+            self._batch_provisional_undo = {}
+            # Mid-batch drained values just landed in storage: they are
+            # durably fresh and need no abort-path re-queue.
+            self._batch_drained = {}
 
     def _snapshot_native_cells(self) -> Sheet:
         """Copy all cells except those owned by linked tables into a Sheet."""

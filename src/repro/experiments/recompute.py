@@ -1,6 +1,6 @@
 """Edit-driven recompute experiments (the tracked engine hot path).
 
-Two scenarios exercise the reactive recompute path end-to-end:
+Three scenarios exercise the reactive recompute path end-to-end:
 
 * ``recompute-edit`` — a 50k-cell data block with 5k range formulas; a
   stream of single-cell edits drives dependent recomputation.  The run is
@@ -11,6 +11,12 @@ Two scenarios exercise the reactive recompute path end-to-end:
   1k dependent formulas; the whole import must run exactly one topological
   recompute pass (``recompute_passes``), with storage writes flushed in
   bulk.
+* ``recompute-async`` — the anti-freeze scenario: 5k formulas all reading
+  one hot range, so a single edit dirties every formula.  The synchronous
+  engine pays the full recompute inside ``set_value``; the async engine
+  acknowledges the edit immediately, serves the registered viewport first,
+  and drains the rest in the background.  The run verifies the drained
+  async grid is identical to the synchronous one.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import time
 from repro.engine.dataspread import DataSpread
 from repro.experiments.reporting import ExperimentResult
 from repro.grid.address import column_index_to_letter
+from repro.grid.range import RangeRef
 
 #: Geometry of the edit scenario: data_rows x data_columns constants plus
 #: one SUM formula per ``formula`` slot, each reading a 10-row column span.
@@ -150,4 +157,106 @@ def run_recompute_bulk(*, scale: float = 1.0, **_options) -> ExperimentResult:
         rows=rows,
         notes=[f"{passes} topological pass(es) for {block_rows * block_columns} imported cells"],
         paper_reference="Section VI (formula evaluation, batched updates)",
+    )
+
+
+#: Geometry of the async scenario: every formula reads the hot span
+#: A1:A10 plus one private cell, so one edit dirties all of them.
+_ASYNC_DATA_ROWS = 100
+_ASYNC_FORMULAS = 5_000
+_ASYNC_VIEWPORT_ROWS = 40
+
+
+def _build_async_scenario(*, formulas: int, async_recompute: bool) -> DataSpread:
+    spread = DataSpread(async_recompute=async_recompute)
+    with spread.batch():
+        for row in range(1, _ASYNC_DATA_ROWS + 1):
+            spread.set_value(row, 1, row % 97)
+        for index in range(formulas):
+            private = 11 + index % (_ASYNC_DATA_ROWS - 10)
+            spread.set_formula(index + 1, 3, f"SUM(A1:A10)+A{private}")
+    if async_recompute:
+        spread.flush_compute()
+    return spread
+
+
+def run_recompute_async(*, scale: float = 1.0, edits: int = 5, **_options) -> ExperimentResult:
+    """Edit-acknowledgment latency: async scheduler vs synchronous recompute.
+
+    The same stream of hot-cell edits (each dirtying every formula) is
+    applied to a synchronous and an asynchronous engine.  For the async
+    engine the experiment also measures time-to-freshness of a registered
+    viewport (the first ``_ASYNC_VIEWPORT_ROWS`` formulas) and the full
+    drain, then verifies both engines converged to the same grid.
+    """
+    formulas = max(int(_ASYNC_FORMULAS * scale), 50)
+    viewport_rows = min(_ASYNC_VIEWPORT_ROWS, formulas)
+
+    def apply_edits(spread: DataSpread) -> float:
+        """Apply the edit stream; returns total in-edit (ack) seconds."""
+        elapsed = 0.0
+        for index in range(edits):
+            row = index % 10 + 1
+            start = time.perf_counter()
+            spread.set_value(row, 1, 1_000 + index)
+            elapsed += time.perf_counter() - start
+        return elapsed
+
+    sync_spread = _build_async_scenario(formulas=formulas, async_recompute=False)
+    sync_seconds = apply_edits(sync_spread)
+
+    async_spread = _build_async_scenario(formulas=formulas, async_recompute=True)
+    viewport = RangeRef(1, 3, viewport_rows, 3)
+    async_spread.set_viewport(viewport)
+    async_seconds = apply_edits(async_spread)
+    pending = async_spread.compute_pending
+
+    start = time.perf_counter()
+    while not all(async_spread.is_fresh(row, 3) for row in range(1, viewport_rows + 1)):
+        async_spread.flush_compute(limit=viewport_rows)
+    viewport_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    async_spread.flush_compute()
+    drain_seconds = time.perf_counter() - start
+
+    grids_match = all(
+        async_spread.get_value(row, 3) == sync_spread.get_value(row, 3)
+        for row in range(1, formulas + 1)
+    )
+    ack_speedup = sync_seconds / async_seconds if async_seconds > 0 else float("inf")
+    parse_stats = async_spread.evaluator.parse_cache_stats()
+    rows = [
+        {
+            "mode": "synchronous",
+            "formulas": formulas,
+            "edits": edits,
+            "ack_ms_per_edit": sync_seconds * 1_000.0 / max(edits, 1),
+            "stale_after_edits": 0,
+            "grids_match": grids_match,
+        },
+        {
+            "mode": "async-scheduler",
+            "formulas": formulas,
+            "edits": edits,
+            "ack_ms_per_edit": async_seconds * 1_000.0 / max(edits, 1),
+            "stale_after_edits": pending,
+            "viewport_fresh_ms": viewport_seconds * 1_000.0,
+            "drain_ms": drain_seconds * 1_000.0,
+            "grids_match": grids_match,
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="recompute-async",
+        title="Async compute scheduler: edit acknowledgment vs synchronous recompute",
+        rows=rows,
+        notes=[
+            f"ack speedup {ack_speedup:.1f}x (synchronous / async in-edit wall time)",
+            f"viewport ({viewport_rows} formulas) fresh after {viewport_seconds * 1_000.0:.1f} ms; "
+            f"full drain {drain_seconds * 1_000.0:.1f} ms",
+            f"post-drain grids identical: {grids_match}",
+            f"AST cache hit rate {parse_stats.hit_rate:.3f} "
+            f"({parse_stats.hits} hits / {parse_stats.misses} misses / "
+            f"{parse_stats.primes} primes)",
+        ],
+        paper_reference="Follow-on work: asynchronous (anti-freeze) formula computation",
     )

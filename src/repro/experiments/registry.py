@@ -6,7 +6,11 @@ from typing import Callable
 
 from repro.experiments.incremental import run_fig26a, run_fig26b, run_migration_cost_probe
 from repro.experiments.positional import run_fig18, run_fig22, run_fig23, run_fig24, run_table2
-from repro.experiments.recompute import run_recompute_bulk, run_recompute_edit
+from repro.experiments.recompute import (
+    run_recompute_async,
+    run_recompute_bulk,
+    run_recompute_edit,
+)
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.storage import (
     run_fig13a,
@@ -47,6 +51,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "migration-probe": run_migration_cost_probe,
     "recompute-edit": run_recompute_edit,
     "recompute-bulk": run_recompute_bulk,
+    "recompute-async": run_recompute_async,
     "usecase-genomics": run_usecase_genomics,
     "usecase-retail": run_usecase_retail,
 }

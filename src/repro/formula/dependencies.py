@@ -96,12 +96,14 @@ class DependencyGraphStats:
     range_probes: int = 0     # interval entries examined while stabbing
     index_rebuilds: int = 0   # lazy interval-tree rebuilds
     stripes_reused: int = 0   # built trees carried across a structural edit
+    stripes_shifted: int = 0  # built trees translated to a shifted stripe
 
     def reset(self) -> None:
         self.lookups = 0
         self.range_probes = 0
         self.index_rebuilds = 0
         self.stripes_reused = 0
+        self.stripes_shifted = 0
 
 
 class _IntervalTree:
@@ -157,6 +159,24 @@ class _IntervalTree:
                 stats.range_probes += len(node.by_top)
                 out.extend(payload for _top, _bottom, payload in node.by_top)
                 return
+
+    def remap(self, mapper) -> "_IntervalTree":
+        """A structurally identical tree with every payload passed through
+        ``mapper``.
+
+        Valid only when the row spans themselves are unchanged (a column
+        edit never touches them), so the centers and the by-top/by-bottom
+        orders carry over verbatim and the copy costs O(n) with no sorting.
+        """
+        clone = _IntervalTree.__new__(_IntervalTree)
+        clone.center = self.center
+        clone.by_top = [(top, bottom, mapper(payload)) for top, bottom, payload in self.by_top]
+        clone.by_bottom = [
+            (top, bottom, mapper(payload)) for top, bottom, payload in self.by_bottom
+        ]
+        clone.left = self.left.remap(mapper) if self.left is not None else None
+        clone.right = self.right.remap(mapper) if self.right is not None else None
+        return clone
 
 
 class _StripeBucket:
@@ -372,8 +392,64 @@ class DependencyGraph:
                     and old.entries == bucket.entries:
                 new_buckets[key] = old
                 self.stats.stripes_reused += 1
+                continue
+            self._try_shifted_reuse(edit, key, bucket)
         self._range_buckets = new_buckets
         return StructuralRewrite(changed=changed)
+
+    def _try_shifted_reuse(self, edit: StructuralEdit, key: int | None,
+                           bucket: _StripeBucket) -> None:
+        """Carry a built interval tree onto a column stripe the edit shifted.
+
+        A column insert/delete never changes row spans, so the interval tree
+        of a stripe strictly right of the edit is structurally valid at its
+        shifted key — only the payloads (column spans and formula-cell
+        addresses) need translating, an O(n) walk with no re-sorting.  The
+        reuse is exact, not heuristic: it applies only when the old bucket's
+        entries, mapped through the edit, are identical to the freshly
+        rebuilt bucket's entries (an entry lost to the edit, or a span that
+        did not survive intact, disqualifies the stripe).
+        """
+        if edit.axis != "column" or key is _WIDE_BUCKET:
+            return
+        if edit.kind == "insert":
+            # New stripes at or left of the insert kept their key (handled by
+            # the identity check); inserted columns have no old counterpart.
+            if key <= edit.line + edit.count:
+                return
+            old_key = key - edit.count
+        else:
+            if key < edit.line:
+                return
+            old_key = key + edit.count
+        old = self._range_buckets.get(old_key)
+        if old is None or old.stale or old.tree is None:
+            return
+        remapped: dict[CellAddress, list[tuple[int, int, int, int]]] = {}
+        for address, spans in old.entries.items():
+            moved = edit.map_address(address)
+            if moved is None:
+                return  # a formula died in the edit; payloads would be stale
+            moved_spans: list[tuple[int, int, int, int]] = []
+            for top, bottom, left, right in spans:
+                span = edit.map_span(left, right)
+                if span is None:
+                    return
+                moved_spans.append((top, bottom, span[0], span[1]))
+            remapped[moved] = moved_spans
+        if remapped != bucket.entries:
+            return
+
+        def map_payload(payload: tuple[int, int, CellAddress]):
+            left, right, address = payload
+            span = edit.map_span(left, right)
+            moved = edit.map_address(address)
+            assert span is not None and moved is not None  # verified above
+            return (span[0], span[1], moved)
+
+        bucket.tree = old.tree.remap(map_payload)
+        bucket.stale = False
+        self.stats.stripes_shifted += 1
 
     def formula_cells(self) -> list[CellAddress]:
         """All registered formula cells."""
@@ -427,14 +503,65 @@ class DependencyGraph:
         """
         return self._ordered_closure(list(dirty), include_seed_formulas=True)
 
-    def _ordered_closure(self, seeds: list[CellAddress],
-                         include_seed_formulas: bool) -> list[CellAddress]:
+    # ------------------------------------------------------------------ #
+    # topological slicing (used by the async compute scheduler)
+    # ------------------------------------------------------------------ #
+    def affected_set(self, seeds: Iterable[CellAddress], *,
+                     include_seeds: bool = True) -> set[CellAddress]:
+        """The dirty slice of an edit: every formula needing re-evaluation.
+
+        BFS over direct dependents from the seeds — no ordering, no
+        full-graph sort.  With ``include_seeds`` (the default), seeds that
+        are themselves registered formulas are part of the slice.  This is
+        the subtree-extraction primitive behind
+        :class:`~repro.compute.ComputeScheduler.mark_dirty`.
+        """
+        affected, _pairs = self._affected_slice(list(seeds), include_seeds)
+        return affected
+
+    def slice_edges(
+        self, cells: Iterable[CellAddress]
+    ) -> list[tuple[CellAddress, CellAddress]]:
+        """The dependency edges internal to a subset of formula cells.
+
+        Returns ``(precedent, dependent)`` pairs where both endpoints are in
+        ``cells`` — exactly the edges a scheduler needs to order the subset,
+        discovered through the interval index (one ``direct_dependents``
+        stab per member), never by sorting the whole graph.
+        """
+        subset = set(cells)
+        pairs: list[tuple[CellAddress, CellAddress]] = []
+        for cell in sorted(subset):
+            for dependent in self.direct_dependents(cell):
+                if dependent in subset and dependent != cell:
+                    pairs.append((cell, dependent))
+        return pairs
+
+    def slice_order(self, cells: Iterable[CellAddress]) -> list[CellAddress]:
+        """Topological order over exactly the given cells (no expansion).
+
+        The one-shot convenience over :meth:`slice_edges`: unlike
+        :meth:`recompute_order` the subset is *not* grown to its transitive
+        dependents.  (The compute scheduler consumes :meth:`slice_edges`
+        directly instead, because it needs to re-prioritise and pop
+        incrementally rather than fix one order up front.)  Raises
+        :class:`CircularDependencyError` when the subset contains a cycle.
+        """
+        subset = set(cells)
+        return self._topological_order(subset, self.slice_edges(subset))
+
+    def __contains__(self, address: CellAddress) -> bool:
+        return address in self._precedents
+
+    def _affected_slice(
+        self, seeds: list[CellAddress], include_seed_formulas: bool
+    ) -> tuple[set[CellAddress], list[tuple[CellAddress, CellAddress]]]:
+        """BFS the dependents of ``seeds``: the affected set plus the
+        (reader-of, read-by) pairs discovered along the way, so callers can
+        order the slice without a pairwise containment scan afterwards."""
         affected: set[CellAddress] = set()
         if include_seed_formulas:
             affected.update(seed for seed in seeds if seed in self._precedents)
-        # BFS from the seeds; record (reader-of, read-by) pairs as they are
-        # discovered so the topological sort needs no pairwise containment
-        # scan over the affected set afterwards.
         pairs: list[tuple[CellAddress, CellAddress]] = []
         visited: set[CellAddress] = set()
         frontier: deque[CellAddress] = deque(seeds)
@@ -448,6 +575,11 @@ class DependencyGraph:
                 if dependent not in affected:
                     affected.add(dependent)
                     frontier.append(dependent)
+        return affected, pairs
+
+    def _ordered_closure(self, seeds: list[CellAddress],
+                         include_seed_formulas: bool) -> list[CellAddress]:
+        affected, pairs = self._affected_slice(seeds, include_seed_formulas)
         return self._topological_order(affected, pairs)
 
     def _topological_order(self, affected: set[CellAddress],

@@ -9,6 +9,7 @@ the LRU cell cache of the execution engine, or a raw data model.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.errors import FormulaEvaluationError, FormulaSyntaxError
@@ -41,6 +42,28 @@ MAX_RANGE_CELLS = 10_000_000
 DEFAULT_PARSE_CACHE_CAPACITY = 10_000
 
 
+@dataclass
+class ParseCacheStats:
+    """A snapshot of the evaluator's AST-cache behaviour.
+
+    ``hits``/``misses`` count :meth:`Evaluator.parse` lookups; ``primes``
+    counts ASTs seeded directly by :meth:`Evaluator.prime` (a prime of an
+    already-cached formula refreshes its recency and counts as a hit).
+    """
+
+    hits: int
+    misses: int
+    primes: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``parse`` calls served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class Evaluator:
     """Evaluates formula ASTs by pulling referenced cells from a provider.
 
@@ -66,21 +89,43 @@ class Evaluator:
         self._range_provider = range_provider
         self._parse_cache: OrderedDict[str, FormulaNode] = OrderedDict()
         self._parse_cache_capacity = parse_cache_capacity
+        self._parse_hits = 0
+        self._parse_misses = 0
+        self._parse_primes = 0
 
     @property
     def parse_cache_size(self) -> int:
         """Number of distinct formulas currently held parsed."""
         return len(self._parse_cache)
 
+    def parse_cache_stats(self) -> ParseCacheStats:
+        """Hit/miss/prime counters plus current size and capacity."""
+        return ParseCacheStats(
+            hits=self._parse_hits,
+            misses=self._parse_misses,
+            primes=self._parse_primes,
+            size=len(self._parse_cache),
+            capacity=self._parse_cache_capacity,
+        )
+
+    def reset_parse_cache_stats(self) -> None:
+        """Zero the hit/miss/prime counters (the cached ASTs are kept)."""
+        self._parse_hits = 0
+        self._parse_misses = 0
+        self._parse_primes = 0
+
     # ------------------------------------------------------------------ #
     def parse(self, formula: str) -> FormulaNode:
         """Parse a formula body through the bounded LRU AST cache."""
         node = self._parse_cache.get(formula)
         if node is not None:
+            self._parse_hits += 1
             self._parse_cache.move_to_end(formula)
             return node
+        self._parse_misses += 1
         node = parse_formula(formula)
-        self.prime(formula, node)
+        self._parse_cache[formula] = node
+        self._evict_over_capacity()
         return node
 
     def prime(self, formula: str, node: FormulaNode) -> None:
@@ -89,10 +134,19 @@ class Evaluator:
         Used by the structural-edit rewriter: a rewritten AST is serialized
         back to text, and priming the cache lets the new text evaluate
         without a round-trip through the parser.  The caller guarantees
-        ``parse_formula(formula) == node``.
+        ``parse_formula(formula) == node``, so priming a formula that is
+        already cached only refreshes its recency — the cached AST object
+        is kept, preserving subtree sharing with every holder of it.
         """
+        if formula in self._parse_cache:
+            self._parse_cache.move_to_end(formula)
+            self._parse_hits += 1
+            return
         self._parse_cache[formula] = node
-        self._parse_cache.move_to_end(formula)
+        self._parse_primes += 1
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
         while len(self._parse_cache) > self._parse_cache_capacity:
             self._parse_cache.popitem(last=False)
 

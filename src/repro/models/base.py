@@ -77,6 +77,15 @@ class DataModel(ABC):
     def update_cell(self, row: int, column: int, cell: Cell) -> None:
         """Set the cell at an absolute (row, column) inside the region."""
 
+    def update_cells(self, items) -> None:
+        """Bulk write many ``(row, column, cell)`` triples.
+
+        Subclasses override this to amortise per-cell overhead (e.g. RCV
+        resolves each distinct row/column identifier once per bulk write).
+        """
+        for row, column, cell in items:
+            self.update_cell(row, column, cell)
+
     @abstractmethod
     def insert_row_after(self, row: int, count: int = 1) -> None:
         """Insert ``count`` empty rows after absolute row ``row``."""

@@ -209,19 +209,44 @@ class HybridDataModel(DataModel):
         once per cell.  When overlapping regions exist (linked tables), the
         cached owner may not be the *first* containing region, so the fast
         path is disabled to keep routing identical to ``update_cell``.
+
+        Runs of cells bound for the same model are handed over through that
+        model's own ``update_cells``, so a model with a bulk path (RCV
+        batching its positional-mapping lookups, including the catch-all
+        table) sees the whole run at once.
         """
-        owner: HybridRegion | None = None
         reuse_owner = not self._has_overlaps
+        owner: HybridRegion | None = None
+        have_owner = False
+        run: list[tuple[int, int, Cell]] = []
+
+        def flush_run(target: HybridRegion | None) -> None:
+            if not run:
+                return
+            if target is not None:
+                target.model.update_cells(run)
+            else:
+                if self._catch_all is None:
+                    first_row, first_column, _cell = run[0]
+                    self._catch_all = RowColumnValueModel(
+                        top=first_row, left=first_column,
+                        mapping_scheme=self._mapping_scheme,
+                    )
+                self._catch_all.update_cells(run)
+            run.clear()
+
         for row, column, cell in items:
-            if reuse_owner and owner is not None:
-                if not owner.range.contains_coordinates(row, column):
-                    owner = self._owning_region(row, column)
+            if reuse_owner and have_owner and owner is not None \
+                    and owner.range.contains_coordinates(row, column):
+                next_owner = owner
             else:
-                owner = self._owning_region(row, column)
-            if owner is not None:
-                owner.model.update_cell(row, column, cell)
-            else:
-                self._update_catch_all(row, column, cell)
+                next_owner = self._owning_region(row, column)
+            if not have_owner or next_owner is not owner:
+                flush_run(owner)
+                owner = next_owner
+                have_owner = True
+            run.append((row, column, cell))
+        flush_run(owner)
 
     def _update_catch_all(self, row: int, column: int, cell: Cell) -> None:
         if self._catch_all is None:

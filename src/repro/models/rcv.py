@@ -198,6 +198,31 @@ class RowColumnValueModel(DataModel):
         else:
             self._cells[key] = cell
 
+    def update_cells(self, items) -> None:
+        """Bulk write with batched positional lookups.
+
+        A dense bulk write revisits the same rows and columns over and over;
+        resolving each distinct row/column identifier once per call turns
+        2·n positional-mapping fetches into (distinct rows + distinct
+        columns).  Identifiers are stable, so memoising them within one call
+        is safe even though ``_row_id``/``_column_id`` may grow the extent.
+        """
+        row_ids: dict[int, int] = {}
+        column_ids: dict[int, int] = {}
+        cells = self._cells
+        for row, column, cell in items:
+            row_id = row_ids.get(row)
+            if row_id is None:
+                row_id = row_ids[row] = self._row_id(row)
+            column_id = column_ids.get(column)
+            if column_id is None:
+                column_id = column_ids[column] = self._column_id(column)
+            key = (row_id, column_id)
+            if cell.is_empty:
+                cells.pop(key, None)
+            else:
+                cells[key] = cell
+
     def insert_row_after(self, row: int, count: int = 1) -> None:
         relative = row - self._top + 1
         if relative < 0:

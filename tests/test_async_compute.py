@@ -1,0 +1,786 @@
+"""Tests for the asynchronous compute scheduler and its satellites.
+
+Covers the ComputeScheduler itself (stale/fresh/computing states, stale
+placeholders, coalescing, cancellation, viewport priority, targeted
+``ensure``, cycle handling, structural-edit rewriting of queued work), the
+engine integration (``async_recompute`` mode, provisional cache entries
+that are never flushed as committed values, batch/abort semantics), the
+dependency-graph slicing primitives, the shifted interval-stripe reuse,
+the RCV bulk-write batching, the evaluator prime/stats fixes — and the
+headline guarantee: randomized interleavings of edits, batches, aborts and
+structural edits converge, after ``flush_compute()``, to the same grid as
+the synchronous engine and the ``Sheet`` oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.compute import CellState, ComputeScheduler
+from repro.engine.dataspread import DataSpread
+from repro.errors import CircularDependencyError
+from repro.formula.dependencies import DependencyGraph
+from repro.formula.evaluator import Evaluator
+from repro.formula.parser import parse_formula
+from repro.formula.rewrite import StructuralEdit
+from repro.grid.address import CellAddress, column_index_to_letter
+from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.models.hybrid import HybridDataModel, HybridRegion
+from repro.models.rcv import RowColumnValueModel
+
+
+def addr(reference: str) -> CellAddress:
+    return CellAddress.from_a1(reference)
+
+
+# ---------------------------------------------------------------------- #
+# scheduler + engine integration
+# ---------------------------------------------------------------------- #
+class TestAsyncEngine:
+    def test_edit_enqueues_instead_of_recomputing(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 10)
+        spread.set_formula(1, 2, "A1*2")
+        assert spread.compute_pending == 1
+        assert spread.cell_state(1, 2) is CellState.STALE
+        assert spread.flush_compute() == 1
+        assert spread.get_value(1, 2) == 20
+        assert spread.is_fresh(1, 2)
+
+        spread.set_value(1, 1, 50)  # the constant itself lands immediately
+        assert spread.get_value(1, 1) == 50
+        assert not spread.is_fresh(1, 2)
+        assert spread.get_value(1, 2) == 20  # stale placeholder
+        spread.flush_compute()
+        assert spread.get_value(1, 2) == 100
+
+    def test_new_formula_keeps_previous_value_as_placeholder(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 7)
+        spread.set_value(2, 1, 41)
+        spread.flush_compute()
+        assert spread.set_formula(1, 1, "A2+1") is None  # acknowledged, not computed
+        assert spread.get_value(1, 1) == 7  # previous value as placeholder
+        spread.flush_compute()
+        assert spread.get_value(1, 1) == 42
+
+    def test_placeholder_is_never_flushed_to_storage(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 3)
+        spread.set_formula(2, 1, "A1*3")
+        # Queued: storage must not hold the placeholder as a committed value.
+        assert spread.model.get_cell(2, 1) == Cell()
+        assert spread.cache.provisional_count == 1
+        spread.flush_compute()
+        stored = spread.model.get_cell(2, 1)
+        assert stored.value == 9 and stored.formula == "A1*3"
+        assert spread.cache.provisional_count == 0
+
+    def test_batch_exit_enqueues_once_without_committing_placeholders(self):
+        spread = DataSpread(async_recompute=True)
+        with spread.batch():
+            for row in range(1, 6):
+                spread.set_value(row, 1, row)
+            spread.set_formula(6, 1, "SUM(A1:A5)")
+        # Constants flushed at exit; the formula stays provisional.
+        assert spread.model.get_cell(1, 1).value == 1
+        assert spread.model.get_cell(6, 1) == Cell()
+        assert spread.compute_pending == 1
+        spread.flush_compute()
+        assert spread.get_value(6, 1) == 15
+        assert spread.model.get_cell(6, 1).value == 15
+
+    def test_bulk_reads_overlay_placeholders(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 5)
+        spread.set_formula(2, 1, "A1+1")
+        cells = spread.get_cells("A1:A2")
+        assert cells[addr("A2")].formula == "A1+1"
+        assert spread.cell_count() == 2
+        assert spread.used_range() == RangeRef(1, 1, 2, 1)
+        spread.flush_compute()
+        assert spread.get_cells("A1:A2")[addr("A2")].value == 6
+
+    def test_formula_reading_stale_placeholder_through_range(self):
+        """A queued formula evaluating before its precedent would read the
+        placeholder — the topological order must prevent that."""
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(2, 1, "A1*10")
+        spread.set_formula(3, 1, "SUM(A1:A2)")
+        spread.flush_compute()
+        assert spread.get_value(3, 1) == 11
+
+    def test_abort_rolls_back_placeholders(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 2)
+        spread.set_formula(2, 1, "A1+2")  # queued placeholder from before the batch
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_formula(2, 1, "A1+100")
+                spread.set_formula(3, 1, "A1+200")
+                raise RuntimeError("boom")
+        spread.flush_compute()
+        assert spread.get_value(2, 1) == 4  # the pre-batch formula won
+        assert spread.get_cell(3, 1) == Cell()
+        assert spread.cache.provisional_count == 0
+
+    def test_mid_batch_drain_survives_abort(self):
+        """Draining pre-batch queued work inside a batch commits through the
+        batch's discardable writes: an abort must restore the placeholder
+        and re-queue the cell, never lose the formula."""
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 2)
+        spread.set_formula(2, 1, "A1+2")  # formula text lives only provisionally
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                assert spread.get_fresh_value(2, 1) == 4  # mid-batch drain
+                raise RuntimeError("boom")
+        assert spread.get_cell(2, 1).formula == "A1+2"
+        assert not spread.is_fresh(2, 1)
+        spread.flush_compute()
+        assert spread.get_value(2, 1) == 4
+        assert spread.model.get_cell(2, 1).value == 4
+
+    def test_mid_batch_drain_commits_on_clean_exit(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 2)
+        spread.set_formula(2, 1, "A1+2")
+        with spread.batch():
+            spread.set_value(1, 1, 10)
+            assert spread.get_fresh_value(2, 1) == 12  # sees the batch's edit
+        spread.flush_compute()
+        assert spread.get_value(2, 1) == 12
+        assert spread.model.get_cell(2, 1).value == 12
+
+    def test_aborted_batch_does_not_grow_stored_extent(self):
+        """The extent-growing write for a provisional formula must be
+        buffered with the batch, so sync and async extents stay equal."""
+        make = lambda is_async: DataSpread(async_recompute=is_async)
+        for spread in (make(True), make(False)):
+            spread.set_value(1, 1, 1)
+            with pytest.raises(RuntimeError):
+                with spread.batch():
+                    spread.set_formula(50, 8, "A1+1")
+                    raise RuntimeError("boom")
+            spread.flush_compute()
+            assert spread.model.region() == RangeRef(1, 1, 1, 1), spread.async_recompute
+            assert spread.used_range() == RangeRef(1, 1, 1, 1), spread.async_recompute
+
+    def test_clean_batch_grows_stored_extent_like_sync(self):
+        spreads = [DataSpread(async_recompute=True), DataSpread()]
+        for spread in spreads:
+            spread.set_value(1, 1, 1)
+            with spread.batch():
+                spread.set_formula(50, 8, "A1+1")
+            spread.flush_compute()
+        assert spreads[0].model.region() == spreads[1].model.region()
+        assert spreads[0].get_value(50, 8) == 2
+
+    def test_coalescing_and_cancellation(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(2, 1, "A1+1")
+        spread.flush_compute()
+        stats = spread.compute_scheduler.stats
+        stats.reset()
+        spread.set_value(1, 1, 2)
+        spread.set_value(1, 1, 3)  # re-edit coalesces with the queued subtree
+        assert spread.compute_pending == 1
+        assert stats.coalesced >= 1
+        spread.set_value(2, 1, 99)  # overwrite the queued formula: cancel it
+        spread.flush_compute()
+        assert stats.cancelled >= 1
+        assert spread.get_value(2, 1) == 99
+
+    def test_cycle_detected_at_drain_and_recoverable(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_formula(1, 1, "B1+1")
+        spread.set_formula(1, 2, "A1+1")
+        with pytest.raises(CircularDependencyError):
+            spread.flush_compute()
+        spread.set_value(1, 2, 5)  # break the cycle
+        spread.flush_compute()
+        assert spread.get_value(1, 1) == 6
+
+    def test_ensure_evaluates_only_the_needed_subtree(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(2, 1, "A1+1")
+        spread.set_formula(3, 1, "A2+1")
+        spread.set_formula(4, 1, "A1*100")
+        spread.flush_compute()
+        spread.set_value(1, 1, 10)
+        assert spread.compute_pending == 3
+        assert spread.get_fresh_value(3, 1) == 12
+        assert spread.is_fresh(2, 1) and spread.is_fresh(3, 1)
+        assert not spread.is_fresh(4, 1)  # untouched by the targeted drain
+        spread.flush_compute()
+        assert spread.get_value(4, 1) == 1000
+
+    def test_viewport_cells_and_their_ancestors_run_first(self):
+        spread = DataSpread(async_recompute=True)
+        with spread.batch():
+            spread.set_value(1, 1, 1)
+            spread.set_formula(2, 1, "A1+1")       # off-screen ancestor
+            spread.set_formula(10, 1, "A2*2")      # in the viewport
+            for row in range(3, 9):
+                spread.set_formula(row, 1, "A1*3")  # off-screen noise
+        spread.set_viewport("A10:A10")
+        spread.flush_compute(limit=2)
+        assert spread.is_fresh(10, 1) and spread.is_fresh(2, 1)
+        assert spread.get_value(10, 1) == 4
+        assert not all(spread.is_fresh(row, 1) for row in range(3, 9))
+        assert spread.compute_scheduler.stats.priority_evaluations == 2
+        spread.flush_compute()
+
+    def test_structural_edit_rewrites_queued_work(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_value(2, 1, 2)
+        spread.set_formula(5, 1, "SUM(A1:A2)")
+        assert spread.compute_pending == 1
+        spread.insert_row_after(1)  # queued cell moves from A5 to A6
+        assert spread.compute_pending >= 1
+        spread.flush_compute()
+        assert spread.get_cell(6, 1).formula == "SUM(A1:A3)"
+        assert spread.get_value(6, 1) == 3
+        # The placeholder text survived the cache clear + remap.
+        assert spread.model.get_cell(6, 1).formula == "SUM(A1:A3)"
+
+    def test_structural_edit_cancels_deleted_queued_cells(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(3, 1, "A1+1")
+        assert spread.compute_pending == 1
+        spread.delete_row(3)
+        spread.flush_compute()
+        assert spread.get_cell(3, 1) == Cell()
+
+    def test_mid_batch_structural_edit_converges(self):
+        spread = DataSpread(async_recompute=True)
+        with spread.batch():
+            spread.set_value(1, 1, 4)
+            spread.set_formula(2, 1, "A1*A1")
+            spread.insert_row_after(0)  # everything shifts down one row
+            spread.set_value(4, 1, 9)
+        spread.flush_compute()
+        assert spread.get_cell(3, 1).formula == "A2*A2"
+        assert spread.get_value(3, 1) == 16
+        assert spread.get_value(4, 1) == 9
+
+    def test_optimize_storage_drains_first(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 2)
+        spread.set_formula(1, 2, "A1^3")
+        spread.optimize_storage("aggressive")
+        assert spread.compute_pending == 0
+        assert spread.get_value(1, 2) == 8
+        assert spread.get_cell(1, 2).formula == "A1^3"
+
+    def test_disabling_async_mode_drains(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 6)
+        spread.set_formula(2, 1, "A1/2")
+        assert spread.compute_pending == 1
+        spread.async_recompute = False
+        assert spread.compute_pending == 0
+        assert spread.get_value(2, 1) == 3
+        spread.set_value(1, 1, 8)  # synchronous again
+        assert spread.get_value(2, 1) == 4
+
+    def test_async_requires_auto_evaluate(self):
+        with pytest.raises(ValueError):
+            DataSpread(auto_evaluate=False, async_recompute=True)
+        spread = DataSpread(auto_evaluate=False)
+        with pytest.raises(ValueError):
+            spread.async_recompute = True
+
+
+class TestCacheOverlay:
+    def test_probe_and_scan_branches_agree(self):
+        """overlay_values has a per-coordinate probe path for small regions
+        and a map-scan path for large ones; both must return the same
+        overlay (provisional entries superseding pending ones)."""
+        from repro.engine.cache import LRUCellCache
+
+        store: dict[tuple[int, int], Cell] = {}
+        cache = LRUCellCache(
+            loader=lambda row, column: store.get((row, column), Cell()),
+            writer=lambda row, column, cell: store.__setitem__((row, column), cell),
+            capacity=100,
+        )
+        cache.begin_deferred()
+        for row in range(1, 9):
+            cache.put(row, 1, Cell(value=row))
+        cache.put_provisional(3, 1, Cell(value=-3, formula="X"))
+        small = RangeRef(2, 1, 4, 1)      # area 3 < 9 entries: probe path
+        large = RangeRef(1, 1, 20, 2)     # area 40 > 9 entries: scan path
+        probed = cache.overlay_values(small)
+        scanned = cache.overlay_values(large)
+        assert probed == {key: cell for key, cell in scanned.items()
+                          if small.contains_coordinates(key[0], key[1])}
+        assert probed[(3, 1)].formula == "X"  # provisional wins over pending
+        cache.discard_deferred()
+
+
+# ---------------------------------------------------------------------- #
+# dependency-graph slicing primitives
+# ---------------------------------------------------------------------- #
+class TestGraphSlicing:
+    def _graph(self) -> DependencyGraph:
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        graph.register(addr("C1"), "B1+1")
+        graph.register(addr("D1"), "SUM(A1:B1)")
+        graph.register(addr("Z9"), "Y9+1")
+        return graph
+
+    def test_affected_set_is_the_bfs_slice(self):
+        graph = self._graph()
+        assert graph.affected_set([addr("A1")]) == {addr("B1"), addr("C1"), addr("D1")}
+        # A seed that is itself a formula joins the slice...
+        assert addr("B1") in graph.affected_set([addr("B1")])
+        # ...unless excluded.
+        assert graph.affected_set([addr("Z9")], include_seeds=False) == set()
+
+    def test_slice_edges_are_internal_only(self):
+        graph = self._graph()
+        subset = {addr("B1"), addr("C1"), addr("D1")}
+        edges = set(graph.slice_edges(subset))
+        assert edges == {(addr("B1"), addr("C1")), (addr("B1"), addr("D1"))}
+
+    def test_slice_order_does_not_expand(self):
+        graph = self._graph()
+        order = graph.slice_order([addr("C1"), addr("B1")])
+        assert order == [addr("B1"), addr("C1")]  # D1 not pulled in
+        with pytest.raises(CircularDependencyError):
+            cyclic = DependencyGraph()
+            cyclic.register(addr("A1"), "B1")
+            cyclic.register(addr("B1"), "A1")
+            cyclic.slice_order([addr("A1"), addr("B1")])
+
+    def test_contains(self):
+        graph = self._graph()
+        assert addr("B1") in graph
+        assert addr("A1") not in graph
+
+
+# ---------------------------------------------------------------------- #
+# shifted interval-stripe reuse (satellite)
+# ---------------------------------------------------------------------- #
+class TestShiftedStripeReuse:
+    def _built_graph(self) -> DependencyGraph:
+        graph = DependencyGraph()
+        graph.register(addr("Z10"), "SUM(C1:C100)")
+        graph.register(addr("Z11"), "SUM(D5:D50)")
+        graph.direct_dependents(addr("C50"))  # build the C stripe's tree
+        graph.direct_dependents(addr("D20"))  # build the D stripe's tree
+        return graph
+
+    def test_column_insert_shifts_trees_without_rebuild(self):
+        graph = self._built_graph()
+        graph.stats.reset()
+        graph.apply_structural_edit(StructuralEdit.insert_columns(1))
+        assert graph.stats.stripes_shifted == 2
+        graph.stats.reset()
+        # C ranges moved to D, D to E; the formula cells shifted too (Z->AA).
+        assert graph.direct_dependents(addr("D50")) == {addr("AA10")}
+        assert graph.direct_dependents(addr("E20")) == {addr("AA11")}
+        assert graph.direct_dependents(addr("C50")) == set()
+        assert graph.stats.index_rebuilds == 0  # served from the shifted trees
+
+    def test_column_delete_shifts_trees_without_rebuild(self):
+        graph = self._built_graph()
+        graph.stats.reset()
+        graph.apply_structural_edit(StructuralEdit.delete_columns(1))
+        assert graph.stats.stripes_shifted == 2
+        graph.stats.reset()
+        assert graph.direct_dependents(addr("B50")) == {addr("Y10")}
+        assert graph.direct_dependents(addr("C20")) == {addr("Y11")}
+        assert graph.stats.index_rebuilds == 0
+
+    def test_row_edits_do_not_misuse_the_shift_path(self):
+        graph = self._built_graph()
+        graph.stats.reset()
+        graph.apply_structural_edit(StructuralEdit.insert_rows(1))
+        assert graph.stats.stripes_shifted == 0  # row spans changed: no shift reuse
+        # The Z10 formula itself shifted down one row with everything else.
+        assert graph.direct_dependents(addr("C50")) == {addr("Z11")}
+
+    def test_shift_reuse_matches_fresh_registration(self):
+        rng = random.Random(7)
+        formulas = {}
+        graph = DependencyGraph()
+        for index in range(80):
+            column = rng.choice("CDEFGH")
+            top = rng.randint(1, 40)
+            bottom = top + rng.randint(0, 30)
+            address = CellAddress(100 + index, rng.randint(1, 12))
+            text = f"SUM({column}{top}:{column}{bottom})"
+            formulas[address] = text
+            graph.register(address, text)
+        for probe in ("C10", "D20", "E30", "F5", "G40", "H1"):
+            graph.direct_dependents(addr(probe))  # build the trees
+        edit = StructuralEdit.insert_columns(2, count=3)
+        graph.apply_structural_edit(edit)
+        assert graph.stats.stripes_shifted > 0
+
+        expected = DependencyGraph()
+        for address, text in formulas.items():
+            new_address = edit.map_address(address)
+            if new_address is not None:
+                from repro.formula.rewrite import rewrite_formula
+
+                node, _changed = rewrite_formula(parse_formula(text), edit)
+                expected.register(new_address, node)
+        for row in range(1, 75):
+            for column in range(1, 14):
+                probe = CellAddress(row, column)
+                assert graph.direct_dependents(probe) == expected.direct_dependents(probe), probe
+
+
+# ---------------------------------------------------------------------- #
+# RCV bulk-write batching (satellite)
+# ---------------------------------------------------------------------- #
+class TestRcvBulkWrites:
+    def test_distinct_rows_and_columns_resolved_once(self):
+        model = RowColumnValueModel(top=1, left=1)
+        row_calls = []
+        column_calls = []
+        original_row_id = model._row_id
+        original_column_id = model._column_id
+        model._row_id = lambda row: (row_calls.append(row), original_row_id(row))[1]
+        model._column_id = lambda column: (
+            column_calls.append(column), original_column_id(column)
+        )[1]
+        items = [
+            (row, column, Cell(value=row * 100 + column))
+            for row in range(1, 11)
+            for column in range(1, 11)
+        ]
+        model.update_cells(items)
+        assert len(row_calls) == 10
+        assert len(column_calls) == 10
+        assert model.cell_count() == 100
+        assert model.get_cell(7, 3).value == 703
+
+    def test_bulk_write_equals_per_cell_writes(self):
+        rng = random.Random(3)
+        items = [
+            (rng.randint(1, 20), rng.randint(1, 20), Cell(value=rng.randint(0, 99)))
+            for _ in range(200)
+        ] + [(5, 5, Cell())]  # include a delete
+        bulk = RowColumnValueModel(top=1, left=1)
+        bulk.update_cells(items)
+        loop = RowColumnValueModel(top=1, left=1)
+        for row, column, cell in items:
+            loop.update_cell(row, column, cell)
+        region = RangeRef(1, 1, 25, 25)
+        assert bulk.get_cells(region) == loop.get_cells(region)
+
+    def test_hybrid_routes_runs_through_bulk_path(self):
+        region_model = RowColumnValueModel(top=1, left=1, rows=5, columns=5)
+        hybrid = HybridDataModel(
+            regions=[HybridRegion(range=RangeRef(1, 1, 5, 5), model=region_model)]
+        )
+        items = [
+            (row, column, Cell(value=row * 10 + column))
+            for row in range(1, 9)
+            for column in range(1, 4)
+        ]
+        hybrid.update_cells(items)
+        assert hybrid.get_cell(3, 2).value == 32      # owned region
+        assert hybrid.get_cell(8, 3).value == 83      # catch-all (created lazily)
+        assert hybrid.catch_all is not None
+        mirror = HybridDataModel(
+            regions=[HybridRegion(
+                range=RangeRef(1, 1, 5, 5),
+                model=RowColumnValueModel(top=1, left=1, rows=5, columns=5),
+            )]
+        )
+        for row, column, cell in items:
+            mirror.update_cell(row, column, cell)
+        box = RangeRef(1, 1, 10, 10)
+        assert hybrid.get_cells(box) == mirror.get_cells(box)
+
+
+# ---------------------------------------------------------------------- #
+# evaluator prime / cache stats (satellite)
+# ---------------------------------------------------------------------- #
+class TestEvaluatorPrimeAndStats:
+    def test_prime_of_cached_formula_keeps_node_and_refreshes_recency(self):
+        evaluator = Evaluator(lambda row, column: 0, parse_cache_capacity=3)
+        node = evaluator.parse("A1+1")
+        evaluator.parse("A1+2")
+        evaluator.parse("A1+3")  # cache now full: [A1+1, A1+2, A1+3]
+        evaluator.prime("A1+1", parse_formula("A1+1"))  # refresh, not replace
+        assert evaluator.parse("A1+1") is node  # the original AST object survives
+        evaluator.parse("A1+4")  # evicts the least recent: A1+2
+        stats = evaluator.parse_cache_stats()
+        assert stats.size == 3
+        before = stats.misses
+        evaluator.parse("A1+2")
+        assert evaluator.parse_cache_stats().misses == before + 1
+
+    def test_parse_cache_stats_counts(self):
+        evaluator = Evaluator(lambda row, column: 0)
+        evaluator.parse("A1+1")
+        evaluator.parse("A1+1")
+        evaluator.prime("B1*2", parse_formula("B1*2"))
+        stats = evaluator.parse_cache_stats()
+        assert (stats.hits, stats.misses, stats.primes) == (1, 1, 1)
+        assert stats.size == 2
+        assert 0.0 < stats.hit_rate < 1.0
+        evaluator.reset_parse_cache_stats()
+        reset = evaluator.parse_cache_stats()
+        assert (reset.hits, reset.misses, reset.primes) == (0, 0, 0)
+        assert reset.size == 2  # the ASTs themselves are kept
+
+
+# ---------------------------------------------------------------------- #
+# randomized equivalence: async == sync == Sheet oracle
+# ---------------------------------------------------------------------- #
+_DATA_ROWS = 24
+_DATA_COLUMNS = 2
+_FORMULA_COLUMNS = (3, 4, 5)
+_WINDOW = RangeRef(1, 1, 60, 12)
+
+
+def _random_formula(rng: random.Random, column: int) -> str:
+    """A formula referencing only columns strictly left of ``column``.
+
+    Strict left-reference keeps every randomized graph acyclic by column
+    order, no matter how rows and columns are later shifted (structural
+    edits map coordinates monotonically, preserving the invariant).
+    """
+    def cell_ref() -> str:
+        target = rng.randint(1, column - 1)
+        return f"{column_index_to_letter(target)}{rng.randint(1, _DATA_ROWS)}"
+
+    def range_ref() -> str:
+        target = column_index_to_letter(rng.randint(1, column - 1))
+        top = rng.randint(1, _DATA_ROWS - 4)
+        return f"{target}{top}:{target}{top + rng.randint(1, 4)}"
+
+    choice = rng.randrange(4)
+    if choice == 0:
+        return f"{cell_ref()}+{cell_ref()}*2"
+    if choice == 1:
+        return f"SUM({range_ref()})"
+    if choice == 2:
+        return f"SUM({range_ref()})+{cell_ref()}"
+    return f"MAX({range_ref()},{cell_ref()})"
+
+
+def _random_edit(rng: random.Random) -> tuple:
+    choice = rng.randrange(10)
+    if choice < 4:
+        return ("value", rng.randint(1, _DATA_ROWS), rng.randint(1, _DATA_COLUMNS),
+                rng.randint(0, 99))
+    if choice < 8:
+        column = rng.choice(_FORMULA_COLUMNS)
+        return ("formula", rng.randint(1, _DATA_ROWS), column,
+                _random_formula(rng, column))
+    return ("clear", rng.randint(1, _DATA_ROWS), rng.randint(1, 5))
+
+
+def _apply_edit(target, edit: tuple) -> None:
+    kind = edit[0]
+    if kind == "value":
+        target.set_value(edit[1], edit[2], edit[3])
+    elif kind == "formula":
+        target.set_formula(edit[1], edit[2], edit[3])
+    else:
+        target.clear_cell(edit[1], edit[2])
+
+
+def _apply_structural(target, op: tuple) -> None:
+    kind, line, count = op
+    getattr(target, kind)(line, count)
+
+
+def _random_structural(rng: random.Random, spread: DataSpread) -> tuple | None:
+    """A structural edit whose lines fall inside the stored extent.
+
+    Deleting past the positional extent raises in both engines (a
+    pre-existing storage limitation shared with the synchronous mode), so
+    the generator stays within it, like a UI acting on visible rows would.
+    """
+    extent = spread.model.region()
+    kind = rng.randrange(4)
+    if kind == 0:
+        return ("insert_row_after", rng.randint(0, min(extent.bottom, 30)),
+                rng.randint(1, 2))
+    if kind == 1:
+        count = rng.randint(1, 2)
+        if extent.bottom - count < extent.top:
+            return None
+        return ("delete_row", rng.randint(extent.top, extent.bottom - count), count)
+    if kind == 2:
+        return ("insert_column_after", rng.randint(0, min(extent.right, 8)), 1)
+    if extent.right - 1 < extent.left:
+        return None
+    return ("delete_column", rng.randint(extent.left, extent.right - 1), 1)
+
+
+class _Boom(Exception):
+    pass
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_interleavings_converge_to_sync_and_oracle(self, seed):
+        rng = random.Random(seed)
+        async_spread = DataSpread(async_recompute=True)
+        sync_spread = DataSpread()
+        sheet = Sheet()
+        spreads = (async_spread, sync_spread)
+
+        for _step in range(70):
+            action = rng.randrange(12)
+            if action < 6:  # single edit
+                edit = _random_edit(rng)
+                for target in (*spreads, sheet):
+                    _apply_edit(target, edit)
+            elif action < 8:  # clean batch
+                edits = [_random_edit(rng) for _ in range(rng.randint(2, 6))]
+                for spread in spreads:
+                    with spread.batch():
+                        for edit in edits:
+                            _apply_edit(spread, edit)
+                for edit in edits:  # batch exits cleanly: same net effect
+                    _apply_edit(sheet, edit)
+            elif action < 9:  # aborted batch: no effect anywhere
+                edits = [_random_edit(rng) for _ in range(rng.randint(2, 5))]
+                for spread in spreads:
+                    with pytest.raises(_Boom):
+                        with spread.batch():
+                            for edit in edits:
+                                _apply_edit(spread, edit)
+                            raise _Boom()
+            elif action < 11:  # structural edit
+                op = _random_structural(rng, sync_spread)
+                if op is not None:
+                    for target in (*spreads, sheet):
+                        _apply_structural(target, op)
+            else:  # async-only scheduling churn
+                if rng.random() < 0.5:
+                    async_spread.flush_compute(limit=rng.randint(1, 4))
+                else:
+                    top = rng.randint(1, 30)
+                    async_spread.set_viewport(
+                        RangeRef(top, 1, top + 10, 8) if rng.random() < 0.8 else None
+                    )
+
+        async_spread.flush_compute()
+        oracle = DataSpread.from_sheet(sheet.copy())
+        for row in range(_WINDOW.top, _WINDOW.bottom + 1):
+            for column in range(_WINDOW.left, _WINDOW.right + 1):
+                expected = sync_spread.get_cell(row, column)
+                actual = async_spread.get_cell(row, column)
+                assert actual.value == expected.value, (seed, row, column)
+                assert actual.formula == expected.formula, (seed, row, column)
+                oracle_cell = oracle.get_cell(row, column)
+                assert actual.value == oracle_cell.value, (seed, row, column, "oracle")
+                assert actual.formula == oracle_cell.formula, (seed, row, column, "oracle")
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_interleavings_with_mid_batch_structural_edits(self, seed):
+        """Structural edits inside batches are commit points; the async and
+        sync engines must still agree after the drain (the Sheet oracle has
+        no batch semantics, so this variant compares the engines only)."""
+        rng = random.Random(seed)
+        async_spread = DataSpread(async_recompute=True)
+        sync_spread = DataSpread()
+        spreads = (async_spread, sync_spread)
+
+        for _step in range(40):
+            action = rng.randrange(8)
+            if action < 4:
+                edit = _random_edit(rng)
+                for spread in spreads:
+                    _apply_edit(spread, edit)
+            elif action < 6:
+                edits = [_random_edit(rng) for _ in range(rng.randint(2, 4))]
+                op = _random_structural(rng, sync_spread)
+                if op is None:
+                    continue
+                abort = rng.random() < 0.3
+                for spread in spreads:
+                    if abort:
+                        with pytest.raises(_Boom):
+                            with spread.batch():
+                                for edit in edits[:1]:
+                                    _apply_edit(spread, edit)
+                                _apply_structural(spread, op)
+                                for edit in edits[1:]:
+                                    _apply_edit(spread, edit)
+                                raise _Boom()
+                    else:
+                        with spread.batch():
+                            for edit in edits[:1]:
+                                _apply_edit(spread, edit)
+                            _apply_structural(spread, op)
+                            for edit in edits[1:]:
+                                _apply_edit(spread, edit)
+            else:
+                async_spread.flush_compute(limit=rng.randint(1, 3))
+
+        async_spread.flush_compute()
+        for row in range(_WINDOW.top, _WINDOW.bottom + 1):
+            for column in range(_WINDOW.left, _WINDOW.right + 1):
+                expected = sync_spread.get_cell(row, column)
+                actual = async_spread.get_cell(row, column)
+                assert actual.value == expected.value, (seed, row, column)
+                assert actual.formula == expected.formula, (seed, row, column)
+
+
+# ---------------------------------------------------------------------- #
+# scheduler unit behaviour (engine-free)
+# ---------------------------------------------------------------------- #
+class TestComputeSchedulerUnit:
+    def test_states_and_deterministic_order(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        graph.register(addr("C1"), "B1+1")
+        order: list[CellAddress] = []
+        scheduler = ComputeScheduler(graph, order.append)
+        scheduler.mark_dirty([addr("A1")])
+        assert scheduler.pending_count == 2
+        assert scheduler.state_of(addr("B1")) is CellState.STALE
+        assert scheduler.state_of(addr("A1")) is CellState.FRESH  # not a formula
+        assert scheduler.run() == 2
+        assert order == [addr("B1"), addr("C1")]
+        assert scheduler.is_fresh(addr("B1"))
+
+    def test_computing_state_visible_during_evaluation(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        seen: list[CellState] = []
+        scheduler = ComputeScheduler(
+            graph, lambda address: seen.append(scheduler.state_of(address))
+        )
+        scheduler.mark_dirty([addr("A1")])
+        scheduler.run()
+        assert seen == [CellState.COMPUTING]
+
+    def test_failed_evaluation_leaves_cell_queued(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        attempts = []
+
+        def evaluate(address):
+            attempts.append(address)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+
+        scheduler = ComputeScheduler(graph, evaluate)
+        scheduler.mark_dirty([addr("A1")])
+        with pytest.raises(RuntimeError):
+            scheduler.run()
+        assert scheduler.pending_count == 1
+        assert scheduler.run() == 1
+        assert attempts == [addr("B1"), addr("B1")]
