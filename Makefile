@@ -4,12 +4,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-async docs-check examples all
+## Seeds for the widened randomized-equivalence sweep (`make fuzz`).
+FUZZ_SEEDS ?= 50
+
+.PHONY: test fuzz bench bench-async docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
-## scheduler/oracle equivalence module (tests/test_async_compute.py).
+## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
+## small deterministic slice of the randomized fuzz harness
+## (tests/test_equivalence_fuzz.py).
 test:
 	$(PYTHON) -m pytest -x -q tests
+
+## Widened randomized-equivalence sweep: seeds 1..$(FUZZ_SEEDS) of the
+## unbounded structural-edit harness (sync engine vs async engine vs Sheet
+## oracle; edits beyond the stored extent, above RCV anchors, and at the
+## MAX_ROWS/MAX_COLUMNS boundary).  Seeded and bounded, so a failure
+## replays deterministically from the seed in its assertion message.
+fuzz:
+	REPRO_FUZZ_SEEDS=$(FUZZ_SEEDS) $(PYTHON) -m pytest -q tests/test_equivalence_fuzz.py
 
 ## Paper-figure benchmarks (slow; pytest-benchmark).
 bench:

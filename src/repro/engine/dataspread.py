@@ -54,8 +54,10 @@ edit upstream of thousands of formulas returns immediately.
 Structural-edit reference rewriting
 -----------------------------------
 Row/column inserts and deletes (``insert_row_after``/``delete_row``/
-``insert_column_after``/``delete_column``) keep formulas live instead of
-letting them silently read shifted cells:
+``insert_column_after``/``delete_column``) accept *any* grid coordinate —
+the stored extent is an implementation detail, never a boundary the caller
+can see (deletes clip to the stored portion, inserts extend lazily) — and
+keep formulas live instead of letting them silently read shifted cells:
 
 * The storage model shifts first (no cascading renumbering of stored
   tuples), then ``DependencyGraph.apply_structural_edit`` re-keys every
@@ -105,6 +107,7 @@ from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.grid.structural import check_delete_line, check_insert_line
 from repro.models.base import ModelKind
 from repro.models.hybrid import HybridDataModel, HybridRegion
 from repro.models.tom import TableOrientedModel
@@ -562,8 +565,18 @@ class DataSpread:
     # ------------------------------------------------------------------ #
     # structural operations
     # ------------------------------------------------------------------ #
+    # Structural edits are *extent-free*: any grid coordinate is legal, not
+    # just those inside the stored extent.  Deleting lines past (or above)
+    # the stored portion clips the storage mutation to what actually exists
+    # while still shifting the rest of the grid — and every formula
+    # reference — through the same coordinate mapping; inserting beyond the
+    # extent extends storage lazily (a no-op until a write lands there).
+    # Only meaningless coordinates (negative anchors, line 0 deletes,
+    # non-positive counts) raise :class:`~repro.errors.PositionError`.
+
     def insert_row_after(self, row: int, count: int = 1) -> None:
         """Insert rows; stored data shifts and formula references shift with it."""
+        check_insert_line(row, count, axis="row")
         self._apply_structural_edit(
             StructuralEdit.insert_rows(row, count),
             lambda: self._model.insert_row_after(row, count),
@@ -571,6 +584,7 @@ class DataSpread:
 
     def delete_row(self, row: int, count: int = 1) -> None:
         """Delete rows; references to deleted cells collapse to ``#REF!``."""
+        check_delete_line(row, count, axis="row")
         self._apply_structural_edit(
             StructuralEdit.delete_rows(row, count),
             lambda: self._model.delete_row(row, count),
@@ -578,6 +592,7 @@ class DataSpread:
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
         """Insert columns; stored data shifts and formula references shift with it."""
+        check_insert_line(column, count, axis="column")
         self._apply_structural_edit(
             StructuralEdit.insert_columns(column, count),
             lambda: self._model.insert_column_after(column, count),
@@ -585,6 +600,7 @@ class DataSpread:
 
     def delete_column(self, column: int, count: int = 1) -> None:
         """Delete columns; references to deleted cells collapse to ``#REF!``."""
+        check_delete_line(column, count, axis="column")
         self._apply_structural_edit(
             StructuralEdit.delete_columns(column, count),
             lambda: self._model.delete_column(column, count),

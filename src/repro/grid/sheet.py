@@ -17,6 +17,7 @@ from repro.grid.address import CellAddress
 from repro.grid.bounding import BoundingBox
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
+from repro.grid.structural import check_delete_line, check_insert_line
 
 
 class Sheet:
@@ -179,8 +180,7 @@ class Sheet:
         must avoid paying for (Section V) — and formula references shift
         with them.
         """
-        if count < 1:
-            raise ValueError("count must be >= 1")
+        check_insert_line(row, count, axis="row")
         updated = {}
         for (r, c), cell in self._cells.items():
             updated[(r + count, c) if r > row else (r, c)] = cell
@@ -193,8 +193,7 @@ class Sheet:
         Formula references shift with their referents; references whose
         entire referent was deleted become ``#REF!``.
         """
-        if count < 1:
-            raise ValueError("count must be >= 1")
+        check_delete_line(row, count, axis="row")
         updated = {}
         for (r, c), cell in self._cells.items():
             if row <= r < row + count:
@@ -205,8 +204,7 @@ class Sheet:
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
         """Insert ``count`` empty columns immediately after ``column``."""
-        if count < 1:
-            raise ValueError("count must be >= 1")
+        check_insert_line(column, count, axis="column")
         updated = {}
         for (r, c), cell in self._cells.items():
             updated[(r, c + count) if c > column else (r, c)] = cell
@@ -215,8 +213,7 @@ class Sheet:
 
     def delete_column(self, column: int, count: int = 1) -> None:
         """Delete ``count`` columns starting at ``column``; later columns shift left."""
-        if count < 1:
-            raise ValueError("count must be >= 1")
+        check_delete_line(column, count, axis="column")
         updated = {}
         for (r, c), cell in self._cells.items():
             if column <= c < column + count:

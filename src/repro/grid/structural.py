@@ -1,0 +1,72 @@
+"""Shared validation for structural-edit coordinates.
+
+Structural edits (row/column inserts and deletes) are *extent-free*: a line
+at or beyond a model's stored extent is perfectly legal and is treated as
+implicit empty space — deletes clip to the stored portion (and still shift
+the grid), inserts extend the mapping lazily (a no-op until a write lands
+there).  The only invalid inputs are the ones that are meaningless in grid
+coordinates, independent of any extent:
+
+* an insert anchored before line 0 (``insert_*_after(0)`` inserts before the
+  first line; anything negative addresses no line at all),
+* a delete starting before line 1,
+* a non-positive count (the degenerate/inverted-range case).
+
+Those raise :class:`~repro.errors.PositionError`.  Every layer that accepts
+structural edits — the ``Sheet`` oracle, the primitive models, the hybrid
+router, and the ``DataSpread`` engine — validates through these two helpers
+so the taxonomy cannot drift between layers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PositionError
+
+
+def check_insert_line(line: int, count: int, *, axis: str = "line") -> None:
+    """Validate an ``insert_*_after(line, count)`` request.
+
+    ``line`` may be 0 (insert before the first line) or any positive index,
+    including far beyond the stored extent.
+    """
+    if count < 1:
+        raise PositionError(f"cannot insert {count} {axis}(s): count must be >= 1")
+    if line < 0:
+        raise PositionError(
+            f"cannot insert after {axis} {line}: the anchor must be >= 0"
+        )
+
+
+def check_delete_line(line: int, count: int, *, axis: str = "line") -> None:
+    """Validate a ``delete_*(line, count)`` request.
+
+    ``line`` must be a real grid line (>= 1); it may lie beyond the stored
+    extent (the delete then clips to a no-op on storage).
+    """
+    if count < 1:
+        raise PositionError(f"cannot delete {count} {axis}(s): count must be >= 1")
+    if line < 1:
+        raise PositionError(
+            f"cannot delete starting at {axis} {line}: grid lines start at 1"
+        )
+
+
+def clip_delete_to_anchor(line: int, count: int, anchor: int) -> tuple[int, int, int]:
+    """Clip a delete span against a model's anchor (its first stored line).
+
+    Lines of ``[line, line + count - 1]`` strictly above/left of ``anchor``
+    are implicit empty space: deleting them re-anchors the model upward
+    instead of touching storage.  Returns ``(new_anchor, start, remaining)``
+    — the anchor after the edit, the 1-based anchor-relative position of the
+    first *stored* line to delete, and how many lines remain to delete on
+    the stored side (0 when the span lay entirely above the anchor; the
+    stored-side mapping still clips ``remaining`` at its far end).
+
+    Every model shares this arithmetic so the above-anchor semantics cannot
+    drift between ROM, COM and RCV (or between the row and column axes).
+    """
+    relative = line - anchor + 1
+    if relative >= 1:
+        return anchor, relative, count
+    above = min(count, 1 - relative)
+    return max(line, anchor - count), 1, count - above

@@ -86,6 +86,18 @@ class DataModel(ABC):
         for row, column, cell in items:
             self.update_cell(row, column, cell)
 
+    def check_structural_edit(self, axis: str, kind: str, line: int, count: int) -> None:
+        """Pre-flight hook: raise if this model cannot absorb a structural edit.
+
+        The hybrid router calls this for every model it is about to
+        delegate an (already overlap-clipped) edit to, *before* mutating
+        anything — so a model that must refuse (a linked table whose header
+        the span touches, or any column edit on one) fails the whole
+        operation atomically instead of mid-loop with sibling regions
+        already shifted.  Extent-free models absorb any edit: the default
+        accepts everything.
+        """
+
     @abstractmethod
     def insert_row_after(self, row: int, count: int = 1) -> None:
         """Insert ``count`` empty rows after absolute row ``row``."""

@@ -67,9 +67,7 @@ class LineGridStore:
     # ------------------------------------------------------------------ #
     def ensure_major(self, count: int) -> None:
         """Grow the major axis to at least ``count`` lines (appending empties)."""
-        while self.major_count < count:
-            pointer = self._heap.insert(())
-            self._mapping.append(pointer)
+        self._mapping.extend_to(count, lambda: self._heap.insert(()))
 
     def ensure_minor(self, count: int) -> None:
         """Grow the minor axis to at least ``count`` lines."""
@@ -146,27 +144,43 @@ class LineGridStore:
     # structural operations
     # ------------------------------------------------------------------ #
     def insert_major_after(self, major: int, count: int = 1) -> None:
-        """Insert ``count`` empty major lines after position ``major`` (0 = before first)."""
-        if major < 0 or major > self.major_count:
-            raise DataModelError(f"major position {major} out of range")
+        """Insert ``count`` empty major lines after position ``major`` (0 = before first).
+
+        A position at or beyond the stored extent is implicit empty space:
+        inserting there shifts nothing stored, so it is a no-op (the mapping
+        extends lazily when a cell is actually written).
+        """
+        if major < 0 or count < 1:
+            raise DataModelError(f"invalid major insert ({major}, count={count})")
+        if major >= self.major_count:
+            return
         for offset in range(count):
             pointer = self._heap.insert(())
             self._mapping.insert_at(major + 1 + offset, pointer)
 
     def delete_major(self, major: int, count: int = 1) -> None:
-        """Delete ``count`` major lines starting at ``major``."""
-        if major < 1 or major + count - 1 > self.major_count:
-            raise DataModelError(f"major range [{major}, {major + count - 1}] out of range")
-        for _ in range(count):
-            pointer = self._mapping.delete_at(major)
+        """Delete up to ``count`` major lines starting at ``major``.
+
+        The span clips to the stored extent — deleting lines past the last
+        stored major line removes nothing (they are implicit empty space).
+        """
+        if major < 1 or count < 1:
+            raise DataModelError(f"invalid major delete ({major}, count={count})")
+        for pointer in self._mapping.delete_span(major, count):
             record = self._heap.read(pointer)
             self._filled -= sum(1 for stored in record if stored is not None)
             self._heap.delete(pointer)
 
     def insert_minor_after(self, minor: int, count: int = 1) -> None:
-        """Insert ``count`` empty minor lines after position ``minor`` (0 = before first)."""
-        if minor < 0 or minor > self.minor_count:
-            raise DataModelError(f"minor position {minor} out of range")
+        """Insert ``count`` empty minor lines after position ``minor`` (0 = before first).
+
+        Like :meth:`insert_major_after`, positions at or beyond the stored
+        extent are implicit empty space and the insert is a lazy no-op.
+        """
+        if minor < 0 or count < 1:
+            raise DataModelError(f"invalid minor insert ({minor}, count={count})")
+        if minor >= self.minor_count:
+            return
         new_slots = []
         for _ in range(count):
             new_slots.append(self._next_slot)
@@ -174,11 +188,14 @@ class LineGridStore:
         self._minor_slots[minor:minor] = new_slots
 
     def delete_minor(self, minor: int, count: int = 1) -> None:
-        """Delete ``count`` minor lines starting at ``minor``."""
-        if minor < 1 or minor + count - 1 > self.minor_count:
-            raise DataModelError(f"minor range [{minor}, {minor + count - 1}] out of range")
-        removed_slots = set(self._minor_slots[minor - 1: minor - 1 + count])
-        del self._minor_slots[minor - 1: minor - 1 + count]
+        """Delete up to ``count`` minor lines starting at ``minor`` (clipped)."""
+        if minor < 1 or count < 1:
+            raise DataModelError(f"invalid minor delete ({minor}, count={count})")
+        end = min(minor + count - 1, self.minor_count)
+        if end < minor:
+            return
+        removed_slots = set(self._minor_slots[minor - 1: end])
+        del self._minor_slots[minor - 1: end]
         # Account for cells that disappear with the deleted minor lines.
         for position in range(1, self.major_count + 1):
             record = self._read_record(position)

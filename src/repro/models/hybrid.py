@@ -21,6 +21,7 @@ from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.grid.structural import check_delete_line, check_insert_line
 from repro.models.base import DataModel, ModelKind
 from repro.models.com import ColumnOrientedModel
 from repro.models.rcv import RowColumnValueModel
@@ -255,7 +256,43 @@ class HybridDataModel(DataModel):
             )
         self._catch_all.update_cell(row, column, cell)
 
+    def _preflight_row_edit(self, kind: str, row: int, count: int) -> None:
+        """Validate a row edit against every model it will be delegated to.
+
+        Runs before any region shifts so a model that must refuse (a linked
+        table) fails the whole edit atomically, never mid-loop.
+        """
+        last = row + count - 1
+        for entry in self._regions:
+            if kind == "insert":
+                if entry.range.top <= row < entry.range.bottom:
+                    entry.model.check_structural_edit("row", kind, row, count)
+                continue
+            overlap_top = max(entry.range.top, row)
+            overlap_bottom = min(entry.range.bottom, last)
+            if overlap_top <= overlap_bottom:
+                entry.model.check_structural_edit(
+                    "row", kind, overlap_top, overlap_bottom - overlap_top + 1
+                )
+
+    def _preflight_column_edit(self, kind: str, column: int, count: int) -> None:
+        """Column-axis counterpart of :meth:`_preflight_row_edit`."""
+        last = column + count - 1
+        for entry in self._regions:
+            if kind == "insert":
+                if entry.range.left <= column < entry.range.right:
+                    entry.model.check_structural_edit("column", kind, column, count)
+                continue
+            overlap_left = max(entry.range.left, column)
+            overlap_right = min(entry.range.right, last)
+            if overlap_left <= overlap_right:
+                entry.model.check_structural_edit(
+                    "column", kind, overlap_left, overlap_right - overlap_left + 1
+                )
+
     def insert_row_after(self, row: int, count: int = 1) -> None:
+        check_insert_line(row, count, axis="row")
+        self._preflight_row_edit("insert", row, count)
         for entry in self._regions:
             if entry.range.top > row:
                 entry.model.shift(rows=count)  # type: ignore[attr-defined]
@@ -270,23 +307,37 @@ class HybridDataModel(DataModel):
             self._catch_all.insert_row_after(row, count)
 
     def delete_row(self, row: int, count: int = 1) -> None:
+        check_delete_line(row, count, axis="row")
+        self._preflight_row_edit("delete", row, count)
+        last = row + count - 1
         for entry in self._regions:
-            overlap_top = max(entry.range.top, row)
-            overlap_bottom = min(entry.range.bottom, row + count - 1)
-            if entry.range.top > row + count - 1:
+            if entry.range.top > last:
+                # Entirely below the deletion: the whole region shifts up.
                 entry.model.shift(rows=-count)  # type: ignore[attr-defined]
                 entry.range = entry.range.shifted(rows=-count)
-            elif overlap_top <= overlap_bottom:
-                removed = overlap_bottom - overlap_top + 1
-                entry.model.delete_row(overlap_top, removed)
-                entry.range = RangeRef(
-                    entry.range.top, entry.range.left,
-                    max(entry.range.bottom - removed, entry.range.top), entry.range.right,
-                )
+                continue
+            overlap_top = max(entry.range.top, row)
+            overlap_bottom = min(entry.range.bottom, last)
+            if overlap_top > overlap_bottom:
+                continue  # entirely above the deletion: unaffected
+            # Deleted lines strictly above the region re-anchor it upward;
+            # the overlapping lines shrink it.
+            above = max(0, entry.range.top - row)
+            removed = overlap_bottom - overlap_top + 1
+            entry.model.delete_row(overlap_top, removed)
+            if above:
+                entry.model.shift(rows=-above)  # type: ignore[attr-defined]
+            new_top = entry.range.top - above
+            entry.range = RangeRef(
+                new_top, entry.range.left,
+                max(entry.range.bottom - above - removed, new_top), entry.range.right,
+            )
         if self._catch_all is not None:
             self._catch_all.delete_row(row, count)
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
+        check_insert_line(column, count, axis="column")
+        self._preflight_column_edit("insert", column, count)
         for entry in self._regions:
             if entry.range.left > column:
                 entry.model.shift(columns=count)  # type: ignore[attr-defined]
@@ -301,19 +352,28 @@ class HybridDataModel(DataModel):
             self._catch_all.insert_column_after(column, count)
 
     def delete_column(self, column: int, count: int = 1) -> None:
+        check_delete_line(column, count, axis="column")
+        self._preflight_column_edit("delete", column, count)
+        last = column + count - 1
         for entry in self._regions:
-            overlap_left = max(entry.range.left, column)
-            overlap_right = min(entry.range.right, column + count - 1)
-            if entry.range.left > column + count - 1:
+            if entry.range.left > last:
                 entry.model.shift(columns=-count)  # type: ignore[attr-defined]
                 entry.range = entry.range.shifted(columns=-count)
-            elif overlap_left <= overlap_right:
-                removed = overlap_right - overlap_left + 1
-                entry.model.delete_column(overlap_left, removed)
-                entry.range = RangeRef(
-                    entry.range.top, entry.range.left,
-                    entry.range.bottom, max(entry.range.right - removed, entry.range.left),
-                )
+                continue
+            overlap_left = max(entry.range.left, column)
+            overlap_right = min(entry.range.right, last)
+            if overlap_left > overlap_right:
+                continue
+            above = max(0, entry.range.left - column)
+            removed = overlap_right - overlap_left + 1
+            entry.model.delete_column(overlap_left, removed)
+            if above:
+                entry.model.shift(columns=-above)  # type: ignore[attr-defined]
+            new_left = entry.range.left - above
+            entry.range = RangeRef(
+                entry.range.top, new_left,
+                entry.range.bottom, max(entry.range.right - above - removed, new_left),
+            )
         if self._catch_all is not None:
             self._catch_all.delete_column(column, count)
 

@@ -17,6 +17,11 @@ from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.grid.structural import (
+    check_delete_line,
+    check_insert_line,
+    clip_delete_to_anchor,
+)
 from repro.models.base import DataModel, ModelKind
 from repro.positional import PositionalMapping, create_mapping
 from repro.storage.costs import CostParameters
@@ -43,8 +48,6 @@ class RowColumnValueModel(DataModel):
         self._column_ids: PositionalMapping = create_mapping(mapping_scheme)
         self._next_row_id = 0
         self._next_column_id = 0
-        self._row_extent = 0
-        self._column_extent = 0
         self._ensure_rows(rows)
         self._ensure_columns(columns)
 
@@ -75,25 +78,28 @@ class RowColumnValueModel(DataModel):
     # ------------------------------------------------------------------ #
     # identifier management
     # ------------------------------------------------------------------ #
+    def _next_row_identifier(self) -> int:
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        return row_id
+
+    def _next_column_identifier(self) -> int:
+        column_id = self._next_column_id
+        self._next_column_id += 1
+        return column_id
+
     def _ensure_rows(self, count: int) -> None:
-        while len(self._row_ids) < count:
-            self._row_ids.append(self._next_row_id)
-            self._next_row_id += 1
-        self._row_extent = max(self._row_extent, count)
+        self._row_ids.extend_to(count, self._next_row_identifier)
 
     def _ensure_columns(self, count: int) -> None:
-        while len(self._column_ids) < count:
-            self._column_ids.append(self._next_column_id)
-            self._next_column_id += 1
-        self._column_extent = max(self._column_extent, count)
+        self._column_ids.extend_to(count, self._next_column_identifier)
 
     def _row_id(self, row: int) -> int:
         if row < self._top:
             # Grow upward: prepend identifiers so the anchor moves to ``row``
             # (writes are not restricted to land below the first-seen cell).
             for _ in range(self._top - row):
-                self._row_ids.insert_at(1, self._next_row_id)
-                self._next_row_id += 1
+                self._row_ids.insert_at(1, self._next_row_identifier())
             self._top = row
         relative = row - self._top + 1
         self._ensure_rows(relative)
@@ -102,8 +108,7 @@ class RowColumnValueModel(DataModel):
     def _column_id(self, column: int) -> int:
         if column < self._left:
             for _ in range(self._left - column):
-                self._column_ids.insert_at(1, self._next_column_id)
-                self._next_column_id += 1
+                self._column_ids.insert_at(1, self._next_column_identifier())
             self._left = column
         relative = column - self._left + 1
         self._ensure_columns(relative)
@@ -121,6 +126,8 @@ class RowColumnValueModel(DataModel):
         return len(self._cells)
 
     def get_cells(self, region: RangeRef) -> dict[CellAddress, Cell]:
+        if not self._row_ids or not self._column_ids:
+            return {}  # no mapped positions: nothing stored is visible
         own = self.region()
         overlap = own.intersection(region)
         if overlap is None:
@@ -150,6 +157,8 @@ class RowColumnValueModel(DataModel):
         return result
 
     def get_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        if not self._row_ids or not self._column_ids:
+            return {}
         own = self.region()
         overlap = own.intersection(region)
         if overlap is None:
@@ -224,42 +233,51 @@ class RowColumnValueModel(DataModel):
                 cells[key] = cell
 
     def insert_row_after(self, row: int, count: int = 1) -> None:
+        check_insert_line(row, count, axis="row")
         relative = row - self._top + 1
         if relative < 0:
+            # Strictly above the anchor: the whole region shifts down.
             self._top += count
             return
-        position = min(max(relative, 0), len(self._row_ids))
+        if relative >= len(self._row_ids):
+            # At or beyond the last stored row: nothing stored shifts, the
+            # mapping extends lazily when a cell is actually written there.
+            return
         for offset in range(count):
-            self._row_ids.insert_at(position + 1 + offset, self._next_row_id)
-            self._next_row_id += 1
+            self._row_ids.insert_at(relative + 1 + offset, self._next_row_identifier())
 
     def delete_row(self, row: int, count: int = 1) -> None:
-        relative = row - self._top + 1
-        removed_ids = set()
-        for _ in range(count):
-            removed_ids.add(self._row_ids.delete_at(relative))
-        self._cells = {
-            key: cell for key, cell in self._cells.items() if key[0] not in removed_ids
-        }
+        check_delete_line(row, count, axis="row")
+        self._top, start, remaining = clip_delete_to_anchor(row, count, self._top)
+        if not remaining:
+            return
+        removed_ids = set(self._row_ids.delete_span(start, remaining))
+        if removed_ids:
+            self._cells = {
+                key: cell for key, cell in self._cells.items() if key[0] not in removed_ids
+            }
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
+        check_insert_line(column, count, axis="column")
         relative = column - self._left + 1
         if relative < 0:
             self._left += count
             return
-        position = min(max(relative, 0), len(self._column_ids))
+        if relative >= len(self._column_ids):
+            return
         for offset in range(count):
-            self._column_ids.insert_at(position + 1 + offset, self._next_column_id)
-            self._next_column_id += 1
+            self._column_ids.insert_at(relative + 1 + offset, self._next_column_identifier())
 
     def delete_column(self, column: int, count: int = 1) -> None:
-        relative = column - self._left + 1
-        removed_ids = set()
-        for _ in range(count):
-            removed_ids.add(self._column_ids.delete_at(relative))
-        self._cells = {
-            key: cell for key, cell in self._cells.items() if key[1] not in removed_ids
-        }
+        check_delete_line(column, count, axis="column")
+        self._left, start, remaining = clip_delete_to_anchor(column, count, self._left)
+        if not remaining:
+            return
+        removed_ids = set(self._column_ids.delete_span(start, remaining))
+        if removed_ids:
+            self._cells = {
+                key: cell for key, cell in self._cells.items() if key[1] not in removed_ids
+            }
 
     def shift(self, rows: int = 0, columns: int = 0) -> None:
         """Translate the whole region (used by the hybrid model)."""

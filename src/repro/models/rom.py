@@ -6,6 +6,11 @@ from repro.grid.address import CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.grid.structural import (
+    check_delete_line,
+    check_insert_line,
+    clip_delete_to_anchor,
+)
 from repro.models.base import DataModel, ModelKind
 from repro.models.gridstore import LineGridStore
 from repro.storage.costs import CostParameters
@@ -116,27 +121,34 @@ class RowOrientedModel(DataModel):
         self._store.set(row - self._top + 1, column - self._left + 1, cell)
 
     def insert_row_after(self, row: int, count: int = 1) -> None:
+        check_insert_line(row, count, axis="row")
         relative = row - self._top + 1
         if relative < 0:
             # Insert strictly above the region: the anchor simply moves down.
             self._top += count
             return
-        self._store.insert_major_after(max(relative, 0), count)
+        # Beyond the stored extent the store lazily no-ops (implicit space).
+        self._store.insert_major_after(relative, count)
 
     def delete_row(self, row: int, count: int = 1) -> None:
-        relative = row - self._top + 1
-        self._store.delete_major(relative, count)
+        check_delete_line(row, count, axis="row")
+        self._top, start, remaining = clip_delete_to_anchor(row, count, self._top)
+        if remaining:
+            self._store.delete_major(start, remaining)
 
     def insert_column_after(self, column: int, count: int = 1) -> None:
+        check_insert_line(column, count, axis="column")
         relative = column - self._left + 1
         if relative < 0:
             self._left += count
             return
-        self._store.insert_minor_after(max(relative, 0), count)
+        self._store.insert_minor_after(relative, count)
 
     def delete_column(self, column: int, count: int = 1) -> None:
-        relative = column - self._left + 1
-        self._store.delete_minor(relative, count)
+        check_delete_line(column, count, axis="column")
+        self._left, start, remaining = clip_delete_to_anchor(column, count, self._left)
+        if remaining:
+            self._store.delete_minor(start, remaining)
 
     def shift(self, rows: int = 0, columns: int = 0) -> None:
         """Translate the whole region (used by the hybrid model)."""

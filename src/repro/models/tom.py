@@ -104,6 +104,25 @@ class TableOrientedModel(DataModel):
         new_pointer = self._table.update(pointer, tuple(record))
         self._pointers[record_index] = new_pointer
 
+    def check_structural_edit(self, axis: str, kind: str, line: int, count: int) -> None:
+        """Refuse edits a linked table cannot absorb, before anything mutates.
+
+        Column structure is the table's schema, and the header row is
+        generated from it — neither can be edited through the grid.  Row
+        deletes must land entirely on data records (the hybrid router has
+        already clipped ``line``/``count`` to this region's overlap).
+        """
+        if axis == "column":
+            raise LinkTableError(
+                f"column {kind} on a linked table requires a schema change"
+            )
+        if kind == "delete":
+            record_index = line - self._top - (1 if self._header else 0)
+            if record_index < 0 or record_index + count > len(self._pointers):
+                raise LinkTableError(
+                    f"rows [{line}, {line + count - 1}] are outside the linked table"
+                )
+
     def insert_row_after(self, row: int, count: int = 1) -> None:
         """Insert blank records after the presentational ``row``."""
         record_index = row - self._top - (1 if self._header else 0) + 1

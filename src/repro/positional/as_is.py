@@ -61,6 +61,29 @@ class PositionAsIsMapping(PositionalMapping):
             self.cascade_updates += 1
         return item
 
+    def delete_span(self, start: int, count: int) -> list[Any]:
+        """Clipped range delete with one tail renumbering pass.
+
+        The per-item ``delete_at`` cascades the whole tail once *per removed
+        item*; deleting the clipped span first and renumbering the surviving
+        tail once makes a ``count``-line delete pay a single cascade.
+        """
+        self._check_span(start, count)
+        size = len(self._index)
+        end = min(start + count - 1, size)
+        if end < start:
+            return []
+        removed = [self._index.get(position) for position in range(start, end + 1)]
+        width = end - start + 1
+        for position in range(start, end + 1):
+            self._index.delete(position)
+        for position in range(end + 1, size + 1):
+            value = self._index.get(position)
+            self._index.delete(position)
+            self._index.insert(position - width, value)
+            self.cascade_updates += 1
+        return removed
+
     def replace_at(self, position: int, item: Any) -> Any:
         """In-place value replacement: a single index update, no cascading."""
         self._check_position(position)

@@ -9,7 +9,7 @@ subsequent positions.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import PositionError
 
@@ -71,6 +71,42 @@ class PositionalMapping(ABC):
             raise PositionError(f"inverted range [{start}, {end}]")
         return [self.fetch(position) for position in range(start, end + 1)]
 
+    def delete_span(self, start: int, count: int) -> list[Any]:
+        """Extent-free range delete: remove up to ``count`` items from ``start``.
+
+        The span ``[start, start + count - 1]`` is *clipped* to the mapped
+        extent before deleting — positions past ``len(self)`` are implicit
+        empty space, so a span straddling (or entirely beyond) the extent
+        removes only the stored portion and never raises.  Later items shift
+        up by the number actually removed, exactly as if the clipped span had
+        been requested directly (clip-then-shift and shift-then-clip agree).
+        Returns the removed items in position order.
+
+        Only genuinely invalid input raises :class:`PositionError`:
+        ``start < 1`` (no such position exists) or ``count < 0`` (an
+        inverted span).  ``count == 0`` is an explicit no-op.
+        """
+        self._check_span(start, count)
+        end = min(start + count - 1, len(self))
+        removed: list[Any] = []
+        for _ in range(start, end + 1):
+            removed.append(self.delete_at(start))
+        return removed
+
+    def extend_to(self, size: int, filler: Callable[[], Any]) -> int:
+        """Lazily extend the mapping to ``size`` items, appending ``filler()``.
+
+        This is the "lazy extension" half of extent-free semantics: callers
+        never pre-grow a mapping to cover implicit empty space — they call
+        ``extend_to`` at the moment a position actually needs to exist.
+        Returns the number of items appended (0 when already large enough).
+        """
+        added = 0
+        while len(self) < size:
+            self.append(filler())
+            added += 1
+        return added
+
     def items(self) -> Iterator[Any]:
         """Iterate all items in position order."""
         for position in range(1, len(self) + 1):
@@ -81,6 +117,12 @@ class PositionalMapping(ABC):
         return list(self.items())
 
     # ------------------------------------------------------------------ #
+    def _check_span(self, start: int, count: int) -> None:
+        if start < 1:
+            raise PositionError(f"span start {start} is before position 1")
+        if count < 0:
+            raise PositionError(f"inverted span of length {count}")
+
     def _check_position(self, position: int, *, allow_append: bool = False) -> None:
         upper = len(self) + (1 if allow_append else 0)
         if position < 1 or position > max(upper, 0):

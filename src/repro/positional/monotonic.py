@@ -68,6 +68,20 @@ class MonotonicMapping(PositionalMapping):
         key = self._keys.pop(position - 1)
         return self._items.pop(key)
 
+    def delete_span(self, start: int, count: int) -> list[Any]:
+        """Clipped range delete: one slice removal from the key list.
+
+        Gapped keys make the range case trivial — popping a contiguous slice
+        of keys removes the whole span without renumbering anything.
+        """
+        self._check_span(start, count)
+        end = min(start + count - 1, len(self._keys))
+        if end < start:
+            return []
+        keys = self._keys[start - 1: end]
+        del self._keys[start - 1: end]
+        return [self._items.pop(key) for key in keys]
+
     def replace_at(self, position: int, item: Any) -> Any:
         """In-place value replacement keyed by the existing gapped key."""
         self._check_position(position)

@@ -1,0 +1,18 @@
+"""Shared test support machinery (randomized-equivalence harness)."""
+
+from tests.support.harness import (  # noqa: F401
+    COMPARE_WINDOW,
+    DATA_COLUMNS,
+    DATA_ROWS,
+    FORMULA_COLUMNS,
+    Boom,
+    apply_edit,
+    apply_structural,
+    assert_engines_agree,
+    assert_oracle_agrees,
+    random_edit,
+    random_formula,
+    random_structural,
+    run_equivalence,
+    run_mid_batch_equivalence,
+)

@@ -1,0 +1,277 @@
+"""Randomized sync/async/oracle equivalence harness.
+
+One shared implementation of the machinery the equivalence suites need:
+
+* op generators — random constants, formulas, clears, and **unbounded**
+  structural edits.  Structural lines are sampled with *no* extent clamp:
+  inside the data block, far beyond any stored extent, above an RCV
+  catch-all anchor, and hard against the ``MAX_ROWS``/``MAX_COLUMNS`` sheet
+  boundary.  Extent-free structural edits are the contract under test, so
+  the generators must never consult ``model.region()``.
+* apply helpers routing one op to a ``DataSpread`` engine or the ``Sheet``
+  oracle.
+* the drain-and-compare loop: after a scripted interleaving of edits,
+  batches, aborts, structural edits and scheduling churn, the async engine
+  (post-``flush_compute``) must show the same grid — values *and* formula
+  text — as the synchronous engine and as a ``DataSpread`` rebuilt from the
+  naively-maintained ``Sheet``.
+
+``run_equivalence`` / ``run_mid_batch_equivalence`` are the entry points;
+``tests/test_async_compute.py`` runs a fast seed set in tier-1 and
+``tests/test_equivalence_fuzz.py`` scales the seed count via
+``REPRO_FUZZ_SEEDS`` (``make fuzz``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.dataspread import DataSpread
+from repro.grid.address import MAX_COLUMNS, MAX_ROWS, column_index_to_letter
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+
+#: Rows/columns of the constant data block the formulas read.
+DATA_ROWS = 24
+DATA_COLUMNS = 2
+#: Columns formulas land in (strictly right of every column they read).
+FORMULA_COLUMNS = (3, 4, 5)
+#: The window compared cell-by-cell after the drain.
+COMPARE_WINDOW = RangeRef(1, 1, 60, 12)
+
+#: Anchor of the first seeded cell: > 1 on both axes so the catch-all RCV
+#: table starts anchored *below/right* of the sheet origin — structural
+#: edits at rows/columns 1..anchor-1 then exercise the above/left-of-anchor
+#: paths every run, not only when the random interleaving happens to.
+SEED_ANCHOR = (10, 2)
+
+
+class Boom(Exception):
+    """The exception scripted batch aborts raise."""
+
+
+# ---------------------------------------------------------------------- #
+# op generators
+# ---------------------------------------------------------------------- #
+def random_formula(rng: random.Random, column: int) -> str:
+    """A formula referencing only columns strictly left of ``column``.
+
+    Strict left-reference keeps every randomized graph acyclic by column
+    order, no matter how rows and columns are later shifted (structural
+    edits map coordinates monotonically, preserving the invariant).
+    """
+    def cell_ref() -> str:
+        target = rng.randint(1, column - 1)
+        return f"{column_index_to_letter(target)}{rng.randint(1, DATA_ROWS)}"
+
+    def range_ref() -> str:
+        target = column_index_to_letter(rng.randint(1, column - 1))
+        top = rng.randint(1, DATA_ROWS - 4)
+        return f"{target}{top}:{target}{top + rng.randint(1, 4)}"
+
+    choice = rng.randrange(4)
+    if choice == 0:
+        return f"{cell_ref()}+{cell_ref()}*2"
+    if choice == 1:
+        return f"SUM({range_ref()})"
+    if choice == 2:
+        return f"SUM({range_ref()})+{cell_ref()}"
+    return f"MAX({range_ref()},{cell_ref()})"
+
+
+def random_edit(rng: random.Random) -> tuple:
+    """One random cell edit: a constant, a formula, or a clear."""
+    choice = rng.randrange(10)
+    if choice < 4:
+        return ("value", rng.randint(1, DATA_ROWS), rng.randint(1, DATA_COLUMNS),
+                rng.randint(0, 99))
+    if choice < 8:
+        column = rng.choice(FORMULA_COLUMNS)
+        return ("formula", rng.randint(1, DATA_ROWS), column,
+                random_formula(rng, column))
+    return ("clear", rng.randint(1, DATA_ROWS), rng.randint(1, 5))
+
+
+def random_structural(rng: random.Random) -> tuple:
+    """An *unbounded* structural edit: no extent clamp of any kind.
+
+    Lines are drawn from three zones — the data block (including lines
+    above the seeded RCV anchor), well beyond any stored extent, and the
+    ``MAX_ROWS``/``MAX_COLUMNS`` sheet boundary — so out-of-extent deletes
+    and lazy inserts are exercised on every run.
+    """
+    def row_line(*, lowest: int) -> int:
+        zone = rng.randrange(8)
+        if zone < 5:
+            return rng.randint(lowest, 30)            # around the data block
+        if zone < 7:
+            return rng.randint(31, 500)               # beyond the stored extent
+        return MAX_ROWS - rng.randint(0, 3)           # the sheet boundary
+
+    def column_line(*, lowest: int) -> int:
+        zone = rng.randrange(8)
+        if zone < 5:
+            return rng.randint(lowest, 8)
+        if zone < 7:
+            return rng.randint(9, 200)
+        return MAX_COLUMNS - rng.randint(0, 3)
+
+    kind = rng.randrange(4)
+    if kind == 0:
+        return ("insert_row_after", row_line(lowest=0), rng.randint(1, 2))
+    if kind == 1:
+        return ("delete_row", row_line(lowest=1), rng.randint(1, 2))
+    if kind == 2:
+        return ("insert_column_after", column_line(lowest=0), 1)
+    return ("delete_column", column_line(lowest=1), rng.randint(1, 2))
+
+
+# ---------------------------------------------------------------------- #
+# apply helpers
+# ---------------------------------------------------------------------- #
+def apply_edit(target, edit: tuple) -> None:
+    """Route one cell edit to a ``DataSpread`` or the ``Sheet`` oracle."""
+    kind = edit[0]
+    if kind == "value":
+        target.set_value(edit[1], edit[2], edit[3])
+    elif kind == "formula":
+        target.set_formula(edit[1], edit[2], edit[3])
+    else:
+        target.clear_cell(edit[1], edit[2])
+
+
+def apply_structural(target, op: tuple) -> None:
+    """Route one structural edit to a ``DataSpread`` or the ``Sheet`` oracle."""
+    kind, line, count = op
+    getattr(target, kind)(line, count)
+
+
+# ---------------------------------------------------------------------- #
+# drain-and-compare
+# ---------------------------------------------------------------------- #
+def assert_engines_agree(async_spread: DataSpread, sync_spread: DataSpread,
+                         context=(), window: RangeRef = COMPARE_WINDOW) -> None:
+    """Post-drain, the async grid must equal the sync grid cell-for-cell."""
+    async_spread.flush_compute()
+    for row in range(window.top, window.bottom + 1):
+        for column in range(window.left, window.right + 1):
+            expected = sync_spread.get_cell(row, column)
+            actual = async_spread.get_cell(row, column)
+            assert actual.value == expected.value, (*context, row, column)
+            assert actual.formula == expected.formula, (*context, row, column)
+
+
+def assert_oracle_agrees(spread: DataSpread, sheet: Sheet, context=(),
+                         window: RangeRef = COMPARE_WINDOW) -> None:
+    """The engine grid must match a ``DataSpread`` rebuilt from the oracle."""
+    oracle = DataSpread.from_sheet(sheet.copy())
+    for row in range(window.top, window.bottom + 1):
+        for column in range(window.left, window.right + 1):
+            expected = oracle.get_cell(row, column)
+            actual = spread.get_cell(row, column)
+            assert actual.value == expected.value, (*context, row, column, "oracle")
+            assert actual.formula == expected.formula, (*context, row, column, "oracle")
+
+
+def _abort_batch(spread: DataSpread, edits: list[tuple]) -> None:
+    try:
+        with spread.batch():
+            for edit in edits:
+                apply_edit(spread, edit)
+            raise Boom()
+    except Boom:
+        pass
+
+
+def run_equivalence(seed: int, *, steps: int = 70) -> None:
+    """One full randomized interleaving: async == sync == Sheet oracle.
+
+    Covers single edits, clean batches, aborted batches, unbounded
+    structural edits (applied to all three targets), and async-only
+    scheduling churn (partial drains, viewport moves).
+    """
+    rng = random.Random(seed)
+    async_spread = DataSpread(async_recompute=True)
+    sync_spread = DataSpread()
+    sheet = Sheet()
+    spreads = (async_spread, sync_spread)
+    anchor_row, anchor_column = SEED_ANCHOR
+    for target in (*spreads, sheet):
+        target.set_value(anchor_row, anchor_column, seed)
+
+    for _step in range(steps):
+        action = rng.randrange(12)
+        if action < 6:  # single edit
+            edit = random_edit(rng)
+            for target in (*spreads, sheet):
+                apply_edit(target, edit)
+        elif action < 8:  # clean batch
+            edits = [random_edit(rng) for _ in range(rng.randint(2, 6))]
+            for spread in spreads:
+                with spread.batch():
+                    for edit in edits:
+                        apply_edit(spread, edit)
+            for edit in edits:  # batch exits cleanly: same net effect
+                apply_edit(sheet, edit)
+        elif action < 9:  # aborted batch: no effect anywhere
+            edits = [random_edit(rng) for _ in range(rng.randint(2, 5))]
+            for spread in spreads:
+                _abort_batch(spread, edits)
+        elif action < 11:  # unbounded structural edit
+            op = random_structural(rng)
+            for target in (*spreads, sheet):
+                apply_structural(target, op)
+        else:  # async-only scheduling churn
+            if rng.random() < 0.5:
+                async_spread.flush_compute(limit=rng.randint(1, 4))
+            else:
+                top = rng.randint(1, 30)
+                async_spread.set_viewport(
+                    RangeRef(top, 1, top + 10, 8) if rng.random() < 0.8 else None
+                )
+
+    assert_engines_agree(async_spread, sync_spread, context=(seed,))
+    assert_oracle_agrees(async_spread, sheet, context=(seed,))
+
+
+def run_mid_batch_equivalence(seed: int, *, steps: int = 40) -> None:
+    """Interleavings whose structural edits happen *inside* batches.
+
+    Structural edits inside batches are commit points; the async and sync
+    engines must still agree after the drain.  The ``Sheet`` oracle has no
+    batch semantics, so this variant compares the engines only.
+    """
+    rng = random.Random(seed)
+    async_spread = DataSpread(async_recompute=True)
+    sync_spread = DataSpread()
+    spreads = (async_spread, sync_spread)
+    anchor_row, anchor_column = SEED_ANCHOR
+    for spread in spreads:
+        spread.set_value(anchor_row, anchor_column, seed)
+
+    for _step in range(steps):
+        action = rng.randrange(8)
+        if action < 4:
+            edit = random_edit(rng)
+            for spread in spreads:
+                apply_edit(spread, edit)
+        elif action < 6:
+            edits = [random_edit(rng) for _ in range(rng.randint(2, 4))]
+            op = random_structural(rng)
+            abort = rng.random() < 0.3
+            for spread in spreads:
+                try:
+                    with spread.batch():
+                        for edit in edits[:1]:
+                            apply_edit(spread, edit)
+                        apply_structural(spread, op)
+                        for edit in edits[1:]:
+                            apply_edit(spread, edit)
+                        if abort:
+                            raise Boom()
+                except Boom:
+                    pass
+        else:
+            async_spread.flush_compute(limit=rng.randint(1, 3))
+
+    assert_engines_agree(async_spread, sync_spread, context=(seed,))

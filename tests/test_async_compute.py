@@ -8,8 +8,10 @@ that are never flushed as committed values, batch/abort semantics), the
 dependency-graph slicing primitives, the shifted interval-stripe reuse,
 the RCV bulk-write batching, the evaluator prime/stats fixes — and the
 headline guarantee: randomized interleavings of edits, batches, aborts and
-structural edits converge, after ``flush_compute()``, to the same grid as
-the synchronous engine and the ``Sheet`` oracle.
+*unbounded* structural edits converge, after ``flush_compute()``, to the
+same grid as the synchronous engine and the ``Sheet`` oracle (the shared
+generators and drain-and-compare loop live in ``tests/support/``; the
+scalable seed sweep is ``tests/test_equivalence_fuzz.py`` / ``make fuzz``).
 """
 
 import random
@@ -23,12 +25,12 @@ from repro.formula.dependencies import DependencyGraph
 from repro.formula.evaluator import Evaluator
 from repro.formula.parser import parse_formula
 from repro.formula.rewrite import StructuralEdit
-from repro.grid.address import CellAddress, column_index_to_letter
+from repro.grid.address import CellAddress
 from repro.grid.cell import Cell
 from repro.grid.range import RangeRef
-from repro.grid.sheet import Sheet
 from repro.models.hybrid import HybridDataModel, HybridRegion
 from repro.models.rcv import RowColumnValueModel
+from tests.support import run_equivalence, run_mid_batch_equivalence
 
 
 def addr(reference: str) -> CellAddress:
@@ -543,199 +545,19 @@ class TestEvaluatorPrimeAndStats:
 # ---------------------------------------------------------------------- #
 # randomized equivalence: async == sync == Sheet oracle
 # ---------------------------------------------------------------------- #
-_DATA_ROWS = 24
-_DATA_COLUMNS = 2
-_FORMULA_COLUMNS = (3, 4, 5)
-_WINDOW = RangeRef(1, 1, 60, 12)
-
-
-def _random_formula(rng: random.Random, column: int) -> str:
-    """A formula referencing only columns strictly left of ``column``.
-
-    Strict left-reference keeps every randomized graph acyclic by column
-    order, no matter how rows and columns are later shifted (structural
-    edits map coordinates monotonically, preserving the invariant).
-    """
-    def cell_ref() -> str:
-        target = rng.randint(1, column - 1)
-        return f"{column_index_to_letter(target)}{rng.randint(1, _DATA_ROWS)}"
-
-    def range_ref() -> str:
-        target = column_index_to_letter(rng.randint(1, column - 1))
-        top = rng.randint(1, _DATA_ROWS - 4)
-        return f"{target}{top}:{target}{top + rng.randint(1, 4)}"
-
-    choice = rng.randrange(4)
-    if choice == 0:
-        return f"{cell_ref()}+{cell_ref()}*2"
-    if choice == 1:
-        return f"SUM({range_ref()})"
-    if choice == 2:
-        return f"SUM({range_ref()})+{cell_ref()}"
-    return f"MAX({range_ref()},{cell_ref()})"
-
-
-def _random_edit(rng: random.Random) -> tuple:
-    choice = rng.randrange(10)
-    if choice < 4:
-        return ("value", rng.randint(1, _DATA_ROWS), rng.randint(1, _DATA_COLUMNS),
-                rng.randint(0, 99))
-    if choice < 8:
-        column = rng.choice(_FORMULA_COLUMNS)
-        return ("formula", rng.randint(1, _DATA_ROWS), column,
-                _random_formula(rng, column))
-    return ("clear", rng.randint(1, _DATA_ROWS), rng.randint(1, 5))
-
-
-def _apply_edit(target, edit: tuple) -> None:
-    kind = edit[0]
-    if kind == "value":
-        target.set_value(edit[1], edit[2], edit[3])
-    elif kind == "formula":
-        target.set_formula(edit[1], edit[2], edit[3])
-    else:
-        target.clear_cell(edit[1], edit[2])
-
-
-def _apply_structural(target, op: tuple) -> None:
-    kind, line, count = op
-    getattr(target, kind)(line, count)
-
-
-def _random_structural(rng: random.Random, spread: DataSpread) -> tuple | None:
-    """A structural edit whose lines fall inside the stored extent.
-
-    Deleting past the positional extent raises in both engines (a
-    pre-existing storage limitation shared with the synchronous mode), so
-    the generator stays within it, like a UI acting on visible rows would.
-    """
-    extent = spread.model.region()
-    kind = rng.randrange(4)
-    if kind == 0:
-        return ("insert_row_after", rng.randint(0, min(extent.bottom, 30)),
-                rng.randint(1, 2))
-    if kind == 1:
-        count = rng.randint(1, 2)
-        if extent.bottom - count < extent.top:
-            return None
-        return ("delete_row", rng.randint(extent.top, extent.bottom - count), count)
-    if kind == 2:
-        return ("insert_column_after", rng.randint(0, min(extent.right, 8)), 1)
-    if extent.right - 1 < extent.left:
-        return None
-    return ("delete_column", rng.randint(extent.left, extent.right - 1), 1)
-
-
-class _Boom(Exception):
-    pass
-
-
+# The generators and the drain-and-compare loop live in tests/support/
+# (shared with the scalable fuzz suite, tests/test_equivalence_fuzz.py).
+# Structural edits are sampled *unbounded* — beyond the stored extent,
+# above the catch-all RCV anchor, and at the MAX_ROWS/MAX_COLUMNS sheet
+# boundary — because extent-free structural edits are part of the contract.
 class TestRandomizedEquivalence:
     @pytest.mark.parametrize("seed", [1, 2, 3, 4])
     def test_interleavings_converge_to_sync_and_oracle(self, seed):
-        rng = random.Random(seed)
-        async_spread = DataSpread(async_recompute=True)
-        sync_spread = DataSpread()
-        sheet = Sheet()
-        spreads = (async_spread, sync_spread)
-
-        for _step in range(70):
-            action = rng.randrange(12)
-            if action < 6:  # single edit
-                edit = _random_edit(rng)
-                for target in (*spreads, sheet):
-                    _apply_edit(target, edit)
-            elif action < 8:  # clean batch
-                edits = [_random_edit(rng) for _ in range(rng.randint(2, 6))]
-                for spread in spreads:
-                    with spread.batch():
-                        for edit in edits:
-                            _apply_edit(spread, edit)
-                for edit in edits:  # batch exits cleanly: same net effect
-                    _apply_edit(sheet, edit)
-            elif action < 9:  # aborted batch: no effect anywhere
-                edits = [_random_edit(rng) for _ in range(rng.randint(2, 5))]
-                for spread in spreads:
-                    with pytest.raises(_Boom):
-                        with spread.batch():
-                            for edit in edits:
-                                _apply_edit(spread, edit)
-                            raise _Boom()
-            elif action < 11:  # structural edit
-                op = _random_structural(rng, sync_spread)
-                if op is not None:
-                    for target in (*spreads, sheet):
-                        _apply_structural(target, op)
-            else:  # async-only scheduling churn
-                if rng.random() < 0.5:
-                    async_spread.flush_compute(limit=rng.randint(1, 4))
-                else:
-                    top = rng.randint(1, 30)
-                    async_spread.set_viewport(
-                        RangeRef(top, 1, top + 10, 8) if rng.random() < 0.8 else None
-                    )
-
-        async_spread.flush_compute()
-        oracle = DataSpread.from_sheet(sheet.copy())
-        for row in range(_WINDOW.top, _WINDOW.bottom + 1):
-            for column in range(_WINDOW.left, _WINDOW.right + 1):
-                expected = sync_spread.get_cell(row, column)
-                actual = async_spread.get_cell(row, column)
-                assert actual.value == expected.value, (seed, row, column)
-                assert actual.formula == expected.formula, (seed, row, column)
-                oracle_cell = oracle.get_cell(row, column)
-                assert actual.value == oracle_cell.value, (seed, row, column, "oracle")
-                assert actual.formula == oracle_cell.formula, (seed, row, column, "oracle")
+        run_equivalence(seed)
 
     @pytest.mark.parametrize("seed", [11, 12])
     def test_interleavings_with_mid_batch_structural_edits(self, seed):
-        """Structural edits inside batches are commit points; the async and
-        sync engines must still agree after the drain (the Sheet oracle has
-        no batch semantics, so this variant compares the engines only)."""
-        rng = random.Random(seed)
-        async_spread = DataSpread(async_recompute=True)
-        sync_spread = DataSpread()
-        spreads = (async_spread, sync_spread)
-
-        for _step in range(40):
-            action = rng.randrange(8)
-            if action < 4:
-                edit = _random_edit(rng)
-                for spread in spreads:
-                    _apply_edit(spread, edit)
-            elif action < 6:
-                edits = [_random_edit(rng) for _ in range(rng.randint(2, 4))]
-                op = _random_structural(rng, sync_spread)
-                if op is None:
-                    continue
-                abort = rng.random() < 0.3
-                for spread in spreads:
-                    if abort:
-                        with pytest.raises(_Boom):
-                            with spread.batch():
-                                for edit in edits[:1]:
-                                    _apply_edit(spread, edit)
-                                _apply_structural(spread, op)
-                                for edit in edits[1:]:
-                                    _apply_edit(spread, edit)
-                                raise _Boom()
-                    else:
-                        with spread.batch():
-                            for edit in edits[:1]:
-                                _apply_edit(spread, edit)
-                            _apply_structural(spread, op)
-                            for edit in edits[1:]:
-                                _apply_edit(spread, edit)
-            else:
-                async_spread.flush_compute(limit=rng.randint(1, 3))
-
-        async_spread.flush_compute()
-        for row in range(_WINDOW.top, _WINDOW.bottom + 1):
-            for column in range(_WINDOW.left, _WINDOW.right + 1):
-                expected = sync_spread.get_cell(row, column)
-                actual = async_spread.get_cell(row, column)
-                assert actual.value == expected.value, (seed, row, column)
-                assert actual.formula == expected.formula, (seed, row, column)
+        run_mid_batch_equivalence(seed)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,482 @@
+"""Extent-free structural edits, end to end.
+
+Structural edits must succeed at *any* grid coordinate on every data model
+(ROM, COM, RCV — including above/left of its anchor — hybrid, and the
+shared line-grid store) and every positional scheme: positions beyond the
+mapped extent are implicit empty space.  Deletes clip to the stored portion
+and still shift the grid; inserts extend the mapping lazily instead of
+raising.  This module pins that contract at the model layer (against the
+naive ``Sheet`` semantics), the hybrid router (region re-anchoring), the
+engine commit path (graph re-keying and reference rewriting past the
+extent), the PR 3 invariants (stripe reuse/shift, async queue and
+provisional-placeholder remapping), and the error taxonomy
+(``PositionError`` only for genuinely invalid input).
+"""
+
+import random
+
+import pytest
+
+from repro.engine.dataspread import DataSpread
+from repro.errors import PositionError
+from repro.formula.dependencies import DependencyGraph
+from repro.formula.rewrite import StructuralEdit
+from repro.grid.address import MAX_COLUMNS, MAX_ROWS, CellAddress
+from repro.grid.cell import Cell
+from repro.grid.range import RangeRef
+from repro.grid.sheet import Sheet
+from repro.models import (
+    ColumnOrientedModel,
+    HybridDataModel,
+    HybridRegion,
+    ModelKind,
+    RowColumnValueModel,
+    RowOrientedModel,
+)
+
+PRIMITIVES = [RowOrientedModel, ColumnOrientedModel, RowColumnValueModel]
+SCHEMES = ["as-is", "monotonic", "hierarchical"]
+
+#: The data block is anchored away from the origin so rows 1..4 and columns
+#: 1..2 are *above/left of the anchor* — implicit space a structural edit
+#: must treat exactly like the implicit space beyond the bottom-right.
+ANCHOR_TOP, ANCHOR_LEFT = 5, 3
+
+
+def data_sheet() -> Sheet:
+    return Sheet.from_rows(
+        [[11, 12, 13], [21, 22, 23], [31, 32, 33]],
+        top=ANCHOR_TOP, left=ANCHOR_LEFT,
+    )
+
+
+def grid(target, window: RangeRef = RangeRef(1, 1, 60, 40)) -> dict:
+    """The (row, column) -> value map of a model or sheet, for comparison."""
+    return {
+        (address.row, address.column): cell.value
+        for address, cell in target.get_cells(window).items()
+    }
+
+
+@pytest.fixture(
+    params=[(cls, scheme) for cls in PRIMITIVES for scheme in SCHEMES],
+    ids=lambda param: f"{param[0].__name__}-{param[1]}",
+)
+def anchored_model(request):
+    cls, scheme = request.param
+    return cls.from_sheet(data_sheet(), mapping_scheme=scheme)
+
+
+#: One structural op per extent boundary case, on both axes: beyond the
+#: extent, straddling its far edge, entirely above/left of the anchor,
+#: straddling the anchor, in-extent, and at the sheet's MAX boundary.
+STRUCTURAL_CASES = [
+    ("delete_row", 50, 3),
+    ("delete_row", 6, 10),        # straddles the extent bottom
+    ("delete_row", 1, 2),         # entirely above the anchor
+    ("delete_row", 3, 4),         # straddles the anchor from above
+    ("delete_row", 5, 2),
+    ("delete_row", MAX_ROWS - 1, 2),
+    ("insert_row_after", 40, 2),
+    ("insert_row_after", 0, 2),
+    ("insert_row_after", 2, 1),   # above the anchor
+    ("insert_row_after", 6, 2),
+    ("delete_column", 50, 2),
+    ("delete_column", 4, 10),     # straddles the extent's right edge
+    ("delete_column", 1, 2),      # entirely left of the anchor
+    ("delete_column", 2, 3),      # straddles the anchor from the left
+    ("delete_column", MAX_COLUMNS - 1, 2),
+    ("insert_column_after", 30, 1),
+    ("insert_column_after", 0, 2),
+    ("insert_column_after", 4, 1),
+]
+
+
+class TestModelsMatchNaiveSheet:
+    """Every primitive model, every scheme, every boundary case: the model
+    after a structural edit must show the same cells as the naive ``Sheet``
+    renumbering applied to the same data."""
+
+    @pytest.mark.parametrize(
+        "op", STRUCTURAL_CASES, ids=lambda case: f"{case[0]}({case[1]},{case[2]})"
+    )
+    def test_structural_edit_matches_oracle(self, anchored_model, op):
+        kind, line, count = op
+        oracle = data_sheet()
+        getattr(anchored_model, kind)(line, count)
+        getattr(oracle, kind)(line, count)
+        assert grid(anchored_model) == grid(oracle)
+
+    def test_edit_sequences_match_oracle(self, anchored_model):
+        """Composed boundary edits: anchors move between ops, so each case
+        must hold from *any* anchor state, not just the seeded one."""
+        oracle = data_sheet()
+        sequence = [
+            ("delete_row", 1, 2),             # anchor re-anchors to row 3
+            ("insert_row_after", 0, 1),       # and back down to 4
+            ("delete_row", 2, 30),            # wipes out the whole extent
+            ("insert_column_after", 100, 2),  # lazy no-op
+            ("delete_column", 1, 1),
+        ]
+        for kind, line, count in sequence:
+            getattr(anchored_model, kind)(line, count)
+            getattr(oracle, kind)(line, count)
+            assert grid(anchored_model) == grid(oracle), (kind, line, count)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_structural_sequences(self, anchored_model, seed):
+        rng = random.Random(seed)
+        oracle = data_sheet()
+        for _step in range(40):
+            kind = rng.choice(
+                ["delete_row", "insert_row_after", "delete_column", "insert_column_after"]
+            )
+            insert = kind.startswith("insert")
+            line = rng.randint(0 if insert else 1, 40)
+            count = rng.randint(1, 3)
+            getattr(anchored_model, kind)(line, count)
+            getattr(oracle, kind)(line, count)
+            assert grid(anchored_model) == grid(oracle), (seed, kind, line, count)
+
+    def test_writes_after_out_of_extent_edits(self, anchored_model):
+        """The lazily-unextended mapping must still accept writes that land
+        in the implicit space the edits addressed."""
+        anchored_model.insert_row_after(40, 2)   # lazy no-ops
+        anchored_model.insert_column_after(30, 1)
+        anchored_model.delete_row(50)
+        anchored_model.update_cell(20, 10, Cell(value="late"))
+        assert anchored_model.get_value(20, 10) == "late"
+        assert anchored_model.get_value(ANCHOR_TOP, ANCHOR_LEFT) == 11
+
+
+class TestRcvAnchorEdits:
+    """RCV-specific: the catch-all model's anchor can sit anywhere, and
+    edits above/left of it must re-anchor without touching stored cells."""
+
+    def _model(self) -> RowColumnValueModel:
+        model = RowColumnValueModel(top=10, left=8)
+        model.update_cell(10, 8, Cell(value="a"))
+        model.update_cell(12, 9, Cell(value="b"))
+        return model
+
+    def test_delete_rows_above_anchor_shifts_up(self):
+        model = self._model()
+        model.delete_row(1, 4)
+        assert model.get_value(6, 8) == "a"
+        assert model.get_value(8, 9) == "b"
+        assert model.cell_count() == 2
+
+    def test_delete_straddling_anchor_clips_and_reanchors(self):
+        model = self._model()
+        model.delete_row(8, 4)  # rows 8, 9 implicit; rows 10, 11 stored
+        assert model.get_value(8, 9) == "b"   # row 12 shifted up by 4
+        assert model.get_cell(10, 8).is_empty
+        assert model.cell_count() == 1
+
+    def test_delete_columns_left_of_anchor(self):
+        model = self._model()
+        model.delete_column(2, 3)
+        assert model.get_value(10, 5) == "a"
+        assert model.get_value(12, 6) == "b"
+
+    def test_insert_beyond_extent_is_lazy(self):
+        model = self._model()
+        region_before = model.region()
+        model.insert_row_after(40, 2)
+        model.insert_column_after(40, 2)
+        assert model.region() == region_before  # nothing stored shifted
+        model.delete_row(13, 10)                # just past the last stored row
+        assert model.get_value(12, 9) == "b"
+
+
+class TestHybridReanchoring:
+    """The hybrid router: deletes overlapping a region's leading edge must
+    re-anchor the region upward/leftward, not just shrink it."""
+
+    def _hybrid(self) -> HybridDataModel:
+        sheet = Sheet.from_rows([[1, 2], [3, 4], [5, 6], [7, 8]], top=5, left=4)
+        plan = [(RangeRef(5, 4, 8, 5), ModelKind.ROM)]
+        return HybridDataModel.from_decomposition(sheet, plan)
+
+    def test_delete_straddling_region_top(self):
+        hybrid = self._hybrid()
+        hybrid.delete_row(3, 4)  # rows 3, 4 above the region; rows 5, 6 inside
+        entry = hybrid.regions[0]
+        assert entry.range == RangeRef(3, 4, 4, 5)
+        assert hybrid.get_value(3, 4) == 5
+        assert hybrid.get_value(4, 5) == 8
+
+    def test_delete_straddling_region_left(self):
+        hybrid = self._hybrid()
+        hybrid.delete_column(2, 3)  # columns 2, 3 left of the region; column 4 inside
+        entry = hybrid.regions[0]
+        assert entry.range == RangeRef(5, 2, 8, 2)
+        assert hybrid.get_value(5, 2) == 2
+        assert hybrid.get_value(8, 2) == 8
+
+    def test_delete_covering_whole_region(self):
+        hybrid = self._hybrid()
+        hybrid.delete_row(1, 20)
+        assert hybrid.cell_count() == 0
+
+    def test_delete_beyond_all_regions_is_a_noop(self):
+        hybrid = self._hybrid()
+        before = grid(hybrid)
+        hybrid.delete_row(50, 5)
+        hybrid.delete_column(50, 5)
+        hybrid.insert_row_after(60, 2)
+        assert grid(hybrid) == before
+
+    def test_catch_all_above_anchor_delete(self):
+        hybrid = HybridDataModel()
+        hybrid.update_cell(20, 6, Cell(value="loose"))
+        hybrid.delete_row(1, 5)
+        hybrid.delete_column(1, 2)
+        assert hybrid.get_value(15, 4) == "loose"
+
+    def test_hybrid_matches_oracle_across_boundary_cases(self):
+        for kind, line, count in STRUCTURAL_CASES:
+            sheet = data_sheet()
+            plan = [(RangeRef(ANCHOR_TOP, ANCHOR_LEFT, ANCHOR_TOP + 2,
+                              ANCHOR_LEFT + 2), ModelKind.ROM)]
+            hybrid = HybridDataModel.from_decomposition(sheet, plan)
+            hybrid.update_cell(20, 12, Cell(value="loose"))  # catch-all cell
+            oracle = data_sheet()
+            oracle.set_value(20, 12, "loose")
+            getattr(hybrid, kind)(line, count)
+            getattr(oracle, kind)(line, count)
+            assert grid(hybrid) == grid(oracle), (kind, line, count)
+
+
+class TestLinkedTableAtomicity:
+    """The one carve-out from "any coordinate succeeds": a linked table's
+    header and column structure are schema, not grid content.  An edit the
+    table cannot absorb must fail *before* anything shifts — never mid-loop
+    with sibling regions already moved."""
+
+    def _hybrid_with_tom(self):
+        from repro.models import TableOrientedModel
+        from repro.storage.database import Database
+
+        database = Database()
+        database.create_table("inv", ["a", "b"])
+        database.insert_many("inv", [(1, 2), (3, 4)])
+        tom = TableOrientedModel(database.table("inv"), top=10, left=1)
+        rom = RowOrientedModel.from_sheet(Sheet.from_rows([[7, 8]], top=20, left=1))
+        hybrid = HybridDataModel()
+        # The ROM region comes *first* so a mid-loop failure would have
+        # shifted it before the linked table refused.
+        hybrid.add_region(HybridRegion(range=RangeRef(20, 1, 20, 2), model=rom))
+        hybrid.add_region(HybridRegion(range=tom.region(), model=tom))
+        return hybrid
+
+    def test_delete_straddling_header_fails_atomically(self):
+        from repro.errors import LinkTableError
+
+        hybrid = self._hybrid_with_tom()
+        before = grid(hybrid)
+        with pytest.raises(LinkTableError):
+            hybrid.delete_row(8, 3)  # rows 8-9 implicit, row 10 = header
+        assert grid(hybrid) == before  # nothing moved, ROM region included
+
+    def test_column_edits_overlapping_table_fail_atomically(self):
+        from repro.errors import LinkTableError
+
+        hybrid = self._hybrid_with_tom()
+        before = grid(hybrid)
+        with pytest.raises(LinkTableError):
+            hybrid.delete_column(1)
+        with pytest.raises(LinkTableError):
+            hybrid.insert_column_after(1)
+        assert grid(hybrid) == before
+
+    def test_data_row_delete_inside_table_still_works(self):
+        hybrid = self._hybrid_with_tom()
+        hybrid.delete_row(11)  # the first data record
+        assert hybrid.get_value(11, 1) == 3
+        assert hybrid.get_value(19, 1) == 7  # the ROM region shifted up
+
+    def test_edits_clear_of_the_table_stay_extent_free(self):
+        hybrid = self._hybrid_with_tom()
+        hybrid.delete_row(50, 5)        # past every region
+        hybrid.insert_column_after(30)  # lazy no-op
+        hybrid.delete_row(1, 4)         # above the table: shifts both regions
+        assert hybrid.get_value(6, 1) == "a"   # header moved up
+        assert hybrid.get_value(16, 1) == 7
+
+
+class TestEngineExtentFree:
+    """The engine commit path: graph re-keying, reference rewriting and
+    recompute must work when the edit line lies past the stored extent."""
+
+    def test_delete_past_extent_keeps_formulas_live(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, 5)
+        spread.set_formula(2, 1, "A1*2")
+        spread.delete_row(30)  # the ROADMAP's canonical failing case
+        assert spread.get_value(2, 1) == 10
+        spread.set_value(1, 1, 6)
+        assert spread.get_value(2, 1) == 12
+
+    def test_delete_above_catch_all_anchor(self):
+        spread = DataSpread()
+        sheet = Sheet()
+        for target in (spread, sheet):
+            target.set_value(10, 2, 7)
+            target.set_formula(12, 3, "B10+1")
+        for target in (spread, sheet):
+            target.delete_row(1, 4)
+        assert spread.get_value(6, 2) == 7
+        assert spread.get_value(8, 3) == 8
+        assert spread.get_cell(8, 3).formula == sheet.get_cell(8, 3).formula == "B6+1"
+
+    def test_references_beyond_extent_shift_without_storage(self):
+        """A formula can reference implicit empty space; an edit out there
+        must re-key the graph even though storage has nothing to shift."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 1)
+        spread.set_formula(1, 3, "A20+1")  # A20 is far beyond the extent
+        assert spread.get_value(1, 3) == 1  # empty cell coerces to 0
+        spread.insert_row_after(5, 2)       # shifts only the implicit referent
+        assert spread.get_cell(1, 3).formula == "A22+1"
+        spread.set_value(22, 1, 9)          # the write lands on the new referent
+        assert spread.get_value(1, 3) == 10
+
+    def test_delete_straddling_extent_collapses_references(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, 1)
+        spread.set_value(2, 1, 2)
+        spread.set_formula(1, 2, "SUM(A1:A2)")
+        spread.delete_row(2, 100)  # row 2 stored, rows 3..101 implicit
+        assert spread.get_cell(1, 2).formula == "SUM(A1:A1)"
+        assert spread.get_value(1, 2) == 1
+
+    def test_mid_batch_out_of_extent_edit_is_a_commit_point(self):
+        spread = DataSpread()
+        with spread.batch():
+            spread.set_value(1, 1, 4)
+            spread.set_formula(2, 1, "A1*A1")
+            spread.delete_row(80, 3)     # past the extent, mid-batch
+            spread.insert_row_after(90)  # and a lazy insert
+            spread.set_value(3, 1, 9)
+        assert spread.get_value(2, 1) == 16
+        assert spread.get_value(3, 1) == 9
+
+    def test_sync_and_async_agree_on_boundary_cases(self):
+        for kind, line, count in STRUCTURAL_CASES:
+            spreads = [DataSpread(), DataSpread(async_recompute=True)]
+            for spread in spreads:
+                spread.set_value(10, 2, 3)
+                spread.set_formula(12, 4, "B10*2")
+                getattr(spread, kind)(line, count)
+                spread.flush_compute()
+            window = RangeRef(1, 1, 30, 12)
+            assert grid(spreads[0].model, window) == grid(spreads[1].model, window), \
+                (kind, line, count)
+
+
+class TestPr3InvariantsOutOfExtent:
+    """PR 3's incremental-index and async invariants must survive edits
+    whose line lies past the stored extent."""
+
+    def test_stripes_reused_when_column_edit_is_past_every_stripe(self):
+        graph = DependencyGraph()
+        graph.register(CellAddress(10, 26), "SUM(C1:C100)")
+        graph.register(CellAddress(11, 26), "SUM(D5:D50)")
+        graph.direct_dependents(CellAddress(50, 3))  # build the C stripe
+        graph.direct_dependents(CellAddress(20, 4))  # build the D stripe
+        graph.stats.reset()
+        graph.apply_structural_edit(StructuralEdit.delete_columns(60, 5))
+        assert graph.stats.stripes_reused >= 2
+        assert graph.direct_dependents(CellAddress(50, 3)) == {CellAddress(10, 26)}
+        assert graph.stats.index_rebuilds == 0  # served from the reused trees
+
+    def test_stripes_shift_when_edit_is_past_storage_but_left_of_stripe(self):
+        """The stripe index lives on *references*, which can sit far beyond
+        any stored cell; the O(n) shifted-tree reuse must fire for an edit
+        line that is out of the storage extent entirely."""
+        spread = DataSpread()
+        spread.set_value(1, 4, 1)                      # D1: the whole extent
+        spread.set_formula(1, 6, "SUM(D1:D10)")        # F1 reads the D stripe
+        graph = spread.dependency_graph
+        graph.direct_dependents(CellAddress(5, 4))     # build the D stripe tree
+        graph.stats.reset()
+        spread.delete_column(2)                        # left of the anchor
+        assert graph.stats.stripes_shifted >= 1
+        assert spread.get_cell(1, 5).formula == "SUM(C1:C10)"
+        graph.stats.reset()
+        assert graph.direct_dependents(CellAddress(5, 3)) == {CellAddress(1, 5)}
+        assert graph.stats.index_rebuilds == 0
+
+    def test_queued_async_work_survives_out_of_extent_edits(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 3)
+        spread.set_formula(2, 1, "A1+1")  # queued, provisional placeholder
+        pending = spread.compute_pending
+        assert pending >= 1
+        assert spread.cache.provisional_count == 1
+        spread.delete_row(50, 2)
+        spread.insert_row_after(90)
+        spread.delete_column(70)
+        assert spread.compute_pending == pending       # nothing cancelled
+        assert spread.cache.provisional_count == 1     # placeholder intact
+        assert spread.model.get_cell(2, 1) == Cell()   # still uncommitted
+        spread.flush_compute()
+        assert spread.get_value(2, 1) == 4
+        assert spread.model.get_cell(2, 1).value == 4
+
+    def test_provisional_placeholder_remaps_across_above_anchor_delete(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(10, 1, 2)
+        spread.set_formula(11, 1, "A10*10")  # provisional at A11
+        spread.delete_row(1, 3)              # above the catch-all anchor
+        assert spread.cache.provisional_count == 1
+        assert spread.get_cell(8, 1).formula == "A7*10"
+        spread.flush_compute()
+        assert spread.get_value(8, 1) == 20
+
+
+class TestErrorTaxonomy:
+    """``PositionError`` marks genuinely invalid input only — negative
+    positions, line-0 deletes, non-positive counts — never an edit that is
+    merely outside the stored extent."""
+
+    INVALID = [
+        ("insert_row_after", -1, 1),
+        ("insert_row_after", 2, 0),
+        ("delete_row", 0, 1),
+        ("delete_row", -5, 2),
+        ("delete_row", 3, 0),
+        ("insert_column_after", -2, 1),
+        ("delete_column", 0, 1),
+        ("delete_column", 1, -1),
+    ]
+
+    def targets(self):
+        spread = DataSpread()
+        spread.set_value(1, 1, 1)
+        hybrid = HybridDataModel()
+        hybrid.update_cell(1, 1, Cell(value=1))
+        yield spread
+        yield hybrid
+        yield Sheet.from_rows([[1]])
+        for cls in PRIMITIVES:
+            yield cls.from_sheet(Sheet.from_rows([[1]]))
+
+    def test_invalid_input_raises_position_error(self):
+        for target in self.targets():
+            for kind, line, count in self.INVALID:
+                with pytest.raises(PositionError):
+                    getattr(target, kind)(line, count)
+
+    def test_out_of_extent_edits_do_not_raise(self):
+        for target in self.targets():
+            for kind, line, count in STRUCTURAL_CASES:
+                getattr(target, kind)(line, count)  # must not raise
+
+    def test_inverted_span_still_raises_in_mappings(self):
+        model = RowOrientedModel.from_sheet(Sheet.from_rows([[1], [2]]))
+        with pytest.raises(PositionError):
+            model.positional_mapping.fetch_range(2, 1)
+        with pytest.raises(PositionError):
+            model.positional_mapping.delete_span(1, -2)

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import PositionError
 from repro.grid.bounding import bounding_box, density
 from repro.grid.cell import Cell
 from repro.grid.components import (
@@ -138,8 +139,14 @@ class TestSheetStructuralOps:
 
     def test_invalid_count_rejected(self):
         sheet = Sheet()
-        with pytest.raises(ValueError):
+        with pytest.raises(PositionError):
             sheet.insert_row_after(1, count=0)
+        with pytest.raises(PositionError):
+            sheet.delete_row(0)
+        with pytest.raises(PositionError):
+            sheet.insert_column_after(-1)
+        with pytest.raises(PositionError):
+            sheet.delete_column(2, count=-1)
 
     def test_insert_then_delete_roundtrip(self):
         sheet = Sheet.from_rows([[1, 2], [3, 4], [5, 6]])

@@ -89,6 +89,97 @@ class TestCommonBehaviour:
         assert mapping.to_list() == reference
 
 
+class TestExtentFreeSpans:
+    """Boundary behaviour of the extent-free span operations, per scheme.
+
+    ``delete_span`` clips to the mapped extent (positions beyond it are
+    implicit empty space), ``extend_to`` extends lazily, and only genuinely
+    invalid input — positions before 1, inverted spans — raises
+    ``PositionError``.
+    """
+
+    def test_delete_span_inside_extent(self, mapping):
+        mapping.extend(["a", "b", "c", "d", "e"])
+        assert mapping.delete_span(2, 3) == ["b", "c", "d"]
+        assert mapping.to_list() == ["a", "e"]
+
+    def test_delete_span_straddling_the_extent_clips(self, mapping):
+        mapping.extend(["a", "b", "c"])
+        assert mapping.delete_span(2, 10) == ["b", "c"]
+        assert mapping.to_list() == ["a"]
+
+    def test_delete_span_beyond_the_extent_is_a_noop(self, mapping):
+        mapping.extend(["a", "b"])
+        assert mapping.delete_span(3, 4) == []
+        assert mapping.delete_span(100, 1) == []
+        assert mapping.to_list() == ["a", "b"]
+
+    def test_delete_span_on_empty_mapping(self, mapping):
+        assert mapping.delete_span(1, 5) == []
+
+    def test_delete_span_zero_count_is_a_noop(self, mapping):
+        mapping.extend(["a"])
+        assert mapping.delete_span(1, 0) == []
+        assert mapping.to_list() == ["a"]
+
+    def test_delete_span_invalid_input_raises(self, mapping):
+        mapping.extend(["a", "b"])
+        with pytest.raises(PositionError):
+            mapping.delete_span(0, 1)
+        with pytest.raises(PositionError):
+            mapping.delete_span(-3, 2)
+        with pytest.raises(PositionError):
+            mapping.delete_span(1, -1)
+        assert mapping.to_list() == ["a", "b"]
+
+    def test_insert_at_boundary(self, mapping):
+        """``size + 1`` is the append position; ``size + k`` (k >= 2) names a
+        position that cannot exist in a mapping and stays invalid — extent-
+        freedom lives in the data models, which clip before calling."""
+        mapping.extend(["a"])
+        mapping.insert_at(2, "b")  # position = size + 1: append
+        assert mapping.to_list() == ["a", "b"]
+        with pytest.raises(PositionError):
+            mapping.insert_at(4, "x")  # position = size + 2
+        with pytest.raises(PositionError):
+            mapping.insert_at(0, "x")
+
+    def test_extend_to_appends_lazily(self, mapping):
+        counter = iter(range(100))
+        assert mapping.extend_to(4, lambda: next(counter)) == 4
+        assert mapping.to_list() == [0, 1, 2, 3]
+        assert mapping.extend_to(2, lambda: next(counter)) == 0  # already big enough
+        assert mapping.extend_to(6, lambda: next(counter)) == 2
+        assert mapping.to_list() == [0, 1, 2, 3, 4, 5]
+
+    def test_clip_then_shift_equals_shift_then_clip(self, mapping):
+        """Deleting an unclipped straddling span must leave the same mapping
+        as deleting its pre-clipped counterpart: the shift of later items
+        only ever reflects what was actually removed."""
+        twin = type(mapping)()
+        items = [f"item{index}" for index in range(8)]
+        mapping.extend(items)
+        twin.extend(items)
+        removed = mapping.delete_span(6, 10)          # clips to [6, 8]
+        removed_preclipped = twin.delete_span(6, 3)   # already clipped
+        assert removed == removed_preclipped == ["item5", "item6", "item7"]
+        assert mapping.to_list() == twin.to_list()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 60), min_size=0, max_size=30),
+           st.integers(1, 70), st.integers(0, 70))
+    def test_property_delete_span_matches_list_model(self, items, start, count):
+        for scheme in ALL_SCHEMES:
+            mapping = scheme()
+            mapping.extend(items)
+            reference = list(items)
+            removed = mapping.delete_span(start, count)
+            expected = reference[start - 1: start - 1 + count]
+            del reference[start - 1: start - 1 + count]
+            assert removed == expected
+            assert mapping.to_list() == reference
+
+
 class TestFactory:
     def test_create_by_name(self):
         assert isinstance(create_mapping("hierarchical"), HierarchicalMapping)
@@ -112,6 +203,13 @@ class TestPositionAsIs:
         mapping = PositionAsIsMapping()
         mapping.extend(range(100))
         assert mapping.cascade_updates == 0
+
+    def test_delete_span_cascades_the_tail_once(self):
+        mapping = PositionAsIsMapping()
+        mapping.extend(range(100))
+        mapping.delete_span(1, 10)
+        assert mapping.cascade_updates == 90  # one pass over the surviving tail
+        assert mapping.to_list() == list(range(10, 100))
 
 
 class TestMonotonic:
