@@ -7,7 +7,7 @@ export PYTHONPATH := src
 ## Seeds for the widened randomized-equivalence sweep (`make fuzz`).
 FUZZ_SEEDS ?= 50
 
-.PHONY: test fuzz bench bench-async docs-check examples all
+.PHONY: test fuzz bench bench-async bench-incremental docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -32,6 +32,15 @@ bench:
 ## vs the synchronous engine; full scale runs via `make bench`).
 bench-async:
 	$(PYTHON) -m repro.experiments recompute-async --scale 0.2
+
+## Incremental hot-path benchmark (PR 5): zero-rebuild interval-index
+## maintenance + O(Δ) aggregate deltas vs the full-range-read baseline.
+## Emits BENCH_recompute_incremental.json and fails if the steady-state
+## scenario performs any index rebuild (scripts/check_bench.py guard).
+bench-incremental:
+	$(PYTHON) -m repro.experiments recompute-incremental --scale 0.5 \
+		--json BENCH_recompute_incremental.json
+	$(PYTHON) scripts/check_bench.py BENCH_recompute_incremental.json
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:

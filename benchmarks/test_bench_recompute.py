@@ -31,6 +31,27 @@ def test_recompute_bulk_single_pass(run_figure):
     assert row["recompute_passes"] == 1
 
 
+def test_recompute_incremental_hot_path(run_figure):
+    """PR 5 acceptance: on the 5k-formula scenario, steady-state edits
+    (value updates interleaved with formula replacements) perform zero
+    interval-tree rebuilds, and point edits inside a large aggregated
+    range are >= 5x faster than the full-range-read baseline while
+    matching a from-scratch engine's values."""
+    result = run_figure("recompute-incremental", scale=1.0)
+    by_mode = {row["mode"]: row for row in result.rows}
+    maintenance = by_mode["index-maintenance"]
+    incremental = by_mode["delta-incremental"]
+    baseline = by_mode["full-read-baseline"]
+    assert maintenance["formulas"] == 5_000
+    assert maintenance["index_rebuilds"] == 0  # flat after warmup
+    assert maintenance["rebuilds_avoided"] > 0
+    assert maintenance["incremental_inserts"] > 0
+    assert maintenance["incremental_removes"] > 0
+    assert incremental["grids_match"] is True
+    assert incremental["deltas_applied"] >= incremental["edits"]
+    assert baseline["ms_per_edit"] >= 5.0 * incremental["ms_per_edit"]
+
+
 def test_recompute_async_ack_latency(run_figure):
     """Async edit acknowledgment must be >= 10x faster than synchronous
     recompute on the 5k-formula hot-range scenario, while converging to

@@ -1,0 +1,80 @@
+"""Guard the incremental hot-path benchmark against regressions.
+
+Used by ``make bench-incremental``: reads the JSON emitted by
+``python -m repro.experiments recompute-incremental --json ...`` and fails
+(exit code 1) when the steady-state scenario regressed:
+
+* ``index_rebuilds`` above 0 in the index-maintenance row — formula
+  (un)registration stopped being absorbed incrementally and went back to
+  invalidate-and-rebuild;
+* the aggregate delta speedup below the (deliberately lenient) floor, or
+  the delta-maintained values diverging from the from-scratch engine.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench.py BENCH_recompute_incremental.json \
+        [--min-speedup 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(path: Path, *, min_speedup: float) -> list[str]:
+    """Return the list of regression messages (empty when healthy)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    results = {result["experiment_id"]: result for result in payload.get("results", [])}
+    result = results.get("recompute-incremental")
+    if result is None:
+        return [f"{path}: no recompute-incremental result found"]
+    rows = {row.get("mode"): row for row in result["rows"]}
+    failures: list[str] = []
+
+    maintenance = rows.get("index-maintenance")
+    if maintenance is None:
+        failures.append("missing index-maintenance row")
+    elif maintenance["index_rebuilds"] > 0:
+        failures.append(
+            f"steady-state index_rebuilds regressed above 0 "
+            f"(got {maintenance['index_rebuilds']} over {maintenance['steady_ops']} ops)"
+        )
+
+    incremental = rows.get("delta-incremental")
+    baseline = rows.get("full-read-baseline")
+    if incremental is None or baseline is None:
+        failures.append("missing delta-incremental / full-read-baseline rows")
+    else:
+        if not incremental.get("grids_match", False):
+            failures.append("delta-maintained values diverged from the from-scratch engine")
+        per_edit = incremental["ms_per_edit"]
+        speedup = (baseline["ms_per_edit"] / per_edit) if per_edit > 0 else float("inf")
+        if speedup < min_speedup:
+            failures.append(
+                f"aggregate delta speedup {speedup:.1f}x fell below the "
+                f"{min_speedup:.1f}x floor"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", type=Path,
+                        help="JSON file emitted by the recompute-incremental experiment")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="minimum acceptable delta-vs-full-read speedup (default 5.0)")
+    arguments = parser.parse_args(argv)
+    failures = check(arguments.json_path, min_speedup=arguments.min_speedup)
+    if failures:
+        for failure in failures:
+            print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"{arguments.json_path}: incremental hot path healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -176,6 +176,20 @@ class ComputeScheduler:
         """
         return self._drain(limit, None)
 
+    def drain(self, budget_n: int) -> int:
+        """Best-effort bounded drain: the idle-drain policy's primitive.
+
+        Evaluates up to ``budget_n`` queued cells in the same
+        topological, viewport-first order as :meth:`run`, but *never*
+        raises on cyclic work — the cycle stays queued (still surfaced by
+        an explicit ``run``) and the drain simply stops, because an
+        opportunistic drain piggybacking on a read must not fail the read.
+        Returns the number of cells evaluated.
+        """
+        if budget_n <= 0:
+            return 0
+        return self._drain(budget_n, None, best_effort=True)
+
     def ensure(self, address: CellAddress) -> int:
         """Make one cell fresh, evaluating only the subtree it needs.
 
@@ -221,7 +235,8 @@ class ComputeScheduler:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _drain(self, limit: int | None, only: set[CellAddress] | None) -> int:
+    def _drain(self, limit: int | None, only: set[CellAddress] | None,
+               *, best_effort: bool = False) -> int:
         evaluated = 0
         while self._stale and (limit is None or evaluated < limit):
             if self._order_stale:
@@ -234,6 +249,8 @@ class ComputeScheduler:
                 break
             address = self._pop_ready(only)
             if address is None:
+                if best_effort:
+                    break  # only cyclic work remains; leave it queued
                 raise CircularDependencyError(
                     f"circular dependency among {len(self._stale)} queued formula cell(s)"
                 )

@@ -107,6 +107,26 @@ class LRUCellCache:
         self._store(key, cell)
         return cell
 
+    def peek_value(self, row: int, column: int) -> tuple[bool, object]:
+        """The overlay-visible value of a cell, *without* any storage IO.
+
+        Returns ``(True, value)`` when the cell's current read-visible
+        value is already in memory (cached entry, provisional placeholder,
+        or buffered write — consulted in the same precedence order as
+        :meth:`get`), and ``(False, None)`` when only the storage layer
+        knows.  Used by the engine's aggregate-delta capture, which must
+        not turn every batched write into a storage probe.
+        """
+        key = (row, column)
+        cell = self._entries.get(key)
+        if cell is None:
+            cell = self._provisional.get(key)
+        if cell is None and self._pending is not None:
+            cell = self._pending.get(key)
+        if cell is None:
+            return (False, None)
+        return (True, cell.value)
+
     def put(self, row: int, column: int, cell: Cell) -> None:
         """Write a cell through to storage (or buffer it in deferred mode).
 

@@ -98,6 +98,7 @@ from repro.errors import (
     FormulaSyntaxError,
     LinkTableError,
 )
+from repro.formula.aggregates import AggregateStore
 from repro.formula.ast_nodes import FormulaNode
 from repro.formula.dependencies import DependencyGraph
 from repro.formula.evaluator import DEFAULT_PARSE_CACHE_CAPACITY, Evaluator
@@ -142,6 +143,10 @@ class DataSpread:
         When ``True``, edits enqueue their affected subtree on the compute
         scheduler instead of recomputing synchronously; drain with
         ``flush_compute()``.  Requires ``auto_evaluate``.
+    idle_drain_budget:
+        When positive (async mode only), every read opportunistically
+        drains up to this many queued cells, so staleness converges
+        without an explicit ``flush_compute()``.
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class DataSpread:
         auto_evaluate: bool = True,
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
         async_recompute: bool = False,
+        idle_drain_budget: int = 0,
     ) -> None:
         self.costs = costs
         self.mapping_scheme = mapping_scheme
@@ -161,6 +167,7 @@ class DataSpread:
         self.auto_evaluate = auto_evaluate
         self._model = HybridDataModel(mapping_scheme=mapping_scheme)
         self._dependencies = DependencyGraph()
+        self._aggregates = AggregateStore(self._dependencies)
         self._cache = LRUCellCache(
             loader=self._load_cell,
             writer=self._write_cell,
@@ -171,6 +178,7 @@ class DataSpread:
             self._provide_value,
             range_provider=self._provide_range,
             parse_cache_capacity=parse_cache_capacity,
+            aggregate_store=self._aggregates,
         )
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
@@ -202,6 +210,11 @@ class DataSpread:
         self._scheduler = ComputeScheduler(self._dependencies, self._scheduler_evaluate)
         self._async = False
         self.async_recompute = async_recompute
+        if idle_drain_budget < 0:
+            raise ValueError("idle_drain_budget must be >= 0")
+        #: Queued cells opportunistically evaluated per read (0 disables).
+        self.idle_drain_budget = idle_drain_budget
+        self._idle_draining = False
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -340,6 +353,9 @@ class DataSpread:
         Writes a mid-batch flush already committed stay committed — their
         cells are recomputed so no flushed formula is left at value None.
         """
+        # The rollback rewinds cell values the delta path already folded in;
+        # the store cannot replay them backwards, so it starts over.
+        self._aggregates.invalidate_all()
         undo = self._batch_undo
         flushed = self._batch_flushed
         composites = self._batch_composite_undo
@@ -401,7 +417,13 @@ class DataSpread:
     # cell reads
     # ------------------------------------------------------------------ #
     def get_cell(self, row: int, column: int) -> Cell:
-        """Read one cell (through the LRU cache)."""
+        """Read one cell (through the LRU cache).
+
+        With ``idle_drain_budget`` set, the read first lets the compute
+        scheduler retire a small budget of queued work, so staleness
+        converges under a read-heavy workload without ``flush_compute()``.
+        """
+        self._maybe_idle_drain()
         return self._cache.get(row, column)
 
     def get_value(self, row: int, column: int) -> CellValue:
@@ -415,6 +437,7 @@ class DataSpread:
         so bulk reads see the batch's own edits just like per-cell
         ``get_value`` while the batch stays fully discardable.
         """
+        self._maybe_idle_drain()
         region = RangeRef.from_a1(region) if isinstance(region, str) else region
         result = self._model.get_cells(region)
         for key, cell in self._cache.overlay_values(region).items():
@@ -493,10 +516,12 @@ class DataSpread:
         dependents are queued stale instead of recomputed inline.
         """
         address = CellAddress(row, column)
+        capture = self._aggregates_capture(address)
         if self.in_batch:
             self._snapshot_registration(address)
             self._snapshot_provisional(address)
         self._set_constant(row, column, value)
+        self._aggregates_commit(capture, value)
         if self.in_batch:
             self._batch_dirty[address] = None
         elif self._async:
@@ -517,6 +542,10 @@ class DataSpread:
         text = formula[1:] if formula.startswith("=") else formula
         address = CellAddress(row, column)
         node = self._evaluator.parse(text)
+        # In async mode the cell's visible value stays the placeholder, so
+        # there is no delta to capture — and the capture's old-value read
+        # must not tax the edit-acknowledgment path.
+        capture = None if self._async else self._aggregates_capture(address)
         if self.in_batch:
             self._snapshot_registration(address)
             self._snapshot_provisional(address)
@@ -525,13 +554,16 @@ class DataSpread:
             # replaces the cell's content, so stale reads keep serving the
             # previous committed (or overlaid) value.
             placeholder = self._cache.get(row, column).value
+        self._aggregates.drop_formula(address)
         self._dependencies.register(address, node)
         if self.in_batch:
             if self._async:
+                # The visible value stays the placeholder — no delta.
                 self._ensure_stored_extent(row, column)
                 self._cache.put_provisional(row, column, Cell(value=placeholder, formula=text))
             else:
                 self._cache.put(row, column, Cell(value=None, formula=text))
+                self._aggregates_commit(capture, None)
             self._batch_dirty[address] = None
             return None
         if self._async:
@@ -539,8 +571,9 @@ class DataSpread:
             self._cache.put_provisional(row, column, Cell(value=placeholder, formula=text))
             self._scheduler.mark_dirty((address,))
             return None
-        value = self._safe_evaluate(node)
+        value = self._safe_evaluate(node, address)
         self._cache.put(row, column, Cell(value=value, formula=text))
+        self._aggregates_commit(capture, value)
         if self.auto_evaluate:
             self._recompute_dependents(address)
         return value
@@ -548,12 +581,15 @@ class DataSpread:
     def clear_cell(self, row: int, column: int) -> None:
         """Empty a cell and re-evaluate its dependents."""
         address = CellAddress(row, column)
+        capture = self._aggregates_capture(address)
         if self.in_batch:
             self._snapshot_registration(address)
             self._snapshot_composite((row, column))
             self._snapshot_provisional(address)
+        self._aggregates.drop_formula(address)
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell())
+        self._aggregates_commit(capture, None)
         self._composite_values.pop((row, column), None)
         if self.in_batch:
             self._batch_dirty[address] = None
@@ -621,6 +657,10 @@ class DataSpread:
         recompute at batch exit.
         """
         self._flush_batch_writes()
+        # The coordinate space is about to shift under every running
+        # aggregate state; structural edits are the store's wholesale
+        # fallback (states rebuild from full range reads on next use).
+        self._aggregates.invalidate_all()
         # Provisional placeholders are not flushable writes: carry them
         # across the cache clear and re-key them through the edit, exactly
         # like the graph re-keys its registrations.
@@ -723,6 +763,7 @@ class DataSpread:
             rebuilt.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
         self._model = rebuilt
         self._cache.clear()
+        self._aggregates.invalidate_all()
         return plan
 
     def storage_cost(self) -> float:
@@ -748,6 +789,25 @@ class DataSpread:
     def evaluator(self) -> Evaluator:
         """The formula evaluator (exposed for tests and benchmarks)."""
         return self._evaluator
+
+    @property
+    def aggregate_store(self) -> AggregateStore:
+        """The running aggregate-state store (exposed for tests/benchmarks)."""
+        return self._aggregates
+
+    @property
+    def use_aggregate_deltas(self) -> bool:
+        """Whether decomposable aggregates recompute from O(Δ) deltas.
+
+        Flip to ``False`` to restore the full-range-read baseline (kept for
+        benchmarking the delta win); disabling clears the running states so
+        re-enabling cannot serve stale ones.
+        """
+        return self._aggregates.enabled
+
+    @use_aggregate_deltas.setter
+    def use_aggregate_deltas(self, enabled: bool) -> None:
+        self._aggregates.enabled = enabled
 
     # ------------------------------------------------------------------ #
     # asynchronous recompute
@@ -856,6 +916,9 @@ class DataSpread:
         self._model.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
         self._linked_tables[table_name] = tom
         self._cache.clear()
+        # The linked region's content changed wholesale under any
+        # aggregates reading it.
+        self._aggregates.invalidate_all()
         return tom
 
     def sql(self, query: str, *parameters: CellValue) -> TableValue:
@@ -899,8 +962,40 @@ class DataSpread:
     # ------------------------------------------------------------------ #
     def _set_constant(self, row: int, column: int, value: CellValue) -> None:
         address = CellAddress(row, column)
+        self._aggregates.drop_formula(address)
         self._dependencies.unregister(address)
         self._cache.put(row, column, Cell(value=value))
+
+    def _aggregates_capture(self, address: CellAddress):
+        """Pre-edit half of the aggregate delta: targets plus the old value.
+
+        Must run before the cell is mutated.  On the synchronous non-batch
+        path the old value is read authoritatively (a cache miss costs one
+        storage probe — cheap against the inline recompute the edit
+        triggers anyway).  Inside a batch, and on the async
+        edit-acknowledgment path where no inline recompute amortises the
+        probe, only in-memory overlays are consulted: a cold cell's first
+        touch invalidates the affected states (they rebuild from the next
+        full read) instead of costing storage IO before the edit returns.
+        """
+        targets = self._aggregates.targets_for(address)
+        if not targets:
+            return None
+        if self.in_batch or self._async:
+            known, old = self._cache.peek_value(address.row, address.column)
+        else:
+            known, old = True, self._cache.get(address.row, address.column).value
+        return (targets, known, old)
+
+    def _aggregates_commit(self, capture, new_value: CellValue) -> None:
+        """Post-edit half: fold the old→new delta into the captured states."""
+        if capture is None:
+            return
+        targets, known, old = capture
+        if known:
+            self._aggregates.apply_delta(targets, old, new_value)
+        else:
+            self._aggregates.invalidate_targets(targets)
 
     def _snapshot_registration(self, address: CellAddress) -> None:
         """Capture a cell's pre-batch dependency registration (first touch)."""
@@ -961,6 +1056,30 @@ class DataSpread:
                 address.row, address.column
             )
 
+    def _maybe_idle_drain(self) -> None:
+        """Opportunistically retire queued compute work on a read.
+
+        Active only in async mode with a positive ``idle_drain_budget``,
+        outside batches (batched edits are not even scheduled yet), and
+        never re-entrantly (a drain's own evaluations read cells through
+        the cache, not through this path, but ``get_fresh_value`` style
+        nesting must not recurse).  Cycles are left queued rather than
+        raised — an opportunistic drain must never fail a read.
+        """
+        if (
+            not self._async
+            or self.idle_drain_budget <= 0
+            or self._idle_draining
+            or self.in_batch
+            or not self._scheduler.pending_count
+        ):
+            return
+        self._idle_draining = True
+        try:
+            self._scheduler.drain(self.idle_drain_budget)
+        finally:
+            self._idle_draining = False
+
     def _load_cell(self, row: int, column: int) -> Cell:
         return self._model.get_cell(row, column)
 
@@ -987,13 +1106,22 @@ class DataSpread:
                 values[key] = cell.value
         return values
 
-    def _safe_evaluate(self, formula: str | FormulaNode) -> CellValue:
+    def _safe_evaluate(self, formula: str | FormulaNode,
+                       address: CellAddress | None = None) -> CellValue:
+        """Evaluate a formula; errors become their code strings.
+
+        ``address`` names the formula cell being evaluated, which keys the
+        aggregate store's running state for decomposable range aggregates.
+        """
+        self._evaluator.aggregate_cell = address
         try:
             if isinstance(formula, str):
                 return self._evaluator.evaluate(formula)
             return self._evaluator.evaluate_node(formula)
         except FormulaEvaluationError as error:
             return error.code
+        finally:
+            self._evaluator.aggregate_cell = None
 
     def _recompute_dependents(self, changed: CellAddress) -> None:
         self.recompute_passes += 1
@@ -1020,9 +1148,12 @@ class DataSpread:
         existing = self._cache.get(address.row, address.column)
         if existing.formula is None:
             return
-        value = self._safe_evaluate(existing.formula)
+        value = self._safe_evaluate(existing.formula, address)
         if value != existing.value:
             self._cache.put(address.row, address.column, existing.with_value(value))
+            # Topological order guarantees downstream aggregates read this
+            # cell only after the delta lands.
+            self._aggregates.apply_edit(address, existing.value, value)
 
     def _scheduler_evaluate(self, address: CellAddress) -> None:
         """Evaluate one queued cell and *commit* it.
@@ -1041,7 +1172,9 @@ class DataSpread:
         if self.in_batch:
             self._snapshot_provisional(address)
             self._batch_drained[address] = None
-        value = self._safe_evaluate(existing.formula)
+        value = self._safe_evaluate(existing.formula, address)
+        if value != existing.value:
+            self._aggregates.apply_edit(address, existing.value, value)
         if value != existing.value or self._cache.is_provisional(address.row, address.column):
             self._cache.put(address.row, address.column, existing.with_value(value))
 

@@ -10,6 +10,7 @@ from repro.experiments.recompute import (
     run_recompute_async,
     run_recompute_bulk,
     run_recompute_edit,
+    run_recompute_incremental,
 )
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.storage import (
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "recompute-edit": run_recompute_edit,
     "recompute-bulk": run_recompute_bulk,
     "recompute-async": run_recompute_async,
+    "recompute-incremental": run_recompute_incremental,
     "usecase-genomics": run_usecase_genomics,
     "usecase-retail": run_usecase_retail,
 }

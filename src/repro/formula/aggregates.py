@@ -1,0 +1,446 @@
+"""Incremental (delta-maintained) aggregate state for range formulas.
+
+The classic incremental-view-maintenance move applied to spreadsheet
+formulas: a decomposable aggregate over a range — ``SUM``, ``COUNT``,
+``COUNTA``, ``AVERAGE``, and (with an invalidation fallback) ``MIN`` /
+``MAX`` — keeps *running state* so that a point edit inside a 100k-cell
+range recomputes its dependents in O(Δ) from the edit's old→new value
+delta instead of re-reading the whole rectangle.
+
+Architecture
+------------
+* :class:`RangeAggregateState` holds the running components for one
+  registered range of one formula cell: exact integer sum, numeric count,
+  filled count, and min/max with multiplicity.  ``add``/``remove`` apply
+  one value's contribution; ``supports(name)`` reports whether a component
+  can still serve a given function exactly.
+* :class:`AggregateStore` owns every state, keyed by the dependency
+  graph's range registrations (formula cell → range).  The engine routes
+  every committed cell-value change through :meth:`AggregateStore.apply_edit`
+  (or the two-phase ``targets_for`` / ``apply_delta`` pair), using the
+  graph's interval index to find the affected states in O(log n); the
+  evaluator serves decomposable calls from the states and (re)builds them
+  from one bulk range read when missing.
+
+Exactness contract
+------------------
+The delta path must agree **bit-for-bit** with a full range read, because
+the randomized equivalence harness compares engines cell-for-cell.  Sums
+are therefore tracked as exact Python integers, and a contribution only
+qualifies when it is an integral number with magnitude at most
+:data:`EXACT_VALUE_LIMIT` (2**28): with ranges capped at
+``MAX_RANGE_CELLS`` (10**7 < 2**24) cells, every partial sum the full-read
+path computes stays below 2**52, where float addition is exact.  Any
+other numeric (a non-integral float, a huge integer, a NaN) is an
+*inexact contribution*, tracked by multiplicity: while the range holds at
+least one, ``SUM``/``AVERAGE`` fall back to the full range read
+(``COUNT``/``COUNTA`` keep working, and so do ``MIN``/``MAX`` unless the
+value is *unordered* — NaN, or an integer beyond float range — which
+poisons the ordering components too), and they recover the O(Δ) path the
+moment the last inexact value is edited out.
+``MIN``/``MAX`` track the extremum *with multiplicity* in
+the float domain (exactly what the full path compares); removing the last
+copy of the extremum is a *support loss* — the state cannot know the
+runner-up — and invalidates that component until the next full read
+rebuilds it.
+
+Fallback matrix (who invalidates what)
+--------------------------------------
+* unknown old value (first write to an uncached cell mid-batch) — the
+  affected states are dropped;
+* structural edits, batch aborts, ``link_table``, ``optimize_storage`` —
+  the engine clears the whole store (coordinate space or content changed
+  wholesale);
+* formula (re)registration — the engine drops the formula's own states;
+* ``#REF!`` / oversized ranges — evaluation raises before any state is
+  consulted or built;
+* MIN/MAX support loss, inexact sums — the single component degrades, the
+  others keep serving;
+* ranges smaller than :attr:`AggregateStore.min_state_area` never get a
+  state at all — a tiny materialisation costs what one delta costs, and a
+  hot small range read by thousands of formulas must not tax the
+  edit-acknowledgment path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FormulaEvaluationError
+from repro.formula.functions import RangeValue, _normalized_number
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+#: The aggregate functions the delta path can serve.
+DECOMPOSABLE_AGGREGATES = frozenset({"SUM", "COUNT", "COUNTA", "AVERAGE", "MIN", "MAX"})
+
+#: Largest integral magnitude a contribution may have and keep the exact
+#: integer sum guaranteed to match the full-read float sum (see module
+#: docstring for the 2**28 * 2**24 < 2**53 argument).
+EXACT_VALUE_LIMIT = 1 << 28
+
+#: Ranges smaller than this many cells are not worth a running state: a
+#: full read of a few dozen cells costs about as much as one delta, while
+#: every state makes every edit inside its range pay an eager delta — on a
+#: hot small range read by thousands of formulas that tax lands on the
+#: edit-acknowledgment path the async scheduler exists to protect.  Tests
+#: lower :attr:`AggregateStore.min_state_area` to exercise the machinery
+#: on small grids.
+DEFAULT_MIN_STATE_AREA = 256
+
+
+@dataclass
+class AggregateStats:
+    """Instrumentation counters (exposed for tests and benchmarks)."""
+
+    hits: int = 0              # aggregate calls served entirely from state
+    builds: int = 0            # states (re)built from a full range read
+    deltas: int = 0            # point deltas applied to a state
+    invalidations: int = 0     # states dropped (unknown old value, re-registration)
+    support_losses: int = 0    # MIN/MAX extremum removals degrading a component
+    fallbacks: int = 0         # calls that materialized despite a fresh state
+    full_invalidations: int = 0  # store-wide clears (structural edits, aborts, ...)
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.builds = 0
+        self.deltas = 0
+        self.invalidations = 0
+        self.support_losses = 0
+        self.fallbacks = 0
+        self.full_invalidations = 0
+
+
+class RangeAggregateState:
+    """Running decomposable components over one registered range."""
+
+    __slots__ = (
+        "total", "count", "filled", "inexact", "poisoned",
+        "min_value", "min_count", "min_valid",
+        "max_value", "max_count", "max_valid",
+    )
+
+    def __init__(self) -> None:
+        self.total = 0          # exact integer sum of the exact contributions
+        self.count = 0          # numeric (non-bool) values
+        self.filled = 0         # non-blank values
+        #: Number of contributions currently in the range that cannot be
+        #: summed exactly (non-integral floats, huge magnitudes, NaN).
+        #: Tracked by multiplicity — like the min/max support — so SUM and
+        #: AVERAGE recover as soon as the last inexact value is edited out.
+        self.inexact = 0
+        #: Number of unordered contributions (NaN, or integers beyond
+        #: float range) currently in the range.  While positive, the
+        #: min/max components are content-poisoned: a rebuild cannot
+        #: repair them, unlike an extremum support loss.
+        self.poisoned = 0
+        self.min_value = math.inf
+        self.min_count = 0      # multiplicity of the minimum (float equality)
+        self.min_valid = True
+        self.max_value = -math.inf
+        self.max_count = 0
+        self.max_valid = True
+
+    @property
+    def sum_exact(self) -> bool:
+        """Whether ``total`` faithfully mirrors the full-read float sum."""
+        return self.inexact == 0
+
+    @classmethod
+    def from_range_value(cls, values: RangeValue) -> "RangeAggregateState":
+        state = cls()
+        for value in values.flatten():
+            state.add(value)
+        return state
+
+    # ------------------------------------------------------------------ #
+    def rebuild_restores(self, name: str) -> bool:
+        """Whether a full-read rebuild could repair support for ``name``
+        with the range content unchanged.
+
+        An extremum support loss is repairable (the re-read finds the new
+        extremum); content-driven degradation — NaN still in the range
+        for MIN/MAX, any inexact contribution for SUM/AVERAGE — is not,
+        and rebuilding for it would add a futile O(area) state pass to
+        every evaluation's unavoidable full read.
+        """
+        if name in ("MIN", "MAX"):
+            return self.poisoned == 0
+        return False
+
+    def supports(self, name: str) -> bool:
+        """Whether this state can serve ``name`` exactly right now."""
+        if name in ("SUM", "AVERAGE"):
+            return self.sum_exact
+        if name == "MIN":
+            return self.min_valid
+        if name == "MAX":
+            return self.max_valid
+        return True  # COUNT / COUNTA are always exact
+
+    @staticmethod
+    def _as_float(value) -> float:
+        """``float(value)`` with overflow mapped to the NaN poison path.
+
+        An integer beyond float range would raise ``OverflowError`` halfway
+        through a delta, leaving the counters inconsistent; treating it as
+        NaN keeps the state consistent and routes every order/sum component
+        to the full-read fallback (which raises exactly like a from-scratch
+        evaluation would).
+        """
+        try:
+            return float(value)
+        except OverflowError:
+            return math.nan
+
+    def add(self, value: object) -> None:
+        """Fold one cell value's contribution in."""
+        if value is None:
+            return
+        self.filled += 1
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return  # text and booleans carry no numeric contribution in ranges
+        self.count += 1
+        number = self._as_float(value)
+        if number != number:  # NaN poisons ordering and summation alike
+            self.inexact += 1
+            self.poisoned += 1
+            self.min_valid = False
+            self.max_valid = False
+            return
+        if number.is_integer() and abs(number) <= EXACT_VALUE_LIMIT:
+            self.total += int(number)
+        else:
+            self.inexact += 1
+        if self.min_valid:
+            if self.count == 1 or number < self.min_value:
+                self.min_value = number
+                self.min_count = 1
+            elif number == self.min_value:
+                self.min_count += 1
+        if self.max_valid:
+            if self.count == 1 or number > self.max_value:
+                self.max_value = number
+                self.max_count = 1
+            elif number == self.max_value:
+                self.max_count += 1
+
+    def remove(self, value: object) -> None:
+        """Retract one cell value's contribution."""
+        if value is None:
+            return
+        self.filled -= 1
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return
+        self.count -= 1
+        number = self._as_float(value)
+        if number != number:
+            # Its inexactness and poison leave with it; the min/max flags
+            # stay down until a rebuild (or the reset below when the
+            # numeric support empties).
+            self.inexact -= 1
+            self.poisoned -= 1
+            if self.count == 0:
+                self.min_value = math.inf
+                self.min_count = 0
+                self.min_valid = True
+                self.max_value = -math.inf
+                self.max_count = 0
+                self.max_valid = True
+            return
+        if number.is_integer() and abs(number) <= EXACT_VALUE_LIMIT:
+            self.total -= int(number)
+        else:
+            self.inexact -= 1
+        if self.count == 0:
+            # Empty support is fully known again: MIN/MAX of no numbers is 0.
+            self.min_value = math.inf
+            self.min_count = 0
+            self.min_valid = True
+            self.max_value = -math.inf
+            self.max_count = 0
+            self.max_valid = True
+            return
+        if self.min_valid and number == self.min_value:
+            self.min_count -= 1
+            if self.min_count == 0:
+                self.min_valid = False  # the runner-up is unknown
+        if self.max_valid and number == self.max_value:
+            self.max_count -= 1
+            if self.max_count == 0:
+                self.max_valid = False
+
+
+def combine_aggregate(name: str, states: list[RangeAggregateState]) -> object:
+    """The aggregate value over one or more (supported) states.
+
+    Reproduces the full-read semantics exactly, including the ``#DIV/0!``
+    of ``AVERAGE`` over no numbers and the Excel-style 0 for ``MIN`` /
+    ``MAX`` of no numbers.
+    """
+    if name == "SUM":
+        return sum(state.total for state in states)
+    if name == "COUNT":
+        return sum(state.count for state in states)
+    if name == "COUNTA":
+        return sum(state.filled for state in states)
+    if name == "AVERAGE":
+        count = sum(state.count for state in states)
+        if not count:
+            raise FormulaEvaluationError("#DIV/0!", "AVERAGE of no numbers")
+        return _normalized_number(sum(state.total for state in states) / count)
+    if name == "MIN":
+        lows = [state.min_value for state in states if state.count]
+        return _normalized_number(min(lows)) if lows else 0
+    if name == "MAX":
+        highs = [state.max_value for state in states if state.count]
+        return _normalized_number(max(highs)) if highs else 0
+    raise FormulaEvaluationError("#VALUE!", f"{name} is not decomposable")
+
+
+#: A (formula cell, range, state) triple the engine threads from
+#: ``targets_for`` (pre-edit) to ``apply_delta`` (post-edit).
+DeltaTarget = tuple[CellAddress, RangeRef, RangeAggregateState]
+
+
+class AggregateStore:
+    """Every running aggregate state, keyed by formula cell and range.
+
+    The store is deliberately passive: the engine tells it about every
+    committed cell-value change (``apply_edit`` or the two-phase
+    ``targets_for``/``apply_delta``), about formulas whose registration
+    changed (``drop_formula``), and about events that invalidate content
+    wholesale (``invalidate_all``).  The evaluator asks it for states
+    (``state_for``) and registers freshly built ones (``build``).
+
+    Candidate lookup reuses the dependency graph's interval index: the
+    formulas whose states *can* contain a changed coordinate are exactly
+    the formulas registered as reading it, so one ``direct_dependents``
+    stab bounds the work at O(log n + affected states).
+    """
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+        self._states: dict[CellAddress, dict[RangeRef, RangeAggregateState]] = {}
+        self._enabled = True
+        #: Smallest range area the evaluator keeps running state for.
+        self.min_state_area = DEFAULT_MIN_STATE_AREA
+        self.stats = AggregateStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        """Whether the delta path is active (disable for benchmarking)."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if not value:
+            # States stop receiving deltas while disabled; they would be
+            # stale (and wrong) if served after re-enabling.
+            self._states.clear()
+        self._enabled = value
+
+    @property
+    def state_count(self) -> int:
+        """Number of running states currently held."""
+        return sum(len(per_formula) for per_formula in self._states.values())
+
+    # ------------------------------------------------------------------ #
+    # evaluator-side API
+    # ------------------------------------------------------------------ #
+    def state_for(self, address: CellAddress, region: RangeRef) -> RangeAggregateState | None:
+        """The running state of ``address``'s registration of ``region``."""
+        if not self._enabled:
+            return None
+        per_formula = self._states.get(address)
+        return per_formula.get(region) if per_formula else None
+
+    def build(self, address: CellAddress, region: RangeRef,
+              values: RangeValue) -> RangeAggregateState:
+        """(Re)build a state from one materialized range read.
+
+        A range containing the owning formula's *own* cell (a self-cycle
+        the topological order tolerates rather than raising on) is never
+        cached: the formula's own commit could not be folded back into its
+        state coherently, so a cached state would drift from the full-read
+        baseline.  The state is still returned for this one evaluation —
+        the caller already paid for the read — but every future evaluation
+        re-reads, exactly like the baseline engine.
+        """
+        state = RangeAggregateState.from_range_value(values)
+        if self._enabled and not region.contains_coordinates(address.row, address.column):
+            self._states.setdefault(address, {})[region] = state
+            self.stats.builds += 1
+        return state
+
+    # ------------------------------------------------------------------ #
+    # engine-side API
+    # ------------------------------------------------------------------ #
+    def targets_for(self, address: CellAddress) -> list[DeltaTarget]:
+        """The states whose range contains ``address`` (pre-edit phase).
+
+        One interval-index stab plus a containment filter.  The changed
+        cell's own states are excluded defensively — a state over a range
+        containing its own formula cell is never cached (see
+        :meth:`build`), so none should exist to begin with.
+        """
+        if not self._enabled or not self._states:
+            return []
+        targets: list[DeltaTarget] = []
+        for formula in self._graph.direct_dependents(address):
+            if formula == address:
+                continue
+            per_formula = self._states.get(formula)
+            if not per_formula:
+                continue
+            for region, state in per_formula.items():
+                if region.contains_coordinates(address.row, address.column):
+                    targets.append((formula, region, state))
+        return targets
+
+    def apply_delta(self, targets: list[DeltaTarget], old: object, new: object) -> None:
+        """Fold an old→new value change into the captured targets."""
+        if old is new or (type(old) is type(new) and old == new):
+            return
+        for _formula, _region, state in targets:
+            losses = state.min_valid + state.max_valid
+            state.remove(old)
+            state.add(new)
+            self.stats.deltas += 1
+            if state.min_valid + state.max_valid < losses:
+                self.stats.support_losses += 1
+
+    def invalidate_targets(self, targets: list[DeltaTarget]) -> None:
+        """Drop the captured states (the old value could not be known)."""
+        for formula, region, _state in targets:
+            per_formula = self._states.get(formula)
+            if per_formula is not None and per_formula.pop(region, None) is not None:
+                self.stats.invalidations += 1
+                if not per_formula:
+                    del self._states[formula]
+
+    def apply_edit(self, address: CellAddress, old: object, new: object) -> None:
+        """One-shot delta for a change whose old value is already known."""
+        targets = self.targets_for(address)
+        if targets:
+            self.apply_delta(targets, old, new)
+
+    def drop_formula(self, address: CellAddress) -> None:
+        """Forget a formula's states (its registration is being replaced).
+
+        Must run on every (un)registration: states stay fresh only while
+        the graph routes deltas to them, which requires the formula's range
+        registrations and its states to agree.
+        """
+        dropped = self._states.pop(address, None)
+        if dropped:
+            self.stats.invalidations += len(dropped)
+
+    def invalidate_all(self) -> None:
+        """Clear the whole store (structural edit, abort, relayout, ...)."""
+        if self._states:
+            self._states.clear()
+            self.stats.full_invalidations += 1

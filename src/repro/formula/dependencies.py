@@ -18,11 +18,21 @@ once per BFS node on every edit.  Range precedents are therefore held in a
 * Wider ranges (whole-row style references) share a single *wide* bucket and
   are filtered by column span after row stabbing.
 
-Each bucket keeps a static centered interval tree over the row spans of its
-ranges, rebuilt lazily after a register/unregister invalidates it, so
-``direct_dependents`` costs O(log n + matches) rather than a scan of every
-registered formula.  :attr:`DependencyGraph.stats` counts interval entries
-probed, which tests use to assert sub-linear behaviour; setting
+Each bucket keeps a centered interval tree over the row spans of its
+ranges.  Maintenance is *incremental*: registering or unregistering a
+single formula inserts into / removes from the already-built tree in
+O(log n) (``stats.incremental_inserts`` / ``stats.incremental_removes``;
+each mutation absorbed by a built tree counts one ``rebuilds_avoided``)
+instead of invalidating the bucket, so a steady stream of formula edits
+performs **zero** lazy rebuilds.  A full rebuild survives only as a
+thresholded fallback: heavy churn on one bucket (more mutations than
+:data:`REBUILD_CHURN_FACTOR` times its size), or an insert whose descent
+runs ~3x deeper than a balanced tree (a monotone span sequence growing a
+spine), re-marks it stale so the next stab rebuilds a balanced tree,
+bounding the degradation incremental insertion can cause.  ``direct_dependents`` costs O(log n + matches)
+rather than a scan of every registered formula.
+:attr:`DependencyGraph.stats` counts interval entries probed, which tests
+use to assert sub-linear behaviour; setting
 :attr:`DependencyGraph.use_range_index` to ``False`` restores the legacy
 full-scan lookup for benchmarking.
 
@@ -41,10 +51,13 @@ coordinate (row, column)?* — and maintains these invariants:
 * Every registered range appears in one bucket per spanned column (or the
   single wide bucket when it spans more than :data:`WIDE_COLUMN_SPAN`
   columns), keyed by the formula cell that owns it.
-* A bucket's interval tree is immutable once built; any mutation of the
-  bucket's entries (register, unregister, structural re-key) marks the
-  bucket *stale* and the tree is rebuilt lazily on the next stab.  Buckets
-  never share trees.
+* A bucket's interval tree tracks its entries *incrementally*: a register
+  inserts into the built tree, an unregister removes from it, both in
+  O(log n), and the tree answers stabs correctly throughout.  A bucket is
+  marked *stale* (rebuilt lazily on the next stab) only when no tree is
+  built yet, when churn exceeds the rebuild threshold, or when a
+  structural re-key could not splice the old tree across.  Buckets never
+  share trees.
 * Lookup results are exact, not conservative: ``direct_dependents`` agrees
   with the legacy linear scan (``use_range_index = False``) on every input.
 
@@ -59,9 +72,13 @@ the same mapping functions the AST rewriter uses (fully deleted precedents
 are removed — mirroring the reference collapsing to ``#REF!``), and the
 column-stripe buckets are rebuilt around the new spans.  Invalidation is
 *incremental*: a stripe whose entries are unchanged by the edit keeps its
-already-built interval tree (counted by ``stats.stripes_reused``) instead
-of being rebuilt, so an edit near the bottom of the sheet does not discard
-index work for untouched columns.  The returned
+already-built interval tree (counted by ``stats.stripes_reused``), and a
+stripe the edit merely *translated* — a column edit moving whole stripes
+sideways, or a row edit shifting every span in a stripe by one uniform
+delta — gets its built tree spliced across in O(n) with no re-sorting
+(``stats.stripes_shifted``) instead of being rebuilt, so an edit near the
+bottom of the sheet does not discard index work for untouched columns.
+The returned
 :class:`StructuralRewrite` reports which formulas' precedents changed, so
 the engine can rewrite exactly those cells' formula text and seed one
 topological recompute.
@@ -69,6 +86,7 @@ topological recompute.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -87,16 +105,30 @@ WIDE_COLUMN_SPAN = 64
 #: Bucket key for ranges too wide for per-column stripes.
 _WIDE_BUCKET = None
 
+#: A bucket whose built tree has absorbed more than this many incremental
+#: mutations per current entry falls back to one full rebuild on its next
+#: stab.  Incremental inserts extend the tree without rebalancing (and
+#: removals leave empty tombstone nodes), so unbounded churn would slowly
+#: degrade stab cost; the threshold keeps the tree within a constant factor
+#: of balanced while still making steady-state maintenance rebuild-free.
+REBUILD_CHURN_FACTOR = 2
+
+#: Churn floor so tiny buckets are not rebuilt after a handful of edits.
+REBUILD_CHURN_MIN = 64
+
 
 @dataclass
 class DependencyGraphStats:
     """Instrumentation counters for the range index (exposed for tests)."""
 
-    lookups: int = 0          # direct_dependents calls
-    range_probes: int = 0     # interval entries examined while stabbing
-    index_rebuilds: int = 0   # lazy interval-tree rebuilds
-    stripes_reused: int = 0   # built trees carried across a structural edit
-    stripes_shifted: int = 0  # built trees translated to a shifted stripe
+    lookups: int = 0             # direct_dependents calls
+    range_probes: int = 0        # interval entries examined while stabbing
+    index_rebuilds: int = 0      # lazy interval-tree rebuilds
+    stripes_reused: int = 0      # built trees carried across a structural edit
+    stripes_shifted: int = 0     # built trees spliced to a translated stripe
+    incremental_inserts: int = 0  # spans inserted into a built tree (O(log n))
+    incremental_removes: int = 0  # spans removed from a built tree (O(log n))
+    rebuilds_avoided: int = 0    # bucket mutations absorbed without invalidating
 
     def reset(self) -> None:
         self.lookups = 0
@@ -104,15 +136,26 @@ class DependencyGraphStats:
         self.index_rebuilds = 0
         self.stripes_reused = 0
         self.stripes_shifted = 0
+        self.incremental_inserts = 0
+        self.incremental_removes = 0
+        self.rebuilds_avoided = 0
 
 
 class _IntervalTree:
-    """Static centered interval tree over inclusive [top, bottom] row spans.
+    """Centered interval tree over inclusive [top, bottom] row spans.
 
     Every interval stored at a node contains the node's center row, kept in
     two orders: ascending by top (for stabs left of center) and descending
     by bottom (for stabs right of center).  A stab visits O(log n) nodes and
     examines only entries that match plus one terminator per node.
+
+    The bulk constructor builds a balanced tree; :meth:`insert` and
+    :meth:`remove` then maintain it incrementally.  Node centers are
+    immutable, so the descent an interval takes is deterministic — a
+    removal always finds its entry at the node the insert (or the builder)
+    placed it.  Removal may leave a node's entry lists empty; such
+    tombstone nodes answer stabs correctly (nothing matches) and are
+    compacted away by the bucket's thresholded full rebuild.
     """
 
     __slots__ = ("center", "left", "right", "by_top", "by_bottom")
@@ -160,22 +203,82 @@ class _IntervalTree:
                 out.extend(payload for _top, _bottom, payload in node.by_top)
                 return
 
-    def remap(self, mapper) -> "_IntervalTree":
-        """A structurally identical tree with every payload passed through
-        ``mapper``.
+    def insert(self, top: int, bottom: int, payload: object) -> int:
+        """Insert one interval without rebuilding; returns the descent depth.
 
-        Valid only when the row spans themselves are unchanged (a column
-        edit never touches them), so the centers and the by-top/by-bottom
-        orders carry over verbatim and the copy costs O(n) with no sorting.
+        Descends by the centered-tree rule (entirely-below goes left,
+        entirely-above goes right, containing-the-center stays here) and
+        splices the entry into the node's two sorted orders; a descent off
+        the edge of the tree grows a new leaf.  Node centers are fixed at
+        creation, so adversarial (e.g. monotone) span sequences can grow a
+        spine instead of a balanced tree — the returned depth lets the
+        bucket detect that and schedule a compacting rebuild.
+        """
+        depth = 1
+        node = self
+        while True:
+            if bottom < node.center:
+                if node.left is None:
+                    node.left = _IntervalTree(((top, bottom, payload),))
+                    return depth + 1
+                node = node.left
+            elif top > node.center:
+                if node.right is None:
+                    node.right = _IntervalTree(((top, bottom, payload),))
+                    return depth + 1
+                node = node.right
+            else:
+                entry = (top, bottom, payload)
+                insort(node.by_top, entry, key=lambda item: item[0])
+                insort(node.by_bottom, entry, key=lambda item: -item[1])
+                return depth
+            depth += 1
+
+    def remove(self, top: int, bottom: int, payload: object) -> bool:
+        """Remove one matching interval in O(log n + entries at its node).
+
+        The descent is deterministic (centers never change), so the entry
+        is found at exactly the node that holds it.  Returns ``False`` when
+        no such entry exists — the caller falls back to a full rebuild.
+        """
+        entry = (top, bottom, payload)
+        node: _IntervalTree | None = self
+        while node is not None:
+            if bottom < node.center:
+                node = node.left
+            elif top > node.center:
+                node = node.right
+            else:
+                try:
+                    node.by_top.remove(entry)
+                    node.by_bottom.remove(entry)
+                except ValueError:
+                    return False
+                return True
+        return False
+
+    def translate(self, row_delta: int, mapper) -> "_IntervalTree":
+        """A structurally identical tree, row spans shifted by ``row_delta``
+        and every payload passed through ``mapper``.
+
+        Valid only when the edit moved *every* span in the bucket by the
+        same row delta (a column edit never touches row spans at all, so it
+        translates with delta 0): the centers shift with the spans and the
+        by-top/by-bottom orders carry over verbatim, so the copy costs O(n)
+        with no sorting.
         """
         clone = _IntervalTree.__new__(_IntervalTree)
-        clone.center = self.center
-        clone.by_top = [(top, bottom, mapper(payload)) for top, bottom, payload in self.by_top]
-        clone.by_bottom = [
-            (top, bottom, mapper(payload)) for top, bottom, payload in self.by_bottom
+        clone.center = self.center + row_delta
+        clone.by_top = [
+            (top + row_delta, bottom + row_delta, mapper(payload))
+            for top, bottom, payload in self.by_top
         ]
-        clone.left = self.left.remap(mapper) if self.left is not None else None
-        clone.right = self.right.remap(mapper) if self.right is not None else None
+        clone.by_bottom = [
+            (top + row_delta, bottom + row_delta, mapper(payload))
+            for top, bottom, payload in self.by_bottom
+        ]
+        clone.left = self.left.translate(row_delta, mapper) if self.left is not None else None
+        clone.right = self.right.translate(row_delta, mapper) if self.right is not None else None
         return clone
 
 
@@ -183,29 +286,87 @@ class _StripeBucket:
     """The ranges assigned to one column stripe (or the wide bucket).
 
     Entries are kept per formula cell so unregister is O(ranges of that
-    formula); the interval tree is rebuilt lazily on the next stab after any
-    mutation.
+    formula).  A built interval tree is maintained *incrementally*: adds
+    insert into it and removes delete from it in O(log n), so single
+    (un)registrations never invalidate the bucket.  The tree is rebuilt
+    lazily only when none is built yet, when accumulated churn exceeds
+    ``REBUILD_CHURN_FACTOR`` times the bucket's current size, or when an
+    insert descends past ``_depth_limit`` (incremental maintenance does
+    not rebalance, so heavy churn — or an adversarial monotone span
+    sequence growing a spine — eventually warrants one compacting
+    rebuild).
     """
 
-    __slots__ = ("entries", "tree", "stale")
+    __slots__ = ("entries", "tree", "stale", "size", "churn")
 
     def __init__(self) -> None:
         # formula cell -> list of (top, bottom, left, right) spans
         self.entries: dict[CellAddress, list[tuple[int, int, int, int]]] = {}
         self.tree: _IntervalTree | None = None
         self.stale = False
+        #: Total spans across all entries (the tree's live entry count).
+        self.size = 0
+        #: Incremental mutations absorbed since the tree was last (re)built.
+        self.churn = 0
 
-    def add(self, address: CellAddress, region: RangeRef) -> None:
+    def add(self, address: CellAddress, region: RangeRef,
+            stats: DependencyGraphStats) -> None:
         self.entries.setdefault(address, []).append(
             (region.top, region.bottom, region.left, region.right)
         )
-        self.stale = True
-
-    def remove(self, address: CellAddress) -> bool:
-        """Drop every span of ``address``; returns True when the bucket empties."""
-        if self.entries.pop(address, None) is not None:
+        self.size += 1
+        if self.tree is not None and not self.stale:
+            depth = self.tree.insert(region.top, region.bottom,
+                                     (region.left, region.right, address))
+            stats.incremental_inserts += 1
+            self._absorb_churn(1)
+            if depth > self._depth_limit():
+                # Monotone span sequences grow a spine the churn counter
+                # never notices (churn and size grow in lockstep); the
+                # depth of the insert descent catches it directly.  A
+                # deep tree also keeps stabs O(depth) and would overflow
+                # the recursive structural-edit splice.
+                self.stale = True
+            if not self.stale:
+                stats.rebuilds_avoided += 1
+        else:
             self.stale = True
+
+    def remove(self, address: CellAddress, stats: DependencyGraphStats) -> bool:
+        """Drop every span of ``address``; returns True when the bucket empties."""
+        spans = self.entries.pop(address, None)
+        if spans is not None:
+            self.size -= len(spans)
+            if self.tree is not None and not self.stale:
+                for top, bottom, left, right in spans:
+                    if not self.tree.remove(top, bottom, (left, right, address)):
+                        # The tree and the entry map disagree; rebuild.
+                        self.stale = True
+                        break
+                    stats.incremental_removes += 1
+                else:
+                    self._absorb_churn(len(spans))
+                    if not self.stale:
+                        stats.rebuilds_avoided += 1
+            else:
+                self.stale = True
         return not self.entries
+
+    def _absorb_churn(self, mutations: int) -> None:
+        """Count incremental mutations; fall back to a rebuild past the cap."""
+        self.churn += mutations
+        if self.churn > max(REBUILD_CHURN_MIN, REBUILD_CHURN_FACTOR * self.size):
+            self.stale = True
+
+    def _depth_limit(self) -> int:
+        """Deepest acceptable insert descent: ~3x the balanced depth.
+
+        A fresh build of ``size`` entries has depth about log2(size); past
+        three times that (plus slack for tiny buckets) the incremental
+        inserts have degenerated the shape and one compacting rebuild is
+        cheaper than serving O(depth) stabs.
+        """
+        return 3 * max(self.size.bit_length(), 2) + 4
 
     def stab(self, row: int, column: int, out: set[CellAddress],
              stats: DependencyGraphStats) -> None:
@@ -218,6 +379,8 @@ class _StripeBucket:
             ]
             self.tree = _IntervalTree(flat) if flat else None
             self.stale = False
+            self.size = len(flat)
+            self.churn = 0
             stats.index_rebuilds += 1
         if self.tree is None:
             return
@@ -281,7 +444,7 @@ class DependencyGraph:
                 bucket = self._range_buckets.get(key)
                 if bucket is None:
                     bucket = self._range_buckets[key] = _StripeBucket()
-                bucket.add(address, region)
+                bucket.add(address, region, self.stats)
 
     def snapshot_registration(
         self, address: CellAddress
@@ -325,7 +488,7 @@ class DependencyGraph:
                     continue
                 seen_keys.add(key)
                 bucket = self._range_buckets.get(key)
-                if bucket is not None and bucket.remove(address):
+                if bucket is not None and bucket.remove(address, self.stats):
                     del self._range_buckets[key]
 
     @staticmethod
@@ -385,7 +548,7 @@ class DependencyGraph:
                     bucket = new_buckets.get(key)
                     if bucket is None:
                         bucket = new_buckets[key] = _StripeBucket()
-                    bucket.add(address, region)
+                    bucket.add(address, region, self.stats)
         for key, bucket in new_buckets.items():
             old = self._range_buckets.get(key)
             if old is not None and not old.stale and old.tree is not None \
@@ -393,62 +556,99 @@ class DependencyGraph:
                 new_buckets[key] = old
                 self.stats.stripes_reused += 1
                 continue
-            self._try_shifted_reuse(edit, key, bucket)
+            self._try_splice_reuse(edit, key, bucket)
         self._range_buckets = new_buckets
         return StructuralRewrite(changed=changed)
 
-    def _try_shifted_reuse(self, edit: StructuralEdit, key: int | None,
-                           bucket: _StripeBucket) -> None:
-        """Carry a built interval tree onto a column stripe the edit shifted.
+    def _try_splice_reuse(self, edit: StructuralEdit, key: int | None,
+                          bucket: _StripeBucket) -> None:
+        """Splice a built interval tree across a structural edit.
 
-        A column insert/delete never changes row spans, so the interval tree
-        of a stripe strictly right of the edit is structurally valid at its
-        shifted key — only the payloads (column spans and formula-cell
-        addresses) need translating, an O(n) walk with no re-sorting.  The
-        reuse is exact, not heuristic: it applies only when the old bucket's
-        entries, mapped through the edit, are identical to the freshly
-        rebuilt bucket's entries (an entry lost to the edit, or a span that
-        did not survive intact, disqualifies the stripe).
+        Two translations are exact and cost O(n) with no re-sorting:
+
+        * A **column** insert/delete never changes row spans, so the tree of
+          a stripe strictly right of the edit is structurally valid at its
+          shifted key — only the payloads (column spans and formula-cell
+          addresses) need translating.
+        * A **row** insert/delete that moved *every* span in a stripe by the
+          same delta (the whole stripe sits below the edited lines — or
+          above them, when only the formula cells moved) preserves the
+          tree's shape exactly: centers and spans translate by the delta and
+          payload addresses re-map.  A span that straddles the edit
+          (expanding or contracting) breaks the uniformity and disqualifies
+          the stripe.
+
+        The reuse is exact, not heuristic: it applies only when the old
+        bucket's entries, mapped through the edit, are identical to the
+        freshly rebuilt bucket's entries (an entry lost to the edit, or a
+        span that did not survive intact, disqualifies the stripe).
         """
-        if edit.axis != "column" or key is _WIDE_BUCKET:
-            return
-        if edit.kind == "insert":
-            # New stripes at or left of the insert kept their key (handled by
-            # the identity check); inserted columns have no old counterpart.
-            if key <= edit.line + edit.count:
+        if edit.axis == "column":
+            if key is _WIDE_BUCKET:
                 return
-            old_key = key - edit.count
+            if edit.kind == "insert":
+                # New stripes at or left of the insert kept their key
+                # (handled by the identity check); inserted columns have no
+                # old counterpart.
+                if key <= edit.line + edit.count:
+                    return
+                old_key = key - edit.count
+            else:
+                if key < edit.line:
+                    return
+                old_key = key + edit.count
         else:
-            if key < edit.line:
-                return
-            old_key = key + edit.count
+            # Row edits never move ranges across column stripes.
+            old_key = key
         old = self._range_buckets.get(old_key)
         if old is None or old.stale or old.tree is None:
             return
+        delta = 0
         remapped: dict[CellAddress, list[tuple[int, int, int, int]]] = {}
+        first_span = True
         for address, spans in old.entries.items():
             moved = edit.map_address(address)
             if moved is None:
                 return  # a formula died in the edit; payloads would be stale
             moved_spans: list[tuple[int, int, int, int]] = []
             for top, bottom, left, right in spans:
-                span = edit.map_span(left, right)
-                if span is None:
-                    return
-                moved_spans.append((top, bottom, span[0], span[1]))
+                if edit.axis == "column":
+                    span = edit.map_span(left, right)
+                    if span is None:
+                        return
+                    moved_spans.append((top, bottom, span[0], span[1]))
+                else:
+                    span = edit.map_span(top, bottom)
+                    if span is None or span[1] - span[0] != bottom - top:
+                        return  # deleted or straddling: not a pure translate
+                    if first_span:
+                        delta = span[0] - top
+                        first_span = False
+                    elif span[0] - top != delta:
+                        return  # mixed deltas: the tree cannot translate
+                    moved_spans.append((span[0], span[1], left, right))
             remapped[moved] = moved_spans
         if remapped != bucket.entries:
             return
 
-        def map_payload(payload: tuple[int, int, CellAddress]):
-            left, right, address = payload
-            span = edit.map_span(left, right)
-            moved = edit.map_address(address)
-            assert span is not None and moved is not None  # verified above
-            return (span[0], span[1], moved)
+        if edit.axis == "column":
+            def map_payload(payload: tuple[int, int, CellAddress]):
+                left, right, address = payload
+                span = edit.map_span(left, right)
+                moved = edit.map_address(address)
+                assert span is not None and moved is not None  # verified above
+                return (span[0], span[1], moved)
+        else:
+            def map_payload(payload: tuple[int, int, CellAddress]):
+                left, right, address = payload
+                moved = edit.map_address(address)
+                assert moved is not None  # verified above
+                return (left, right, moved)
 
-        bucket.tree = old.tree.remap(map_payload)
+        bucket.tree = old.tree.translate(delta, map_payload)
         bucket.stale = False
+        bucket.size = old.size
+        bucket.churn = old.churn  # tombstones carry over with the tree
         self.stats.stripes_shifted += 1
 
     def formula_cells(self) -> list[CellAddress]:

@@ -13,6 +13,10 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.errors import FormulaEvaluationError, FormulaSyntaxError
+from repro.formula.aggregates import (
+    DECOMPOSABLE_AGGREGATES,
+    combine_aggregate,
+)
 from repro.formula.ast_nodes import (
     BinaryOpNode,
     BoolNode,
@@ -78,15 +82,30 @@ class Evaluator:
     Parsed ASTs are cached with LRU eviction bounded by
     ``parse_cache_capacity`` so millions of distinct formulas cannot grow
     the cache without limit.
+
+    ``aggregate_store`` is optional: when given (the DataSpread engine
+    passes its :class:`~repro.formula.aggregates.AggregateStore`) and
+    :attr:`aggregate_cell` names the formula cell being evaluated,
+    decomposable aggregate calls whose arguments are all range references
+    are served from the store's running state in O(1) instead of
+    materialising the range, (re)building state from one bulk read when
+    missing — the delta-maintained fast path for ``SUM(A1:A100000)``-style
+    formulas.
     """
 
     def __init__(self, cell_provider: CellProvider,
                  range_provider: RangeProvider | None = None,
-                 *, parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY) -> None:
+                 *, parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
+                 aggregate_store=None) -> None:
         if parse_cache_capacity < 1:
             raise ValueError("parse cache capacity must be >= 1")
         self._provider = cell_provider
         self._range_provider = range_provider
+        self._aggregate_store = aggregate_store
+        #: The formula cell currently being evaluated on behalf of the
+        #: engine; keys the aggregate store's running state.  ``None``
+        #: disables the decomposable fast path entirely.
+        self.aggregate_cell: CellAddress | None = None
         self._parse_cache: OrderedDict[str, FormulaNode] = OrderedDict()
         self._parse_cache_capacity = parse_cache_capacity
         self._parse_hits = 0
@@ -276,6 +295,19 @@ class Evaluator:
         implementation = FUNCTION_REGISTRY.get(node.name)
         if implementation is None:
             raise FormulaEvaluationError("#NAME?", f"unknown function {node.name}")
+        if (
+            self._aggregate_store is not None
+            and self.aggregate_cell is not None
+            and node.name in DECOMPOSABLE_AGGREGATES
+            and self._aggregate_store.enabled
+            and node.arguments
+            and all(
+                isinstance(argument, RangeRefNode)
+                and argument.range.area >= self._aggregate_store.min_state_area
+                for argument in node.arguments
+            )
+        ):
+            return self._evaluate_decomposable(node, implementation)
         arguments = []
         for argument_node in node.arguments:
             if node.name == "IFERROR" and argument_node is node.arguments[0]:
@@ -287,6 +319,50 @@ class Evaluator:
             else:
                 arguments.append(self._evaluate(argument_node))
         return implementation(*arguments)
+
+    def _evaluate_decomposable(self, node: FunctionCallNode, implementation) -> CellValue:
+        """Serve a decomposable aggregate from running state (the O(Δ) path).
+
+        Each range argument resolves to its running state; a missing (or
+        component-degraded) state is rebuilt from one bulk range read.  If
+        even a fresh rebuild cannot serve the function exactly (inexact
+        float sums), the call falls back to the classic evaluation over the
+        materialised ranges — correctness always wins over incrementality.
+        """
+        store = self._aggregate_store
+        address = self.aggregate_cell
+        states = []
+        materialized: list[RangeValue | None] = []
+        from_state = True
+        for argument in node.arguments:
+            region = argument.range
+            state = store.state_for(address, region)
+            values = None
+            if state is None or (
+                not state.supports(node.name) and state.rebuild_restores(node.name)
+            ):
+                # Missing state, or a degradation a full read can repair
+                # (a MIN/MAX extremum support loss).  Content-driven
+                # degradation — inexact sums, NaN-poisoned ordering —
+                # cannot be rebuilt away while the content stands, so
+                # those cases skip the rebuild and fall straight through
+                # to the classic evaluation below.
+                values = self._materialize_range(region)
+                state = store.build(address, region, values)
+                from_state = False
+            states.append(state)
+            materialized.append(values)
+        if all(state.supports(node.name) for state in states):
+            if from_state:
+                store.stats.hits += 1
+            return combine_aggregate(node.name, states)
+        # Correctness always wins over incrementality: evaluate classically,
+        # reusing any range already materialised for a state rebuild.
+        store.stats.fallbacks += 1
+        return implementation(*(
+            values if values is not None else self._materialize_range(argument.range)
+            for argument, values in zip(node.arguments, materialized)
+        ))
 
     @staticmethod
     def _scalar(value: CellValue | RangeValue) -> CellValue:

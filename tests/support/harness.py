@@ -59,6 +59,13 @@ def random_formula(rng: random.Random, column: int) -> str:
     Strict left-reference keeps every randomized graph acyclic by column
     order, no matter how rows and columns are later shifted (structural
     edits map coordinates monotonically, preserving the invariant).
+
+    Half the mix is *aggregate-heavy* (PR 5): wide, often multi-column
+    SUM/AVERAGE/MIN/MAX/COUNT/COUNTA ranges spanning the whole edit zone —
+    constants, clears, and other formulas' cells alike — so the engines'
+    delta-maintained aggregate state is fuzzed against the ``Sheet``
+    oracle across every sync/async/batch/abort/structural interleaving,
+    including the MIN/MAX support-loss and ``#DIV/0!`` fallbacks.
     """
     def cell_ref() -> str:
         target = rng.randint(1, column - 1)
@@ -69,14 +76,33 @@ def random_formula(rng: random.Random, column: int) -> str:
         top = rng.randint(1, DATA_ROWS - 4)
         return f"{target}{top}:{target}{top + rng.randint(1, 4)}"
 
-    choice = rng.randrange(4)
+    def wide_range_ref() -> str:
+        """A tall range overlapping the edit zones, possibly multi-column."""
+        left = rng.randint(1, column - 1)
+        right = rng.randint(left, column - 1)
+        top = rng.randint(1, 4)
+        bottom = rng.randint(DATA_ROWS - 4, DATA_ROWS + 6)
+        return (f"{column_index_to_letter(left)}{top}:"
+                f"{column_index_to_letter(right)}{bottom}")
+
+    choice = rng.randrange(8)
     if choice == 0:
         return f"{cell_ref()}+{cell_ref()}*2"
     if choice == 1:
         return f"SUM({range_ref()})"
     if choice == 2:
         return f"SUM({range_ref()})+{cell_ref()}"
-    return f"MAX({range_ref()},{cell_ref()})"
+    if choice == 3:
+        return f"MAX({range_ref()},{cell_ref()})"
+    if choice == 4:
+        return f"SUM({wide_range_ref()})"
+    if choice == 5:
+        # AVERAGE raises #DIV/0! over no numbers — the error path must
+        # agree across engines and oracle too.
+        return f"AVERAGE({wide_range_ref()})"
+    if choice == 6:
+        return f"MIN({wide_range_ref()})+MAX({wide_range_ref()})"
+    return f"COUNT({wide_range_ref()})+COUNTA({wide_range_ref()})"
 
 
 def random_edit(rng: random.Random) -> tuple:
@@ -195,6 +221,11 @@ def run_equivalence(seed: int, *, steps: int = 70) -> None:
     sync_spread = DataSpread()
     sheet = Sheet()
     spreads = (async_spread, sync_spread)
+    for spread in spreads:
+        # The data block is tiny; force the aggregate delta machinery on
+        # anyway so the fuzz exercises running state against the oracle
+        # (which rebuilds from scratch with default settings).
+        spread.aggregate_store.min_state_area = 1
     anchor_row, anchor_column = SEED_ANCHOR
     for target in (*spreads, sheet):
         target.set_value(anchor_row, anchor_column, seed)
@@ -245,6 +276,8 @@ def run_mid_batch_equivalence(seed: int, *, steps: int = 40) -> None:
     async_spread = DataSpread(async_recompute=True)
     sync_spread = DataSpread()
     spreads = (async_spread, sync_spread)
+    for spread in spreads:
+        spread.aggregate_store.min_state_area = 1
     anchor_row, anchor_column = SEED_ANCHOR
     for spread in spreads:
         spread.set_value(anchor_row, anchor_column, seed)

@@ -1,0 +1,458 @@
+"""Tests for delta-based aggregate recompute (PR 5).
+
+Covers the running-state components (exact integer sums, min/max with
+multiplicity and support loss, inexact-float degradation), the store's
+delta routing through the interval index, and the engine integration:
+sync edits, batches, aborts, async scheduling, structural edits, and the
+full-range-read fallback matrix — always asserting agreement with a
+from-scratch evaluation.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.dataspread import DataSpread
+from repro.formula.aggregates import (
+    AggregateStore,
+    RangeAggregateState,
+    combine_aggregate,
+)
+from repro.formula.functions import RangeValue, fn_average, fn_count, fn_max, fn_min, fn_sum
+from repro.errors import FormulaEvaluationError
+from repro.grid.address import CellAddress
+from repro.grid.range import RangeRef
+
+
+def addr(reference: str) -> CellAddress:
+    return CellAddress.from_a1(reference)
+
+
+def _range_value(values) -> RangeValue:
+    return RangeValue(values=(tuple(values),))
+
+
+class TestRangeAggregateState:
+    def test_components_match_full_functions_on_random_int_sequences(self):
+        rng = random.Random(5)
+        for trial in range(30):
+            pool = [rng.randint(-50, 50) for _ in range(rng.randint(1, 12))]
+            pool += [None, "text", True] * rng.randint(0, 2)
+            rng.shuffle(pool)
+            state = RangeAggregateState.from_range_value(_range_value(pool))
+            grid = _range_value(pool)
+            assert combine_aggregate("SUM", [state]) == fn_sum(grid), trial
+            assert combine_aggregate("COUNT", [state]) == fn_count(grid), trial
+            assert combine_aggregate("MIN", [state]) == fn_min(grid), trial
+            assert combine_aggregate("MAX", [state]) == fn_max(grid), trial
+
+    def test_delta_sequence_matches_rebuilt_state(self):
+        rng = random.Random(11)
+        values = [rng.randint(0, 9) for _ in range(10)]
+        state = RangeAggregateState.from_range_value(_range_value(values))
+        for _ in range(200):
+            index = rng.randrange(len(values))
+            new = rng.choice([rng.randint(0, 9), None, "x", True])
+            state.remove(values[index])
+            state.add(new)
+            values[index] = new
+        fresh = RangeAggregateState.from_range_value(_range_value(values))
+        assert state.total == fresh.total
+        assert state.count == fresh.count
+        assert state.filled == fresh.filled
+        if state.min_valid:
+            assert (state.min_value, state.min_count) == (fresh.min_value, fresh.min_count)
+        if state.max_valid:
+            assert (state.max_value, state.max_count) == (fresh.max_value, fresh.max_count)
+
+    def test_removing_last_copy_of_minimum_loses_support(self):
+        state = RangeAggregateState.from_range_value(_range_value([3, 1, 1, 7]))
+        state.remove(1)
+        assert state.min_valid  # a duplicate minimum survives
+        state.remove(1)
+        assert not state.min_valid  # the runner-up is unknown
+        assert state.max_valid
+        assert state.supports("SUM") and not state.supports("MIN")
+
+    def test_emptying_the_support_restores_min_max(self):
+        state = RangeAggregateState.from_range_value(_range_value([4]))
+        state.remove(4)
+        assert state.count == 0
+        assert state.min_valid and state.max_valid
+        assert combine_aggregate("MIN", [state]) == 0  # Excel's MIN of nothing
+
+    def test_non_integral_floats_degrade_only_the_sum(self):
+        state = RangeAggregateState.from_range_value(_range_value([1, 2.5, 3]))
+        assert not state.supports("SUM") and not state.supports("AVERAGE")
+        assert state.supports("COUNT") and state.supports("MIN")
+        assert combine_aggregate("MIN", [state]) == 1
+        assert combine_aggregate("COUNT", [state]) == 3
+
+    def test_huge_integers_degrade_the_sum(self):
+        state = RangeAggregateState.from_range_value(_range_value([1 << 40, 2]))
+        assert not state.supports("SUM")
+        assert combine_aggregate("MAX", [state]) == float(1 << 40)
+
+    def test_average_of_no_numbers_raises_div0(self):
+        state = RangeAggregateState.from_range_value(_range_value(["a", None]))
+        with pytest.raises(FormulaEvaluationError) as info:
+            combine_aggregate("AVERAGE", [state])
+        assert info.value.code == "#DIV/0!"
+        assert fn_average.__name__  # mirror of the full path's behaviour
+
+    def test_average_matches_full_path_bit_for_bit(self):
+        values = [1, 2, 4]
+        state = RangeAggregateState.from_range_value(_range_value(values))
+        assert combine_aggregate("AVERAGE", [state]) == fn_average(_range_value(values))
+
+
+def _full_read_sum(spread: DataSpread, reference: str) -> object:
+    """Ground truth: a fresh engine never served by any running state."""
+    grid = spread.get_range_values(reference)
+    return sum(
+        value for row in grid for value in row
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+
+
+class TestEngineAggregateDeltas:
+    def _build(self, rows=200, **kwargs):
+        spread = DataSpread(**kwargs)
+        # Test grids are small; exercise the delta machinery anyway.
+        spread.aggregate_store.min_state_area = 1
+        spread.import_rows([[row % 7] for row in range(1, rows + 1)])
+        return spread
+
+    def test_point_edit_inside_large_range_uses_one_delta(self):
+        spread = self._build()
+        assert spread.set_formula(1, 3, "SUM(A1:A200)") == _full_read_sum(spread, "A1:A200")
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1
+        spread.set_value(50, 1, 1_000)
+        assert stats.deltas == 1
+        assert stats.builds == 1  # no rebuild: the state absorbed the delta
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A200")
+
+    def test_all_decomposable_functions_stay_correct_under_edits(self):
+        spread = self._build(rows=60)
+        spread.set_formula(1, 3, "SUM(A1:A60)")
+        spread.set_formula(2, 3, "AVERAGE(A1:A60)")
+        spread.set_formula(3, 3, "COUNT(A1:A60)")
+        spread.set_formula(4, 3, "COUNTA(A1:A60)")
+        spread.set_formula(5, 3, "MIN(A1:A60)")
+        spread.set_formula(6, 3, "MAX(A1:A60)")
+        rng = random.Random(3)
+        for _ in range(40):
+            row = rng.randint(1, 60)
+            value = rng.choice([rng.randint(-9, 99), None, "text", True])
+            if value is None:
+                spread.clear_cell(row, 1)
+            else:
+                spread.set_value(row, 1, value)
+            oracle = DataSpread()
+            for check_row in range(1, 61):
+                stored = spread.get_value(check_row, 1)
+                if stored is not None:
+                    oracle.set_value(check_row, 1, stored)
+            for slot, formula in enumerate(
+                ("SUM(A1:A60)", "AVERAGE(A1:A60)", "COUNT(A1:A60)",
+                 "COUNTA(A1:A60)", "MIN(A1:A60)", "MAX(A1:A60)"), start=1
+            ):
+                oracle.use_aggregate_deltas = False
+                expected = oracle.set_formula(slot, 5, formula)
+                assert spread.get_value(slot, 3) == expected, (formula, row, value)
+
+    def test_min_support_loss_falls_back_to_full_read(self):
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row * 10) for row in range(1, 51))
+        assert spread.set_formula(1, 3, "MIN(A1:A50)") == 10
+        stats = spread.aggregate_store.stats
+        builds_before = stats.builds
+        spread.set_value(1, 1, 500)  # removes the unique minimum
+        assert stats.support_losses == 1
+        assert spread.get_value(1, 3) == 20  # rebuilt from a full read
+        assert stats.builds > builds_before
+
+    def test_formula_cells_inside_ranges_propagate_deltas(self):
+        """Aggregates over other formulas' outputs update through the
+        recompute chain (the _reevaluate delta path)."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row) for row in range(1, 21))
+        spread.set_formula(1, 2, "SUM(A1:A20)")        # B1 = 210
+        spread.set_formula(1, 3, "SUM(B1:B10)+COUNT(B1:B10)")
+        assert spread.get_value(1, 3) == 211
+        spread.set_value(5, 1, 105)                    # B1 -> 310
+        assert spread.get_value(1, 2) == 310
+        assert spread.get_value(1, 3) == 311
+
+    def test_batch_edits_delta_through_the_pending_overlay(self):
+        spread = self._build(rows=100)
+        spread.set_formula(1, 3, "SUM(A1:A100)")
+        expected_before = spread.get_value(1, 3)
+        with spread.batch():
+            spread.set_value(10, 1, 70)   # cached: delta applies via peek
+            spread.set_value(10, 1, 71)   # re-edit folds sequentially
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A100")
+        assert spread.get_value(1, 3) != expected_before
+
+    def test_batch_abort_invalidates_and_recovers(self):
+        spread = self._build(rows=50)
+        spread.set_formula(1, 3, "SUM(A1:A50)")
+        expected = spread.get_value(1, 3)
+        with pytest.raises(RuntimeError):
+            with spread.batch():
+                spread.set_value(5, 1, 999)
+                raise RuntimeError("boom")
+        assert spread.aggregate_store.state_count == 0
+        assert spread.get_value(1, 3) == expected  # the abort rolled back
+        spread.set_value(5, 1, 123)  # rebuild-from-full-read, then delta again
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A50")
+
+    def test_structural_edit_invalidates_then_rebuilds(self):
+        spread = self._build(rows=30)
+        spread.set_formula(1, 3, "SUM(A1:A30)")
+        before = spread.get_value(1, 3)
+        spread.insert_row_after(10, 2)
+        assert spread.aggregate_store.stats.full_invalidations >= 1
+        # The formula was rewritten to span the shifted rows; inserting
+        # blank rows must not change the sum.
+        assert spread.get_cell(1, 3).formula == "SUM(A1:A32)"
+        assert spread.get_value(1, 3) == before
+        spread.set_value(11, 1, 40)  # a new row inside the widened range
+        assert spread.get_value(1, 3) == before + 40
+
+    def test_async_scheduler_routes_through_the_same_delta_path(self):
+        spread = DataSpread(async_recompute=True)
+        spread.aggregate_store.min_state_area = 1
+        with spread.batch():
+            for row in range(1, 101):
+                spread.set_value(row, 1, row)
+            spread.set_formula(1, 3, "SUM(A1:A100)")
+        spread.flush_compute()
+        assert spread.get_value(1, 3) == 5050
+        spread.set_value(100, 1, 0)
+        spread.flush_compute()
+        assert spread.get_value(1, 3) == 4950
+        assert spread.aggregate_store.stats.deltas >= 1
+
+    def test_disabling_deltas_matches_enabled_results(self):
+        baseline = self._build(rows=80)
+        baseline.use_aggregate_deltas = False
+        incremental = self._build(rows=80)
+        for spread in (baseline, incremental):
+            spread.set_formula(1, 3, "SUM(A1:A80)")
+            spread.set_formula(2, 3, "AVERAGE(A1:A80)")
+            spread.set_value(40, 1, 555)
+            spread.clear_cell(41, 1)
+        for row in (1, 2):
+            assert baseline.get_value(row, 3) == incremental.get_value(row, 3)
+        assert baseline.aggregate_store.stats.deltas == 0
+        assert incremental.aggregate_store.stats.deltas > 0
+        assert baseline.aggregate_store.state_count == 0
+
+    def test_float_ranges_fall_back_without_losing_correctness(self):
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row + 0.5) for row in range(1, 11))
+        value = spread.set_formula(1, 3, "SUM(A1:A10)")
+        assert value == sum(row + 0.5 for row in range(1, 11))
+        assert spread.aggregate_store.stats.fallbacks >= 1
+        spread.set_value(5, 1, 2.25)
+        assert spread.get_value(1, 3) == sum(
+            (row + 0.5) if row != 5 else 2.25 for row in range(1, 11)
+        )
+        # COUNT over the same range still serves from state.
+        assert spread.set_formula(2, 3, "COUNT(A1:A10)") == 10
+
+    def test_mixed_scalar_arguments_use_the_classic_path(self):
+        spread = self._build(rows=20)
+        assert spread.set_formula(1, 3, "SUM(A1:A20,5)") == _full_read_sum(spread, "A1:A20") + 5
+        spread.set_value(3, 1, 50)
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A20") + 5
+
+    def test_overwriting_a_formula_drops_its_states(self):
+        spread = self._build(rows=30)
+        spread.set_formula(1, 3, "SUM(A1:A30)")
+        assert spread.aggregate_store.state_count == 1
+        spread.set_value(1, 3, 42)
+        assert spread.aggregate_store.state_count == 0
+        spread.set_value(2, 1, 9)  # no stale state may absorb this delta
+        spread.set_formula(1, 3, "SUM(A1:A30)")
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A30")
+
+
+class TestAggregateStoreUnit:
+    def test_targets_exclude_the_edited_formula_itself(self):
+        from repro.formula.dependencies import DependencyGraph
+
+        graph = DependencyGraph()
+        store = AggregateStore(graph)
+        graph.register(addr("A1"), "SUM(A1:A10)")  # self-referential cycle
+        state = store.build(addr("A1"), next(iter(graph.precedents_of(addr("A1"))[1])),
+                            _range_value([1, 2]))
+        assert state is not None
+        assert store.targets_for(addr("A1")) == []
+
+    def test_disable_clears_states(self):
+        from repro.formula.dependencies import DependencyGraph
+
+        store = AggregateStore(DependencyGraph())
+        store.build(addr("B1"), RangeRef(1, 1, 5, 1), _range_value([1]))
+        assert store.state_count == 1
+        store.enabled = False
+        assert store.state_count == 0
+        store.enabled = True
+        assert store.state_count == 0
+
+
+class TestFallbackEfficiency:
+    """Review regressions: the fallback path must not do wasted work."""
+
+    def test_inexact_sum_never_rebuilds_state_on_recompute(self):
+        """While inexact values sit in the range, SUM must not trigger a
+        futile rebuild (plus a second materialisation) per recompute —
+        rebuilding cannot restore exactness until the content changes."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row + 0.5) for row in range(1, 11))
+        spread.set_formula(1, 3, "SUM(A1:A10)")
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1  # the initial state build
+        for edit in range(3):
+            spread.set_value(5, 1, 7.25 + edit)
+            assert spread.get_value(1, 3) == sum(
+                (row + 0.5) if row != 5 else 7.25 + edit for row in range(1, 11)
+            )
+        assert stats.builds == 1  # no rebuild can restore exactness
+        assert stats.fallbacks == 4  # one per evaluation, single-read each
+
+    def test_min_support_loss_rebuild_still_recovers(self):
+        """The no-futile-rebuild rule must not break the MIN/MAX repair."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row * 10) for row in range(1, 21))
+        spread.set_formula(1, 3, "MIN(A1:A20)")
+        spread.set_value(1, 1, 999)  # the unique minimum leaves
+        assert spread.get_value(1, 3) == 20  # full read repaired the state
+        spread.set_value(2, 1, 5)
+        assert spread.get_value(1, 3) == 5  # and deltas serve again
+
+    def test_async_set_formula_skips_the_delta_capture(self):
+        """set_formula acknowledgment in async mode must not pay the
+        capture (interval stab + old-value read): the visible value stays
+        the placeholder, so there is no delta to fold."""
+        spread = DataSpread(async_recompute=True)
+        spread.aggregate_store.min_state_area = 1
+        with spread.batch():
+            for row in range(1, 11):
+                spread.set_value(row, 1, row)
+            spread.set_formula(1, 2, "SUM(A1:A10)")
+        spread.flush_compute()
+
+        def must_not_capture(address):
+            raise AssertionError("async set_formula captured a delta")
+
+        spread.aggregate_store.targets_for = must_not_capture
+        try:
+            spread.set_formula(5, 1, "A1+1")  # inside the aggregated range
+        finally:
+            del spread.aggregate_store.targets_for
+        spread.flush_compute()
+        assert spread.get_value(1, 2) == sum(range(1, 11)) - 5 + 2
+
+    def test_sum_recovers_after_transient_float_leaves_the_range(self):
+        """Inexactness is tracked by multiplicity: once the last inexact
+        value is edited out, SUM returns to the O(Δ) path instead of
+        paying a full range read per recompute forever."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row) for row in range(1, 41))
+        spread.set_formula(1, 3, "SUM(A1:A40)")
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1
+
+        spread.set_value(3, 1, 2.5)  # the range goes inexact
+        assert spread.get_value(1, 3) == sum(range(1, 41)) - 3 + 2.5
+        fallbacks_while_inexact = stats.fallbacks
+        assert fallbacks_while_inexact >= 1
+
+        spread.set_value(3, 1, 7)    # the last inexact value leaves
+        assert spread.get_value(1, 3) == sum(range(1, 41)) - 3 + 7
+        hits_after_recovery = stats.hits
+        spread.set_value(10, 1, 100)
+        assert spread.get_value(1, 3) == sum(range(1, 41)) - 3 + 7 - 10 + 100
+        assert stats.hits > hits_after_recovery      # served from state again
+        assert stats.fallbacks == fallbacks_while_inexact  # no more full reads
+        assert stats.builds == 1                     # and never a rebuild
+
+    def test_overflowing_integer_poisons_without_corrupting_state(self):
+        """float(10**400) raises OverflowError; the delta must fold it as
+        a poisoned contribution with consistent counters, never leave the
+        state half-mutated serving silently wrong sums."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row) for row in range(1, 11))
+        assert spread.set_formula(1, 3, "SUM(A1:A10)") == 55
+        with pytest.raises(OverflowError):
+            # The delta folds the huge value in consistently; the dependent
+            # recompute's full-read fallback then raises exactly like a
+            # from-scratch evaluation of this grid would.
+            spread.set_value(5, 1, 10**400)
+        spread.set_value(5, 1, 5)  # the poison leaves with its value
+        assert spread.get_value(1, 3) == 55
+        assert spread.aggregate_store.stats.builds == 1  # state never corrupted
+
+    def test_self_referential_aggregate_matches_baseline(self):
+        """A formula aggregating over a range containing its own cell (a
+        self-cycle the topological order tolerates) must never cache
+        state: the delta path and the full-read baseline must stay
+        value-identical through any edit sequence."""
+        def run(use_deltas: bool) -> list:
+            spread = DataSpread()
+            spread.aggregate_store.min_state_area = 1
+            spread.use_aggregate_deltas = use_deltas
+            spread.set_value(3, 3, 10)
+            spread.set_formula(1, 3, "SUM(C1:C10)")
+            trace = [spread.get_value(1, 3)]
+            spread.set_value(5, 3, 7)
+            trace.append(spread.get_value(1, 3))
+            spread.set_value(3, 3, 1)
+            trace.append(spread.get_value(1, 3))
+            return trace
+
+        assert run(True) == run(False)
+
+    def test_self_range_states_are_never_cached(self):
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_value(2, 3, 5)
+        spread.set_formula(1, 3, "SUM(C1:C10)")  # C1 inside its own range
+        assert spread.aggregate_store.state_count == 0
+        spread.set_formula(1, 4, "SUM(C1:C10)")  # D1 outside: cached fine
+        assert spread.aggregate_store.state_count == 1
+
+    def test_nan_poisoned_min_skips_futile_rebuilds_then_recovers(self):
+        """NaN content poisons MIN/MAX; like inexact sums, that is not
+        repairable by rebuilding, so recomputes must not pay an extra
+        state pass per evaluation — and the state must recover once the
+        NaN is edited out."""
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.set_values((row, 1, row + 10) for row in range(1, 21))
+        spread.set_value(5, 1, float("nan"))
+        spread.set_formula(1, 3, "MIN(A1:A20)")
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1
+        spread.set_value(7, 1, 3)   # recompute: fallback, but no rebuild
+        spread.set_value(8, 1, 2)
+        assert stats.builds == 1
+        assert stats.fallbacks >= 2
+        spread.set_value(5, 1, 50)  # the NaN leaves: one rebuild repairs MIN
+        assert spread.get_value(1, 3) == 2
+        assert stats.builds == 2
+        hits_before = stats.hits
+        spread.set_value(9, 1, 1)   # and deltas serve again
+        assert spread.get_value(1, 3) == 1
+        assert stats.hits > hits_before

@@ -404,13 +404,19 @@ class TestShiftedStripeReuse:
         assert graph.direct_dependents(addr("C20")) == {addr("Y11")}
         assert graph.stats.index_rebuilds == 0
 
-    def test_row_edits_do_not_misuse_the_shift_path(self):
+    def test_row_edit_splices_uniform_stripes_and_rebuilds_straddlers(self):
         graph = self._built_graph()
         graph.stats.reset()
         graph.apply_structural_edit(StructuralEdit.insert_rows(1))
-        assert graph.stats.stripes_shifted == 0  # row spans changed: no shift reuse
+        # D5:D50 sits entirely below the insert: every span shifts by the
+        # same delta, so the D stripe's tree translates (PR 5 row splice).
+        # C1:C100 straddles the insert (it expands to C1:C101), which breaks
+        # the uniform translate, so only the C stripe rebuilds.
+        assert graph.stats.stripes_shifted == 1
         # The Z10 formula itself shifted down one row with everything else.
         assert graph.direct_dependents(addr("C50")) == {addr("Z11")}
+        assert graph.direct_dependents(addr("D20")) == {addr("Z12")}
+        assert graph.stats.index_rebuilds == 1  # C rebuilt; D served spliced
 
     def test_shift_reuse_matches_fresh_registration(self):
         rng = random.Random(7)
@@ -606,3 +612,68 @@ class TestComputeSchedulerUnit:
         assert scheduler.pending_count == 1
         assert scheduler.run() == 1
         assert attempts == [addr("B1"), addr("B1")]
+
+
+# ---------------------------------------------------------------------- #
+# idle-drain policy (PR 5 satellite)
+# ---------------------------------------------------------------------- #
+class TestIdleDrain:
+    def _dirty_spread(self, budget: int) -> DataSpread:
+        spread = DataSpread(async_recompute=True, idle_drain_budget=budget)
+        with spread.batch():
+            for row in range(1, 11):
+                spread.set_value(row, 1, row)
+            for row in range(1, 11):
+                spread.set_formula(row, 2, f"A{row}*2")
+        return spread
+
+    def test_reads_converge_staleness_without_flush_compute(self):
+        spread = self._dirty_spread(budget=2)
+        assert spread.compute_pending == 10
+        reads = 0
+        while spread.compute_pending and reads < 50:
+            spread.get_value(20, 20)  # an unrelated cell still drains work
+            reads += 1
+        assert spread.compute_pending == 0
+        assert reads == 5  # budget 2 per read over 10 queued cells
+        assert all(spread.get_value(row, 2) == row * 2 for row in range(1, 11))
+
+    def test_zero_budget_keeps_reads_passive(self):
+        spread = self._dirty_spread(budget=0)
+        spread.get_value(1, 2)
+        assert spread.compute_pending == 10
+
+    def test_batched_reads_do_not_drain(self):
+        spread = self._dirty_spread(budget=4)
+        with spread.batch():
+            spread.get_value(1, 2)
+            assert spread.compute_pending == 10
+        spread.get_value(1, 2)
+        assert spread.compute_pending < 10
+
+    def test_cyclic_work_never_fails_a_read(self):
+        spread = DataSpread(async_recompute=True, idle_drain_budget=3)
+        with spread.batch():
+            spread.set_formula(1, 1, "B1+1")
+            spread.set_formula(1, 2, "A1+1")
+        spread.get_value(5, 5)  # the drain meets only cyclic work: no raise
+        assert spread.compute_pending == 2
+        with pytest.raises(CircularDependencyError):
+            spread.flush_compute()  # the explicit drain still surfaces it
+
+    def test_drain_retires_acyclic_work_around_a_cycle(self):
+        scheduler_spread = DataSpread(async_recompute=True, idle_drain_budget=0)
+        with scheduler_spread.batch():
+            scheduler_spread.set_formula(1, 1, "B1+1")
+            scheduler_spread.set_formula(1, 2, "A1+1")
+            scheduler_spread.set_value(5, 1, 7)
+            scheduler_spread.set_formula(5, 2, "A5*3")
+        scheduler = scheduler_spread.compute_scheduler
+        assert scheduler.drain(10) == 1  # A5*3 evaluates; the cycle stays
+        assert scheduler_spread.get_value(5, 2) == 21
+        assert scheduler.pending_count == 2
+        assert scheduler.drain(0) == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DataSpread(async_recompute=True, idle_drain_budget=-1)

@@ -125,7 +125,11 @@ class TestPositionalExperiments:
         # Cascading insert cost grows with size for as-is; hierarchical stays flat.
         assert largest["asis_insert_ms"] > smallest["asis_insert_ms"]
         assert largest["hierarchical_insert_ms"] < largest["asis_insert_ms"]
-        assert largest["hierarchical_fetch_ms"] < largest["monotonic_fetch_ms"]
+        # Monotonic fetch used to be the degrading operation (the paper's
+        # Figure 18a story); it now indexes the sorted key list positionally
+        # (PR 5), so even at the largest size it stays far below the
+        # cascading-insert cost instead of scaling with the sheet.
+        assert largest["monotonic_fetch_ms"] < largest["asis_insert_ms"]
 
     @pytest.mark.parametrize("experiment_id", ["fig22", "fig23", "fig24"])
     def test_rom_rcv_sweeps_run(self, experiment_id):
@@ -152,6 +156,18 @@ class TestIncrementalExperiments:
         result = run_experiment("fig26b", scale=0.3, batches=4)
         for row in result.rows:
             assert row["actual_storage"] >= row["optimal_storage"] - 1e-6
+
+    def test_recompute_incremental_shape(self):
+        """Fast smoke of the PR 5 scenario (full scale rides in benchmarks):
+        steady-state churn must not rebuild, and the delta values must
+        match the from-scratch verification engine."""
+        result = run_experiment("recompute-incremental", scale=0.05, edits=10)
+        by_mode = {row["mode"]: row for row in result.rows}
+        maintenance = by_mode["index-maintenance"]
+        assert maintenance["index_rebuilds"] == 0
+        assert maintenance["rebuilds_avoided"] > 0
+        assert by_mode["delta-incremental"]["grids_match"] is True
+        assert by_mode["delta-incremental"]["deltas_applied"] > 0
 
 
 class TestUseCases:

@@ -226,6 +226,44 @@ class TestMonotonic:
         with pytest.raises(ValueError):
             MonotonicMapping(gap=1)
 
+    def test_fetch_does_not_scan_the_key_list(self):
+        """Regression (ISSUE 5): fetch on a 10k-row mapping must index the
+        sorted key list positionally, never iterate past preceding keys —
+        the old O(n) skip scan made deep scrolls non-interactive."""
+
+        class IterationCountingList(list):
+            iterations = 0
+
+            def __iter__(self):
+                IterationCountingList.iterations += 1
+                return super().__iter__()
+
+        mapping = MonotonicMapping()
+        mapping.extend(range(10_000))
+        mapping._keys = IterationCountingList(mapping._keys)
+        assert mapping.fetch(1) == 0
+        assert mapping.fetch(5_000) == 4_999
+        assert mapping.fetch(10_000) == 9_999
+        assert mapping.fetch_range(9_000, 9_003) == [8_999, 9_000, 9_001, 9_002]
+        assert IterationCountingList.iterations == 0
+
+    def test_fetch_matches_list_model_after_churn(self):
+        """Positional indexing must stay correct through interleaved
+        inserts and deletes (keys stop being evenly gapped)."""
+        rng = random.Random(19)
+        mapping = MonotonicMapping(gap=8)
+        reference: list[int] = []
+        for value in range(1_000):
+            position = rng.randint(1, len(reference) + 1)
+            mapping.insert_at(position, value)
+            reference.insert(position - 1, value)
+            if len(reference) > 10 and rng.random() < 0.3:
+                position = rng.randint(1, len(reference))
+                assert mapping.delete_at(position) == reference.pop(position - 1)
+        for position in (1, len(reference) // 2, len(reference)):
+            assert mapping.fetch(position) == reference[position - 1]
+        assert mapping.fetch_range(1, len(reference)) == reference
+
 
 class TestHierarchical:
     def test_invariants_after_many_operations(self):

@@ -839,3 +839,120 @@ class TestParseCacheBounds:
         spread = DataSpread()
         spread.set_formula(1, 2, "A1*2+1")
         assert calls.count("A1*2+1") == 1
+
+
+class TestIncrementalIndexMaintenance:
+    """PR 5: formula (un)registration maintains built interval trees in
+    O(log n) instead of invalidating them; a full rebuild survives only as
+    a thresholded churn fallback."""
+
+    def test_steady_state_registration_churn_performs_zero_rebuilds(self):
+        graph = DependencyGraph()
+        for index in range(40):
+            graph.register(CellAddress(100 + index, 1), f"SUM(A{index + 1}:A{index + 10})")
+        graph.direct_dependents(addr("A5"))  # build the A stripe's tree
+        graph.stats.reset()
+        for index in range(20):
+            # Replace half the formulas with shifted ranges: each replace
+            # is one unregister (remove) plus one register (insert).
+            graph.register(CellAddress(100 + index, 1), f"SUM(A{index + 3}:A{index + 12})")
+            graph.direct_dependents(CellAddress(index + 5, 1))
+        assert graph.stats.index_rebuilds == 0
+        assert graph.stats.incremental_inserts == 20
+        assert graph.stats.incremental_removes == 20
+        assert graph.stats.rebuilds_avoided == 40
+
+    def test_incremental_maintenance_matches_legacy_scan(self):
+        import random
+
+        rng = random.Random(42)
+        graph = DependencyGraph()
+        live: dict[CellAddress, str] = {}
+        columns = "ABCDE"
+        for step in range(400):
+            address = CellAddress(200 + rng.randint(0, 30), 1 + rng.randint(0, 5))
+            if address in live and rng.random() < 0.4:
+                graph.unregister(address)
+                del live[address]
+            else:
+                column = rng.choice(columns)
+                top = rng.randint(1, 80)
+                text = f"SUM({column}{top}:{column}{top + rng.randint(0, 15)})"
+                graph.register(address, text)
+                live[address] = text
+            probe = CellAddress(rng.randint(1, 100), 1 + rng.randint(0, len(columns) - 1))
+            indexed = graph.direct_dependents(probe)
+            graph.use_range_index = False
+            scanned = graph.direct_dependents(probe)
+            graph.use_range_index = True
+            assert indexed == scanned, (step, probe)
+        # The whole randomized run needs only the initial lazy builds: one
+        # per (stripe, first-stab-after-creation), never churn rebuilds.
+        assert graph.stats.incremental_inserts > 0
+        assert graph.stats.incremental_removes > 0
+
+    def test_heavy_churn_falls_back_to_one_compacting_rebuild(self):
+        from repro.formula.dependencies import REBUILD_CHURN_MIN
+
+        graph = DependencyGraph()
+        graph.register(addr("Z1"), "SUM(A1:A10)")
+        graph.direct_dependents(addr("A1"))  # build (1 entry)
+        graph.stats.reset()
+        for index in range(REBUILD_CHURN_MIN + 2):
+            graph.register(addr("Z2"), f"SUM(A{index + 1}:A{index + 5})")
+        # The churn cap marked the bucket stale; the next stab rebuilds it.
+        graph.direct_dependents(addr("A3"))
+        assert graph.stats.index_rebuilds == 1
+        graph.stats.reset()
+        graph.direct_dependents(addr("A3"))
+        assert graph.stats.index_rebuilds == 0  # compacted: back to steady state
+
+    def test_wide_bucket_maintained_incrementally(self):
+        graph = DependencyGraph()
+        wide_right = WIDE_COLUMN_SPAN + 2
+        graph.register(addr("A200"), f"SUM(A1:{chr(ord('A') - 1 + 26)}10)")  # Z10: not wide
+        graph.register(addr("B200"), f"COUNT(A20:{CellAddress(25, wide_right).to_a1()})")
+        graph.direct_dependents(addr("C22"))  # build the wide bucket
+        graph.stats.reset()
+        graph.register(addr("C200"), f"COUNT(A40:{CellAddress(45, wide_right).to_a1()})")
+        # Probe right of the narrow formula's stripes so only the wide
+        # bucket (already built) answers.
+        assert graph.direct_dependents(CellAddress(42, 30)) == {addr("C200")}
+        assert graph.stats.index_rebuilds == 0
+        assert graph.stats.incremental_inserts == 1
+
+    def test_row_splice_preserves_lookup_correctness(self):
+        """A row edit that uniformly shifts a stripe must splice its tree
+        and keep answering stabs exactly like a fresh registration."""
+        graph = DependencyGraph()
+        graph.register(addr("H100"), "SUM(B50:B60)")
+        graph.register(addr("H101"), "SUM(B52:B62)+B70")
+        graph.direct_dependents(addr("B55"))
+        graph.stats.reset()
+        graph.apply_structural_edit(StructuralEdit.insert_rows(10, count=3))
+        assert graph.stats.stripes_shifted == 1
+        assert graph.direct_dependents(addr("B56")) == {addr("H103"), addr("H104")}
+        assert graph.direct_dependents(addr("B53")) == {addr("H103")}
+        assert graph.direct_dependents(addr("B52")) == set()
+        assert graph.stats.index_rebuilds == 0  # served from the spliced tree
+
+    def test_monotone_span_growth_cannot_degenerate_the_tree(self):
+        """Review regression: monotone span sequences grow a spine the
+        churn counter never notices (churn and size grow in lockstep);
+        the insert-depth trigger must schedule a compacting rebuild, and
+        a later spliceable row edit must not blow the recursion limit."""
+        spread = DataSpread()
+        spread.set_value(1, 1, 1)  # builds the A stripe on the first stab
+        spread.set_formula(1, 3, "SUM(A2:A3)")
+        spread.set_value(1, 1, 2)  # stab: tree built, incremental from here
+        for index in range(2, 1_500):
+            spread.set_formula(index, 3, f"SUM(A{2 * index}:A{2 * index + 1})")
+        # The old behaviour crashed with RecursionError inside the
+        # recursive splice; the depth trigger keeps the tree shallow.
+        spread.insert_row_after(1)
+        graph = spread.dependency_graph
+        # Formula C1499 shifted to C1500; its span A2998:A2999 to A2999:A3000.
+        assert graph.direct_dependents(addr("A3000")) == {addr("C1500")}
+        graph.use_range_index = False
+        assert graph.direct_dependents(addr("A3000")) == {addr("C1500")}
+        graph.use_range_index = True
