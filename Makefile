@@ -7,7 +7,12 @@ export PYTHONPATH := src
 ## Seeds for the widened randomized-equivalence sweep (`make fuzz`).
 FUZZ_SEEDS ?= 50
 
-.PHONY: test fuzz bench bench-async bench-incremental docs-check examples all
+## Seeds for the crash-recovery fuzz sweep (`make crash-fuzz`); each seed
+## runs once against the sync engine and once against the async scheduler.
+CRASH_SEEDS ?= 60
+
+.PHONY: test fuzz crash-fuzz bench bench-async bench-incremental \
+	bench-recovery docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -23,6 +28,14 @@ test:
 ## replays deterministically from the seed in its assertion message.
 fuzz:
 	REPRO_FUZZ_SEEDS=$(FUZZ_SEEDS) $(PYTHON) -m pytest -q tests/test_equivalence_fuzz.py
+
+## Widened crash-recovery sweep: seeds 1..$(CRASH_SEEDS) of the
+## fault-injection harness (random kills mid-write, torn final frames,
+## transient IO errors) against sync edits, batches, structural edits and
+## the async scheduler; every run recovers the workspace and asserts exact
+## equality with an oracle replayed to the last durable commit point.
+crash-fuzz:
+	REPRO_CRASH_SEEDS=$(CRASH_SEEDS) $(PYTHON) -m pytest -q tests/test_durability.py
 
 ## Paper-figure benchmarks (slow; pytest-benchmark).
 bench:
@@ -41,6 +54,13 @@ bench-incremental:
 	$(PYTHON) -m repro.experiments recompute-incremental --scale 0.5 \
 		--json BENCH_recompute_incremental.json
 	$(PYTHON) scripts/check_bench.py BENCH_recompute_incremental.json
+
+## Durability benchmark: redo-replay recovery time vs log length, plus the
+## checkpointed alternative.  Emits BENCH_recovery.json and fails if any
+## recovered grid diverges or the checkpoint stops truncating the log.
+bench-recovery:
+	$(PYTHON) -m repro.experiments recovery --json BENCH_recovery.json
+	$(PYTHON) scripts/check_bench.py BENCH_recovery.json
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:

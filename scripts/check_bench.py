@@ -1,18 +1,26 @@
-"""Guard the incremental hot-path benchmark against regressions.
+"""Guard the benchmark experiments against regressions.
 
-Used by ``make bench-incremental``: reads the JSON emitted by
-``python -m repro.experiments recompute-incremental --json ...`` and fails
-(exit code 1) when the steady-state scenario regressed:
+Reads the JSON emitted by ``python -m repro.experiments <id> --json ...``
+and fails (exit code 1) when a guarded experiment regressed.  Guards are
+dispatched per experiment id, so one JSON file may carry several results:
 
-* ``index_rebuilds`` above 0 in the index-maintenance row — formula
-  (un)registration stopped being absorbed incrementally and went back to
-  invalidate-and-rebuild;
-* the aggregate delta speedup below the (deliberately lenient) floor, or
-  the delta-maintained values diverging from the from-scratch engine.
+``recompute-incremental`` (``make bench-incremental``)
+    * ``index_rebuilds`` above 0 in the index-maintenance row — formula
+      (un)registration stopped being absorbed incrementally and went back
+      to invalidate-and-rebuild;
+    * the aggregate delta speedup below the (deliberately lenient) floor,
+      or the delta-maintained values diverging from the from-scratch
+      engine.
+
+``recovery`` (``make bench-recovery``)
+    * any row whose recovered grid diverged from the live engine
+      (``grids_match``);
+    * the post-checkpoint log not truncated — checkpointing stopped
+      folding the WAL into the snapshot.
 
 Usage::
 
-    PYTHONPATH=src python scripts/check_bench.py BENCH_recompute_incremental.json \
+    PYTHONPATH=src python scripts/check_bench.py BENCH_file.json \
         [--min-speedup 5.0]
 """
 
@@ -24,13 +32,7 @@ import sys
 from pathlib import Path
 
 
-def check(path: Path, *, min_speedup: float) -> list[str]:
-    """Return the list of regression messages (empty when healthy)."""
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    results = {result["experiment_id"]: result for result in payload.get("results", [])}
-    result = results.get("recompute-incremental")
-    if result is None:
-        return [f"{path}: no recompute-incremental result found"]
+def check_recompute_incremental(result: dict, *, min_speedup: float) -> list[str]:
     rows = {row.get("mode"): row for row in result["rows"]}
     failures: list[str] = []
 
@@ -60,10 +62,56 @@ def check(path: Path, *, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_recovery(result: dict, **_options) -> list[str]:
+    failures: list[str] = []
+    checkpoint_rows = []
+    for row in result["rows"]:
+        if not row.get("grids_match", False):
+            failures.append(
+                f"recovered grid diverged from the live engine "
+                f"({row.get('mode')} row, {row.get('edits')} edits)"
+            )
+        if row.get("mode") == "post-checkpoint":
+            checkpoint_rows.append(row)
+    if not checkpoint_rows:
+        failures.append("missing post-checkpoint row")
+    for row in checkpoint_rows:
+        if row.get("wal_bytes", 0) > 0:
+            failures.append(
+                f"checkpoint left {row['wal_bytes']} bytes of log untruncated"
+            )
+    return failures
+
+
+#: Guarded experiments; results with other ids pass through unchecked.
+CHECKERS = {
+    "recompute-incremental": check_recompute_incremental,
+    "recovery": check_recovery,
+}
+
+
+def check(path: Path, *, min_speedup: float) -> list[str]:
+    """Return the list of regression messages (empty when healthy)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    results = payload.get("results", [])
+    guarded = [result for result in results if result.get("experiment_id") in CHECKERS]
+    if not guarded:
+        return [f"{path}: no guarded experiment results found "
+                f"(known: {', '.join(sorted(CHECKERS))})"]
+    failures: list[str] = []
+    for result in guarded:
+        checker = CHECKERS[result["experiment_id"]]
+        failures.extend(
+            f"{result['experiment_id']}: {message}"
+            for message in checker(result, min_speedup=min_speedup)
+        )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("json_path", type=Path,
-                        help="JSON file emitted by the recompute-incremental experiment")
+                        help="JSON file emitted by an experiment run with --json")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="minimum acceptable delta-vs-full-read speedup (default 5.0)")
     arguments = parser.parse_args(argv)
@@ -72,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
         for failure in failures:
             print(f"BENCH REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print(f"{arguments.json_path}: incremental hot path healthy")
+    print(f"{arguments.json_path}: guarded experiments healthy")
     return 0
 
 

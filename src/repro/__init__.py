@@ -43,6 +43,7 @@ from repro.grid.address import CellAddress, column_letter_to_index, column_index
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.engine.dataspread import DataSpread
+from repro.storage.recovery import recover
 
 __version__ = "1.0.0"
 
@@ -53,5 +54,6 @@ __all__ = [
     "DataSpread",
     "column_letter_to_index",
     "column_index_to_letter",
+    "recover",
     "__version__",
 ]

@@ -66,6 +66,8 @@ class ComputeStats:
     coalesced: int = 0             # mark_dirty hits on already-queued cells
     cancelled: int = 0             # queued evaluations dropped unevaluated
     priority_evaluations: int = 0  # evaluations served from the viewport queue
+    quarantine_retries: int = 0    # evaluation failures retried in-queue
+    quarantined: int = 0           # cells quarantined after exhausting retries
 
     def reset(self) -> None:
         self.scheduled = 0
@@ -73,6 +75,8 @@ class ComputeStats:
         self.coalesced = 0
         self.cancelled = 0
         self.priority_evaluations = 0
+        self.quarantine_retries = 0
+        self.quarantined = 0
 
 
 #: Engine callback evaluating one formula cell and committing its value.
@@ -87,6 +91,9 @@ class ComputeScheduler:
     explicit ``flush_compute()``, between requests, or in an idle loop.
     """
 
+    #: Evaluation attempts (1 + retries) before a failing cell is quarantined.
+    max_evaluate_attempts = 3
+
     def __init__(self, graph: DependencyGraph, evaluate: EvaluateCell) -> None:
         self._graph = graph
         self._evaluate = evaluate
@@ -94,6 +101,14 @@ class ComputeScheduler:
         self._computing: CellAddress | None = None
         self._viewport: RangeRef | None = None
         self.stats = ComputeStats()
+        # Poisoned-formula containment: per-cell failure counts and the
+        # quarantine set (address -> last error text).  A quarantined cell
+        # is dropped from the queue with an error value committed through
+        # ``on_quarantine`` so the rest of the queue keeps draining.
+        self._failures: dict[CellAddress, int] = {}
+        self._quarantined: dict[CellAddress, str] = {}
+        #: Engine callback committing a quarantined cell as an error value.
+        self.on_quarantine: Callable[[CellAddress, BaseException], None] | None = None
         # Ordering structures, rebuilt lazily whenever the stale set, the
         # graph, or the viewport changed since the last rebuild.
         self._order_stale = True
@@ -118,10 +133,17 @@ class ComputeScheduler:
         if not seeds:
             return 0
         for seed in seeds:
+            if self._quarantined.pop(seed, None) is not None:
+                self._failures.pop(seed, None)
             if seed not in self._graph and seed in self._stale:
                 self._stale.discard(seed)
                 self.stats.cancelled += 1
         affected = self._graph.affected_set(seeds)
+        for address in affected:
+            # A re-edited (or upstream-refreshed) quarantined cell gets a
+            # clean slate: it re-enters the queue and re-evaluates.
+            if self._quarantined.pop(address, None) is not None:
+                self._failures.pop(address, None)
         new = len(affected - self._stale)
         self.stats.scheduled += new
         self.stats.coalesced += len(affected) - new
@@ -162,6 +184,11 @@ class ComputeScheduler:
     def pending(self) -> set[CellAddress]:
         """A snapshot of the queued (stale) cells."""
         return set(self._stale)
+
+    @property
+    def quarantined(self) -> dict[CellAddress, str]:
+        """Quarantined poisoned cells and their last error text (a copy)."""
+        return dict(self._quarantined)
 
     # ------------------------------------------------------------------ #
     # evaluation
@@ -220,6 +247,16 @@ class ComputeScheduler:
         graph at the next rebuild, so ordering stays consistent with the
         rewritten formulas.
         """
+        self._quarantined = {
+            moved: message
+            for address, message in self._quarantined.items()
+            if (moved := edit.map_address(address)) is not None
+        }
+        self._failures = {
+            moved: count
+            for address, count in self._failures.items()
+            if (moved := edit.map_address(address)) is not None
+        }
         if not self._stale:
             return
         remapped: set[CellAddress] = set()
@@ -255,20 +292,44 @@ class ComputeScheduler:
                     f"circular dependency among {len(self._stale)} queued formula cell(s)"
                 )
             self._computing = address
+            quarantined_now = False
             try:
                 self._evaluate(address)
+            except Exception as error:
+                # A poisoned formula must not wedge the queue.  Retry it a
+                # bounded number of times (at the back of its queue, so the
+                # rest of the ready set keeps draining), then quarantine it:
+                # commit an error value via ``on_quarantine`` and release
+                # its dependents as if it had evaluated.
+                self._computing = None
+                failures = self._failures.get(address, 0) + 1
+                if failures < self.max_evaluate_attempts:
+                    self._failures[address] = failures
+                    self.stats.quarantine_retries += 1
+                    queue = self._ready_priority if address in self._priority else self._ready
+                    queue.append(address)
+                    continue
+                self._failures.pop(address, None)
+                self._quarantined[address] = f"{type(error).__name__}: {error}"
+                self.stats.quarantined += 1
+                quarantined_now = True
+                if self.on_quarantine is not None:
+                    self.on_quarantine(address, error)
             except BaseException:
                 # Leave the cell queued and re-runnable: it was popped but
                 # not evaluated, so put it back at the front of its queue.
                 queue = self._ready_priority if address in self._priority else self._ready
                 queue.appendleft(address)
-                raise
-            finally:
                 self._computing = None
+                raise
+            else:
+                self._computing = None
+                self._failures.pop(address, None)
             self._stale.discard(address)
             if only is not None:
                 only.discard(address)
-            self.stats.evaluated += 1
+            if not quarantined_now:
+                self.stats.evaluated += 1
             evaluated += 1
             for successor in self._successors.get(address, ()):
                 self._indegree[successor] -= 1

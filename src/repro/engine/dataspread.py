@@ -83,6 +83,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.compute import CellState, ComputeScheduler
+from repro.engine.backend import DirectBackend, WALBackend
 from repro.decomposition import (
     DecompositionResult,
     decompose_aggressive,
@@ -97,6 +98,7 @@ from repro.errors import (
     FormulaEvaluationError,
     FormulaSyntaxError,
     LinkTableError,
+    WALError,
 )
 from repro.formula.aggregates import AggregateStore
 from repro.formula.ast_nodes import FormulaNode
@@ -147,6 +149,20 @@ class DataSpread:
         When positive (async mode only), every read opportunistically
         drains up to this many queued cells, so staleness converges
         without an explicit ``flush_compute()``.
+    durability:
+        ``"none"`` (default) keeps cells purely in memory; ``"wal"``
+        write-ahead-logs every committed write into ``storage_dir`` at the
+        engine's commit points (sync edits, batch exits, structural edits)
+        so :func:`repro.storage.recovery.recover` can rebuild the
+        workspace after a crash.
+    storage_dir:
+        Workspace directory for ``durability="wal"`` (required then).  It
+        must not already hold durable state — reopen an existing workspace
+        with :func:`repro.storage.recovery.recover` instead.
+    wal_options:
+        Advanced WAL-writer knobs (``io_factory``, ``max_retries``,
+        ``backoff_seconds``, ``sleep``) — used by the fault-injection
+        harness; normal callers omit it.
     """
 
     def __init__(
@@ -160,12 +176,16 @@ class DataSpread:
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
         async_recompute: bool = False,
         idle_drain_budget: int = 0,
+        durability: str = "none",
+        storage_dir: str | None = None,
+        wal_options: dict | None = None,
     ) -> None:
         self.costs = costs
         self.mapping_scheme = mapping_scheme
         self.database = database if database is not None else Database(costs)
         self.auto_evaluate = auto_evaluate
         self._model = HybridDataModel(mapping_scheme=mapping_scheme)
+        self._backend = self._make_backend(durability, storage_dir, wal_options)
         self._dependencies = DependencyGraph()
         self._aggregates = AggregateStore(self._dependencies)
         self._cache = LRUCellCache(
@@ -208,6 +228,7 @@ class DataSpread:
         #: of any size contributes exactly one; exposed for tests/benchmarks).
         self.recompute_passes = 0
         self._scheduler = ComputeScheduler(self._dependencies, self._scheduler_evaluate)
+        self._scheduler.on_quarantine = self._quarantine_cell
         self._async = False
         self.async_recompute = async_recompute
         if idle_drain_budget < 0:
@@ -215,6 +236,82 @@ class DataSpread:
         #: Queued cells opportunistically evaluated per read (0 disables).
         self.idle_drain_budget = idle_drain_budget
         self._idle_draining = False
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def _make_backend(self, durability: str, storage_dir: str | None,
+                      wal_options: dict | None):
+        if durability == "none":
+            return DirectBackend(self._apply_cell_to_model, self._apply_cells_to_model)
+        if durability == "wal":
+            if storage_dir is None:
+                raise ValueError('durability="wal" requires storage_dir')
+            return WALBackend(
+                storage_dir,
+                self._apply_cell_to_model,
+                self._apply_cells_to_model,
+                self._committed_cells,
+                config={"mapping_scheme": self.mapping_scheme},
+                wal_options=wal_options,
+            )
+        raise ValueError(f'unknown durability {durability!r} (use "none" or "wal")')
+
+    @property
+    def durability(self) -> str:
+        """The active durability mode (``"none"`` or ``"wal"``)."""
+        return self._backend.durability
+
+    @property
+    def storage_backend(self):
+        """The pluggable storage backend (exposed for tests and tooling)."""
+        return self._backend
+
+    def checkpoint(self) -> dict | None:
+        """Fold the write-ahead log into a fresh snapshot generation.
+
+        Returns the new generation's stats (``None`` with
+        ``durability="none"``).  Not allowed mid-batch: the snapshot holds
+        only committed state and a batch's buffered writes are neither
+        committed nor discarded yet.
+        """
+        if self.in_batch:
+            raise WALError("cannot checkpoint inside an open batch")
+        return self._backend.checkpoint()
+
+    def close(self) -> None:
+        """Release the storage backend (closes the WAL file handle)."""
+        self._backend.close()
+
+    def _attach_wal(self, directory: str, *, wal_options: dict | None = None) -> None:
+        """Re-home the engine onto a durable workspace (recovery's last step).
+
+        The current (direct) backend is replaced by a WAL backend over
+        ``directory`` and the recovered state is checkpointed immediately,
+        so the replayed log is folded away and never replayed twice.
+        """
+        self._backend.close()
+        self._backend = WALBackend(
+            directory,
+            self._apply_cell_to_model,
+            self._apply_cells_to_model,
+            self._committed_cells,
+            config={"mapping_scheme": self.mapping_scheme},
+            wal_options=wal_options,
+            expect_fresh=False,
+        )
+        self._backend.checkpoint()
+
+    def _committed_cells(self) -> list[tuple[int, int, CellValue, str | None]]:
+        """Every committed non-empty cell, for a checkpoint snapshot."""
+        cells = self._model.get_cells(self._model.region())
+        return [
+            (address.row, address.column, cell.value, cell.formula)
+            for address, cell in sorted(
+                cells.items(), key=lambda item: (item[0].row, item[0].column)
+            )
+            if not cell.is_empty
+        ]
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -656,7 +753,13 @@ class DataSpread:
         topological pass; inside a batch they join the batch's dirty set and
         recompute at batch exit.
         """
-        self._flush_batch_writes()
+        # The mid-batch flush and the structural record are one atomic
+        # commit point: recovery must see the flushed writes (addressed
+        # against pre-edit coordinates) together with the shift that
+        # re-keys them, or neither.
+        with self._backend.atomic():
+            self._flush_batch_writes()
+            self._backend.log_structural(edit)
         # The coordinate space is about to shift under every running
         # aggregate state; structural edits are the store's wholesale
         # fallback (states rebuild from full range reads on next use).
@@ -673,6 +776,13 @@ class DataSpread:
             moved = edit.map_address(CellAddress(row, column))
             if moved is not None:
                 self._cache.put_provisional(moved.row, moved.column, cell)
+                # A placeholder can shadow an older *committed* formula
+                # (set-formula over a committed cell, not yet evaluated).
+                # The graph tracks only the placeholder's text, so the
+                # shadowed committed text must be rewritten here or the
+                # stored state drifts out of the new coordinate space —
+                # which a checkpoint would then capture durably.
+                self._rewrite_shadowed_text(moved, edit)
         self._remap_batch_addresses(edit.map_address)
         self._composite_values = {
             (moved.row, moved.column): table
@@ -701,6 +811,28 @@ class DataSpread:
                 # cells keep their stored values until the cycle is edited
                 # away (mirrors the abort-path recompute).
                 pass
+
+    def _rewrite_shadowed_text(self, address: CellAddress, edit: StructuralEdit) -> None:
+        """Shift the committed formula text a provisional placeholder hides.
+
+        ``address`` is post-edit; the model has already shifted.  The
+        rewritten cell is a committed write (one singleton log record) —
+        redundant with the structural record's replay-side rewrite, but it
+        keeps the live model equal to the log-implied state, which is the
+        invariant checkpoints rely on.
+        """
+        stored = self._model.get_cell(address.row, address.column)
+        if stored.formula is None:
+            return
+        try:
+            node, changed = rewrite_formula(self._evaluator.parse(stored.formula), edit)
+        except FormulaSyntaxError:
+            return
+        if changed:
+            self._write_cell(
+                address.row, address.column,
+                Cell(value=stored.value, formula=to_formula(node)),
+            )
 
     def _rewrite_formula_texts(
         self, edit: StructuralEdit, changed: Iterable[CellAddress]
@@ -1043,7 +1175,7 @@ class DataSpread:
         if self.in_batch:
             self._cache.put(row, column, Cell())
         else:
-            self._model.update_cell(row, column, Cell())
+            self._write_cell(row, column, Cell())
 
     def _snapshot_provisional(self, address: CellAddress) -> None:
         """Capture a cell's provisional placeholder (first touch).
@@ -1084,9 +1216,19 @@ class DataSpread:
         return self._model.get_cell(row, column)
 
     def _write_cell(self, row: int, column: int, cell: Cell) -> None:
-        self._model.update_cell(row, column, cell)
+        # The cache's write-through path: every synchronous commit funnels
+        # here, so the backend sees (and logs) exactly the committed writes.
+        self._backend.write_cell(row, column, cell)
 
     def _write_cells(self, items: Iterable[tuple[int, int, Cell]]) -> None:
+        # The cache's bulk (batch-flush) path: the backend groups the flush
+        # into one atomic commit point.
+        self._backend.write_cells(list(items))
+
+    def _apply_cell_to_model(self, row: int, column: int, cell: Cell) -> None:
+        self._model.update_cell(row, column, cell)
+
+    def _apply_cells_to_model(self, items: list[tuple[int, int, Cell]]) -> None:
         self._model.update_cells(items)
 
     def _provide_value(self, row: int, column: int) -> CellValue:
@@ -1173,6 +1315,28 @@ class DataSpread:
             self._snapshot_provisional(address)
             self._batch_drained[address] = None
         value = self._safe_evaluate(existing.formula, address)
+        if value != existing.value:
+            self._aggregates.apply_edit(address, existing.value, value)
+        if value != existing.value or self._cache.is_provisional(address.row, address.column):
+            self._cache.put(address.row, address.column, existing.with_value(value))
+
+    def _quarantine_cell(self, address: CellAddress, error: BaseException) -> None:
+        """Commit a poisoned formula's cell as ``#ERROR!``.
+
+        The scheduler calls this after bounded retries of an evaluation
+        that raised *unexpectedly* (expected spreadsheet errors become
+        their code strings inside ``_safe_evaluate`` and never get here).
+        Committing an error value unblocks the cell's dependents and keeps
+        the queue draining; re-editing the cell or any precedent clears
+        the quarantine and re-schedules it.
+        """
+        existing = self._cache.get(address.row, address.column)
+        if existing.formula is None:
+            return
+        if self.in_batch:
+            self._snapshot_provisional(address)
+            self._batch_drained[address] = None
+        value = "#ERROR!"
         if value != existing.value:
             self._aggregates.apply_edit(address, existing.value, value)
         if value != existing.value or self._cache.is_provisional(address.row, address.column):

@@ -52,6 +52,14 @@ class CatalogError(StorageError, KeyError):
     """Raised for unknown or duplicate table/column names."""
 
 
+class WALError(StorageError):
+    """Raised when the write-ahead log cannot append or sync durably."""
+
+
+class RecoveryError(StorageError):
+    """Raised when a workspace cannot be reconstructed from disk."""
+
+
 class SchemaError(StorageError, ValueError):
     """Raised when a record does not match its table schema."""
 

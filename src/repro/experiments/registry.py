@@ -12,6 +12,7 @@ from repro.experiments.recompute import (
     run_recompute_edit,
     run_recompute_incremental,
 )
+from repro.experiments.recovery import run_recovery
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.storage import (
     run_fig13a,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "recompute-bulk": run_recompute_bulk,
     "recompute-async": run_recompute_async,
     "recompute-incremental": run_recompute_incremental,
+    "recovery": run_recovery,
     "usecase-genomics": run_usecase_genomics,
     "usecase-retail": run_usecase_retail,
 }

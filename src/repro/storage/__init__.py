@@ -21,8 +21,19 @@ from repro.storage.heap import HeapFile
 from repro.storage.btree import BPlusTree
 from repro.storage.catalog import Catalog, ColumnDef, TableSchema
 from repro.storage.database import Database, Table
+from repro.storage.wal import WALWriter, read_records, committed_records
+from repro.storage.snapshot import load_snapshot, write_snapshot, wal_path
+from repro.storage.recovery import recover, recovered_cells
 
 __all__ = [
+    "WALWriter",
+    "read_records",
+    "committed_records",
+    "load_snapshot",
+    "write_snapshot",
+    "wal_path",
+    "recover",
+    "recovered_cells",
     "CostParameters",
     "POSTGRES_COSTS",
     "IDEAL_COSTS",

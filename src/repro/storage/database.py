@@ -84,6 +84,8 @@ class Table:
 
     def lookup(self, key: Any) -> tuple[TuplePointer, Record] | None:
         """Point lookup through the key index (or a scan when unindexed)."""
+        if key is None:
+            return None  # NULL keys are never indexed and never match
         if self.key_index is not None:
             pointer = self.key_index.get(key)
             if pointer is None:

@@ -86,8 +86,29 @@ class HeapFile:
         return len(self._pages) * self._page_capacity
 
     def live_bytes(self) -> int:
-        """Bytes consumed by live records and page headers only."""
-        return sum(page.used_bytes for page in self._pages)
+        """Bytes attributable to live records (payloads + line pointers +
+        page headers) — tombstones excluded."""
+        return sum(page.live_bytes for page in self._pages)
+
+    def dead_bytes(self) -> int:
+        """Bytes held by tombstoned slots across all pages."""
+        return sum(page.dead_bytes for page in self._pages)
+
+    def vacuum(self) -> dict[str, int]:
+        """Compact the heap without moving any live record.
+
+        Tuple pointers of live records stay valid: each page truncates only
+        its *trailing* tombstone pointers, and only *trailing* fully-dead
+        pages are released (page ids are list indices, so interior pages
+        must stay put).  Pointers to vacuumed records were already dead.
+        Returns ``{"bytes_reclaimed", "pages_dropped"}``.
+        """
+        reclaimed = sum(page.compact() for page in self._pages)
+        dropped = 0
+        while self._pages and self._pages[-1].live_count == 0:
+            self._pages.pop()
+            dropped += 1
+        return {"bytes_reclaimed": reclaimed, "pages_dropped": dropped}
 
     def _page(self, pointer: TuplePointer) -> Page:
         if pointer.page_id < 0 or pointer.page_id >= len(self._pages):

@@ -27,12 +27,27 @@ class Page:
         self.capacity_bytes = capacity_bytes
         self._slots: list[Record | None] = []
         self._used_bytes = PAGE_HEADER_BYTES
+        self._live_bytes = PAGE_HEADER_BYTES
 
     # ------------------------------------------------------------------ #
     @property
     def used_bytes(self) -> int:
-        """Bytes consumed by live records plus the page header."""
+        """Bytes consumed on the page: header, live records, and the line
+        pointers of every slot ever allocated (tombstones keep their 4-byte
+        pointer so surviving slot ids stay stable)."""
         return self._used_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes attributable to live records only (payloads + their line
+        pointers + the header) — what the page would occupy with every
+        tombstone reclaimed."""
+        return self._live_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes held by tombstones (their orphaned line pointers)."""
+        return self._used_bytes - self._live_bytes
 
     @property
     def free_bytes(self) -> int:
@@ -60,6 +75,7 @@ class Page:
             raise StorageError(f"page {self.page_id} has no room for a {record_payload_size(record)}-byte record")
         self._slots.append(record)
         self._used_bytes += record_payload_size(record) + 4
+        self._live_bytes += record_payload_size(record) + 4
         return len(self._slots) - 1
 
     def read(self, slot_id: int) -> Record:
@@ -77,12 +93,35 @@ class Page:
             raise StorageError(f"updated record does not fit on page {self.page_id}")
         self._slots[slot_id] = record
         self._used_bytes += delta
+        self._live_bytes += delta
 
     def delete(self, slot_id: int) -> None:
-        """Tombstone the record at ``slot_id``."""
+        """Tombstone the record at ``slot_id``.
+
+        The payload bytes are freed but the slot's 4-byte line pointer
+        stays allocated (and counted in ``used_bytes``) so surviving slot
+        ids — and therefore tuple pointers — never move; ``compact``
+        reclaims trailing pointers.
+        """
         record = self.read(slot_id)
         self._slots[slot_id] = None
         self._used_bytes -= record_payload_size(record)
+        self._live_bytes -= record_payload_size(record) + 4
+
+    def compact(self) -> int:
+        """Reclaim the line pointers of *trailing* tombstones.
+
+        Interior tombstones must keep their pointers (dropping them would
+        renumber later slots and invalidate live tuple pointers), but a
+        run of tombstones at the tail of the slot array is safe to
+        truncate.  Returns the number of bytes reclaimed.
+        """
+        reclaimed = 0
+        while self._slots and self._slots[-1] is None:
+            self._slots.pop()
+            self._used_bytes -= 4
+            reclaimed += 4
+        return reclaimed
 
     def is_deleted(self, slot_id: int) -> bool:
         """Whether ``slot_id`` holds a tombstone."""

@@ -1,0 +1,307 @@
+"""Append-only write-ahead log for DataSpread workspaces.
+
+The log is a sequence of *frames*, each a length-prefixed, CRC-checksummed
+JSON record::
+
+    [payload length : 4 bytes LE] [crc32(payload) : 4 bytes LE] [payload]
+
+A torn tail — a frame whose length prefix runs past the end of the file or
+whose checksum does not match (the classic half-written last frame after a
+crash) — terminates the readable portion of the log; everything before it
+is intact because frames are only ever appended.
+
+Record taxonomy (the ``"t"`` field of the JSON payload):
+
+``cell``
+    One committed cell write: row, column, value, formula text.  An empty
+    write (no value, no formula) is a clear.
+``structural``
+    One row/column insert or delete (axis, kind, line, count).  Replay
+    re-keys every logged cell through the same coordinate mapping the
+    engine uses (:class:`~repro.formula.rewrite.StructuralEdit`) and
+    rewrites straddling formula references, so a structural record is
+    self-sufficient even if the crash lands before the engine's rewritten
+    formula texts were themselves logged.
+``begin`` / ``commit`` / ``abort``
+    Group-commit markers.  Records between a ``begin`` and its ``commit``
+    apply atomically: a group missing its ``commit`` (torn tail, crash,
+    explicit ``abort``) is discarded wholesale during recovery.
+
+Durability contract: a *singleton* record (written outside any group) is
+fsynced before the append returns; grouped records are buffered by the OS
+and fsynced once, when the ``commit`` marker is written.  Those are exactly
+the engine's commit points — synchronous writes, batch exits, structural
+edits — so "the append returned" means "this edit survives a crash".
+
+Transient ``OSError`` on append or fsync is retried with bounded backoff;
+before each retry the file is truncated back to the last known-good frame
+boundary so a half-written attempt cannot corrupt the log ahead of its
+retry.  Exhausting the retries raises :class:`~repro.errors.WALError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from typing import Any, Callable, Iterator
+
+from repro.errors import WALError
+from repro.formula.rewrite import StructuralEdit
+
+#: Frame header: payload length + payload CRC32, little-endian u32 each.
+FRAME_HEADER = struct.Struct("<II")
+
+#: Default bounded-retry policy for transient IO errors.
+DEFAULT_MAX_RETRIES = 4
+DEFAULT_BACKOFF_SECONDS = 0.001
+
+
+# ---------------------------------------------------------------------- #
+# frame codec
+# ---------------------------------------------------------------------- #
+def encode_frame(record: dict[str, Any]) -> bytes:
+    """Serialize one record into a length-prefixed, checksummed frame."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frames(data: bytes) -> Iterator[dict[str, Any]]:
+    """Yield intact records from ``data``, stopping at the first torn frame.
+
+    A torn tail (truncated header, truncated payload, or checksum mismatch)
+    silently ends iteration — that is the expected shape of a crash — so
+    callers never see a half-written record.
+    """
+    offset = 0
+    total = len(data)
+    while offset + FRAME_HEADER.size <= total:
+        length, checksum = FRAME_HEADER.unpack_from(data, offset)
+        start = offset + FRAME_HEADER.size
+        end = start + length
+        if end > total:
+            return  # torn: the payload never finished landing
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            return  # torn or corrupt: stop at the last intact frame
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return
+        yield record
+        offset = end
+
+
+# ---------------------------------------------------------------------- #
+# record constructors
+# ---------------------------------------------------------------------- #
+def cell_record(row: int, column: int, value: Any, formula: str | None) -> dict[str, Any]:
+    """A committed cell write (an empty value+formula pair is a clear)."""
+    return {"t": "cell", "r": row, "c": column, "v": value, "f": formula}
+
+
+def structural_record(edit: StructuralEdit) -> dict[str, Any]:
+    """A row/column insert or delete."""
+    return {"t": "structural", "axis": edit.axis, "kind": edit.kind,
+            "line": edit.line, "count": edit.count}
+
+
+def structural_edit_from(record: dict[str, Any]) -> StructuralEdit:
+    """Rebuild the :class:`StructuralEdit` a ``structural`` record describes."""
+    return StructuralEdit(axis=record["axis"], kind=record["kind"],
+                          line=record["line"], count=record["count"])
+
+
+BEGIN = {"t": "begin"}
+COMMIT = {"t": "commit"}
+ABORT = {"t": "abort"}
+
+
+# ---------------------------------------------------------------------- #
+# IO seam (fault injection plugs in here)
+# ---------------------------------------------------------------------- #
+class WALFileIO:
+    """Default file-backed IO for the WAL writer.
+
+    The writer talks to this four-method seam (``append`` / ``sync`` /
+    ``truncate`` / ``close``) rather than the file directly, so tests can
+    interpose fault injectors that tear writes, raise transient errors, or
+    simulate a crash mid-frame.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._handle = open(path, "ab")
+
+    def append(self, data: bytes) -> None:
+        self._handle.write(data)
+        self._handle.flush()
+
+    def sync(self) -> None:
+        os.fsync(self._handle.fileno())
+
+    def truncate(self, size: int) -> None:
+        self._handle.truncate(size)
+        self._handle.seek(0, os.SEEK_END)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+#: Factory building the IO object for a log path (the injection point).
+WALIOFactory = Callable[[str], Any]
+
+
+# ---------------------------------------------------------------------- #
+# writer
+# ---------------------------------------------------------------------- #
+class WALWriter:
+    """Appends records durably, with group commit and bounded IO retry."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        io_factory: WALIOFactory | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.path = path
+        self._io = (io_factory or WALFileIO)(path)
+        self._max_retries = max_retries
+        self._backoff = backoff_seconds
+        self._sleep = sleep
+        # Byte offset of the last durable/intact frame boundary; retries
+        # truncate back to it so half-written attempts never pollute the log.
+        self._good_offset = os.path.getsize(path) if os.path.exists(path) else 0
+        self._in_group = False
+        #: Frames appended (including group markers).
+        self.frames_appended = 0
+        #: Durable commit points reached: synced singletons + synced commits.
+        self.durable_commits = 0
+        #: Transient IO errors absorbed by the retry loop.
+        self.retries = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_group(self) -> bool:
+        """Whether a ``begin`` marker is open without its ``commit``."""
+        return self._in_group
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record; fsyncs immediately unless a group is open."""
+        self._append_frame(encode_frame(record))
+        if not self._in_group:
+            self._sync()
+            self.durable_commits += 1
+
+    def begin(self) -> None:
+        """Open a group: subsequent appends defer their fsync to commit."""
+        if self._in_group:
+            raise WALError("WAL group already open")
+        self._append_frame(encode_frame(BEGIN))
+        self._in_group = True
+
+    def commit(self) -> None:
+        """Close the open group durably (one fsync for the whole group)."""
+        if not self._in_group:
+            raise WALError("no WAL group open")
+        self._append_frame(encode_frame(COMMIT))
+        self._in_group = False
+        self._sync()
+        self.durable_commits += 1
+
+    def abort(self) -> None:
+        """Mark the open group aborted; its records are dead on replay."""
+        if not self._in_group:
+            raise WALError("no WAL group open")
+        self._in_group = False
+        # Best-effort: an abort marker keeps the log tidy, but recovery
+        # discards an unterminated group anyway, so failure to write the
+        # marker (mid-crash) loses nothing.
+        try:
+            self._append_frame(encode_frame(ABORT))
+            self._sync()
+        except WALError:
+            pass
+
+    def close(self) -> None:
+        self._io.close()
+
+    # ------------------------------------------------------------------ #
+    def _append_frame(self, frame: bytes) -> None:
+        self._retry("append", lambda: self._io.append(frame),
+                    rewind=True)
+        self._good_offset += len(frame)
+        self.frames_appended += 1
+
+    def _sync(self) -> None:
+        self._retry("fsync", self._io.sync, rewind=False)
+
+    def _retry(self, action: str, operation: Callable[[], None], *, rewind: bool) -> None:
+        attempts = self._max_retries + 1
+        for attempt in range(attempts):
+            try:
+                operation()
+                return
+            except OSError as error:
+                self.retries += 1
+                if attempt + 1 >= attempts:
+                    raise WALError(
+                        f"WAL {action} failed after {attempts} attempts: {error}"
+                    ) from error
+                if rewind:
+                    # The failed write may have landed partially; rewind to
+                    # the last intact frame boundary before trying again.
+                    try:
+                        self._io.truncate(self._good_offset)
+                    except OSError:
+                        pass  # the retry's own failure path will surface it
+                self._sleep(self._backoff * (2 ** attempt))
+
+
+# ---------------------------------------------------------------------- #
+# reader
+# ---------------------------------------------------------------------- #
+def read_records(path: str) -> list[dict[str, Any]]:
+    """All intact records in the log at ``path`` (torn tail discarded)."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return list(decode_frames(data))
+
+
+def committed_records(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Fold group markers: the durably committed records, in log order.
+
+    Singleton records pass through.  Records inside a ``begin``..``commit``
+    group are released atomically at the commit; a group terminated by
+    ``abort`` — or never terminated at all (crash mid-group) — is dropped
+    wholesale, so replay can never observe a half-applied batch.
+    """
+    committed: list[dict[str, Any]] = []
+    group: list[dict[str, Any]] | None = None
+    for record in records:
+        kind = record.get("t")
+        if kind == "begin":
+            # A dangling open group (crash between begin and commit)
+            # followed by a fresh begin should never happen — the writer
+            # forbids nesting — but drop the stale prefix defensively.
+            group = []
+        elif kind == "commit":
+            if group is not None:
+                committed.extend(group)
+                group = None
+        elif kind == "abort":
+            group = None
+        elif group is not None:
+            group.append(record)
+        else:
+            committed.append(record)
+    return committed

@@ -1,5 +1,10 @@
 """Shared test support machinery (randomized-equivalence harness)."""
 
+from tests.support.faults import (  # noqa: F401
+    FaultPlan,
+    FaultyIO,
+    SimulatedCrash,
+)
 from tests.support.harness import (  # noqa: F401
     COMPARE_WINDOW,
     DATA_COLUMNS,
@@ -7,12 +12,15 @@ from tests.support.harness import (  # noqa: F401
     FORMULA_COLUMNS,
     Boom,
     apply_edit,
+    apply_op,
     apply_structural,
     assert_engines_agree,
     assert_oracle_agrees,
     random_edit,
     random_formula,
     random_structural,
+    run_async_crash_recovery,
+    run_crash_recovery,
     run_equivalence,
     run_mid_batch_equivalence,
 )

@@ -1,0 +1,156 @@
+"""Failpoint-style fault injection for the durability layer.
+
+The WAL's only contact with the operating system goes through the small
+``WALFileIO`` seam (append / sync / truncate / tell / close).  ``FaultyIO``
+wraps that seam and consults a shared :class:`FaultPlan`, which can
+
+* **crash** the process at the Nth appended frame (:class:`SimulatedCrash`
+  is a ``BaseException`` so neither the engine nor the scheduler's
+  quarantine logic can swallow it),
+* leave a **torn final frame** behind — a partial prefix of the fatal
+  frame is written before the crash fires, exercising the reader's
+  torn-tail discard,
+* inject a bounded burst of **transient ``OSError``\\ s** on append or
+  fsync, exercising the writer's retry-with-rewind path.
+
+Crashes fire on *appends only*, never on fsync.  An fsync-time crash
+would leave the frame durable on disk while the writer never counted the
+commit, making ``durable_commits`` an under-approximation of replayable
+state; restricting the crash arm to appends keeps the counter exact,
+which is what lets the crash-fuzz oracle use it as its ledger threshold.
+
+One plan is shared by every file the workspace opens (the WAL rotates to
+a new generation at each checkpoint), so countdowns span rotations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.wal import WALFileIO
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process kill.
+
+    Derives from ``BaseException`` on purpose: ``except Exception``
+    handlers (e.g. the compute scheduler's quarantine) must not treat a
+    crash as a recoverable evaluation failure.
+    """
+
+
+class FaultPlan:
+    """Mutable schedule of faults shared across a workspace's WAL files.
+
+    Parameters
+    ----------
+    crash_after_appends:
+        Crash when this many further appends have been attempted
+        (``None`` disables the crash arm).  The fatal append writes
+        nothing — or a torn prefix — and raises :class:`SimulatedCrash`.
+    torn_tail:
+        When crashing, first write a partial prefix of the fatal frame
+        so recovery must discard a torn tail.
+    append_errors / sync_errors:
+        Number of transient ``OSError`` s to inject on the corresponding
+        operation before it starts succeeding again.  Keep these at or
+        below the writer's retry budget to model recoverable glitches.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_after_appends: int | None = None,
+        torn_tail: bool = False,
+        append_errors: int = 0,
+        sync_errors: int = 0,
+    ) -> None:
+        self.crash_after_appends = crash_after_appends
+        self.torn_tail = torn_tail
+        self.append_errors = append_errors
+        self.sync_errors = sync_errors
+        #: Once a crash fired, every later operation fails too — the
+        #: "process" is dead; nothing may sneak onto disk afterwards.
+        self.dead = False
+        #: Temporarily parks the crash arm (e.g. while the async harness
+        #: drains compute outside the region under test).
+        self.crash_enabled = True
+        self.crashed = False
+        self.appends_seen = 0
+        self.transients_injected = 0
+
+    # ------------------------------------------------------------------ #
+    def io_factory(self):
+        """An ``io_factory`` for ``WALWriter`` threading this plan in."""
+        return lambda path: FaultyIO(WALFileIO(path), self)
+
+    def wal_options(self) -> dict:
+        """Ready-made ``wal_options`` for engines under this plan."""
+        return {"io_factory": self.io_factory(), "backoff_seconds": 0.0}
+
+    @classmethod
+    def random(cls, rng: random.Random, *, max_appends: int = 120) -> "FaultPlan":
+        """A randomized plan: maybe a crash, maybe transient glitches."""
+        crash = rng.randrange(1, max_appends + 1) if rng.random() < 0.8 else None
+        return cls(
+            crash_after_appends=crash,
+            torn_tail=rng.random() < 0.5,
+            append_errors=rng.choice([0, 0, 1, 2]),
+            sync_errors=rng.choice([0, 0, 1]),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _check_dead(self) -> None:
+        if self.dead:
+            raise SimulatedCrash("I/O on a crashed workspace")
+
+    def on_append(self, io: WALFileIO, frame: bytes) -> None:
+        self._check_dead()
+        if self.append_errors > 0:
+            self.append_errors -= 1
+            self.transients_injected += 1
+            raise OSError("injected transient append failure")
+        if self.crash_after_appends is not None and self.crash_enabled:
+            self.appends_seen += 1
+            if self.appends_seen >= self.crash_after_appends:
+                self.dead = True
+                self.crashed = True
+                if self.torn_tail and len(frame) > 1:
+                    # A partial frame reaches disk before the "kill".
+                    io.append(frame[: max(1, len(frame) // 2)])
+                raise SimulatedCrash(
+                    f"simulated crash at append #{self.appends_seen}"
+                )
+
+    def on_sync(self) -> None:
+        self._check_dead()
+        if self.sync_errors > 0:
+            self.sync_errors -= 1
+            self.transients_injected += 1
+            raise OSError("injected transient fsync failure")
+
+
+class FaultyIO:
+    """``WALFileIO`` wrapper that routes every operation through a plan."""
+
+    def __init__(self, io: WALFileIO, plan: FaultPlan) -> None:
+        self._io = io
+        self._plan = plan
+
+    def append(self, data: bytes) -> None:
+        self._plan.on_append(self._io, data)
+        self._io.append(data)
+
+    def sync(self) -> None:
+        self._plan.on_sync()
+        self._io.sync()
+
+    def truncate(self, offset: int) -> None:
+        self._plan._check_dead()
+        self._io.truncate(offset)
+
+    def tell(self) -> int:
+        return self._io.tell()
+
+    def close(self) -> None:
+        self._io.close()

@@ -25,11 +25,16 @@ One shared implementation of the machinery the equivalence suites need:
 from __future__ import annotations
 
 import random
+import shutil
+import tempfile
 
 from repro.engine.dataspread import DataSpread
 from repro.grid.address import MAX_COLUMNS, MAX_ROWS, column_index_to_letter
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.storage.recovery import recover
+
+from tests.support.faults import FaultPlan, SimulatedCrash
 
 #: Rows/columns of the constant data block the formulas read.
 DATA_ROWS = 24
@@ -308,3 +313,233 @@ def run_mid_batch_equivalence(seed: int, *, steps: int = 40) -> None:
             async_spread.flush_compute(limit=rng.randint(1, 3))
 
     assert_engines_agree(async_spread, sync_spread, context=(seed,))
+
+
+# ---------------------------------------------------------------------- #
+# crash-recovery fuzz
+# ---------------------------------------------------------------------- #
+#: Structural op tags, to route mixed op streams through ``apply_op``.
+STRUCTURAL_KINDS = frozenset(
+    {"insert_row_after", "delete_row", "insert_column_after", "delete_column"}
+)
+
+
+def apply_op(target, op: tuple) -> None:
+    """Route a mixed cell-or-structural op to an engine or oracle."""
+    if op[0] in STRUCTURAL_KINDS:
+        apply_structural(target, op)
+    else:
+        apply_edit(target, op)
+
+
+def _select_committed(ledger: list, durable: int) -> list[tuple]:
+    """The op sequence implied by ``durable`` commit points.
+
+    Each ledger entry is a list of ``(threshold, ops)`` alternatives in
+    increasing threshold order; an alternative is in effect when its
+    commit point was reached (``threshold <= durable``), and the *last*
+    reachable alternative per entry wins (a batch's later commit points
+    subsume its earlier mid-batch prefixes).
+    """
+    committed: list[tuple] = []
+    for alternatives in ledger:
+        chosen: list[tuple] | None = None
+        for threshold, ops in alternatives:
+            if threshold <= durable:
+                chosen = ops
+        if chosen:
+            committed.extend(chosen)
+    return committed
+
+
+def _assert_matches_oracle(recovered: DataSpread, committed_ops: list[tuple],
+                           context: tuple) -> None:
+    """The recovered grid must equal a sync replay of the committed ops."""
+    oracle = DataSpread()
+    oracle.aggregate_store.min_state_area = 1
+    for op in committed_ops:
+        apply_op(oracle, op)
+    window = COMPARE_WINDOW
+    for row in range(window.top, window.bottom + 1):
+        for column in range(window.left, window.right + 1):
+            expected = oracle.get_cell(row, column)
+            actual = recovered.get_cell(row, column)
+            assert actual.value == expected.value, (*context, row, column, "recovered")
+            assert actual.formula == expected.formula, (*context, row, column, "recovered")
+
+
+def run_crash_recovery(seed: int, *, steps: int = 50) -> bool:
+    """One randomized sync crash-recovery run; returns whether it crashed.
+
+    A synchronous durable engine takes a random interleaving of single
+    edits, clean and aborted batches (with mid-batch structural edits),
+    standalone structural edits, and checkpoints, under a random fault
+    plan (crash-at-append-N, torn final frame, transient IO errors).  A
+    ledger pairs every op with the ``durable_commits`` watermark of its
+    commit point; after the (possible) crash, recovery must reproduce
+    exactly the state implied by the watermark actually reached — never
+    a half-applied batch, never an op the log did not durably commit.
+    """
+    rng = random.Random(seed)
+    workdir = tempfile.mkdtemp(prefix=f"repro-crash-{seed}-")
+    plan = FaultPlan.random(rng)
+    spread = DataSpread(durability="wal", storage_dir=workdir,
+                        wal_options=plan.wal_options())
+    spread.aggregate_store.min_state_area = 1
+    backend = spread.storage_backend
+    ledger: list[list[tuple[int, list[tuple]]]] = []
+    try:
+        try:
+            anchor_row, anchor_column = SEED_ANCHOR
+            seed_op = ("value", anchor_row, anchor_column, seed)
+            ledger.append([(backend.durable_commits + 1, [seed_op])])
+            apply_edit(spread, seed_op)
+
+            for _step in range(steps):
+                action = rng.randrange(12)
+                if action < 6:  # single edit: one fsynced singleton record
+                    op = random_edit(rng)
+                    ledger.append([(backend.durable_commits + 1, [op])])
+                    apply_edit(spread, op)
+                elif action < 9:  # batch (clean or aborted), maybe structurals
+                    ops = [
+                        random_structural(rng) if rng.random() < 0.35 else random_edit(rng)
+                        for _ in range(rng.randint(2, 6))
+                    ]
+                    abort = rng.random() < 0.25
+                    entry: list[tuple[int, list[tuple]]] = []
+                    ledger.append(entry)
+                    applied: list[tuple] = []
+                    try:
+                        with spread.batch():
+                            for op in ops:
+                                if op[0] in STRUCTURAL_KINDS:
+                                    # A mid-batch structural edit is a commit
+                                    # point covering the batch prefix so far.
+                                    # Register the alternative *before* the
+                                    # call: the group commits inside it, and
+                                    # a crash in the post-commit recompute
+                                    # must still find the prefix durable.
+                                    pre = backend.durable_commits
+                                    applied.append(op)
+                                    entry.append((pre + 1, list(applied)))
+                                    apply_structural(spread, op)
+                                else:
+                                    apply_edit(spread, op)
+                                    applied.append(op)
+                            if abort:
+                                raise Boom()
+                            # The closing flush commits the whole batch.
+                            entry.append((backend.durable_commits + 1, list(applied)))
+                    except Boom:
+                        pass
+                elif action < 11:  # standalone structural edit
+                    op = random_structural(rng)
+                    ledger.append([(backend.durable_commits + 1, [op])])
+                    apply_structural(spread, op)
+                else:  # checkpoint: fold the log into a snapshot generation
+                    spread.checkpoint()
+        except SimulatedCrash:
+            pass
+        else:
+            spread.close()
+        durable = backend.durable_commits
+        committed = _select_committed(ledger, durable)
+        recovered = recover(workdir)
+        try:
+            _assert_matches_oracle(recovered, committed, (seed, durable))
+        finally:
+            recovered.close()
+        return plan.crashed
+    finally:
+        try:
+            spread.close()
+        except BaseException:
+            pass
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run_async_crash_recovery(seed: int, *, steps: int = 50) -> bool:
+    """One randomized async crash-recovery run; returns whether it crashed.
+
+    The async engine acknowledges formula edits with an unlogged
+    provisional placeholder; a formula becomes durable only when the
+    scheduler's committing evaluate writes it (here: a full
+    ``flush_compute``, during which the crash arm is parked so every
+    pending formula shares the flush's watermark).  Constants, clears,
+    and structural edits commit immediately, exactly as in sync mode.
+    """
+    rng = random.Random(seed)
+    workdir = tempfile.mkdtemp(prefix=f"repro-acrash-{seed}-")
+    # Fewer appends happen outside flushes (where the crash arm is parked),
+    # so aim the crash countdown lower than the sync runner's.
+    plan = FaultPlan.random(rng, max_appends=60)
+    spread = DataSpread(async_recompute=True, idle_drain_budget=0,
+                        durability="wal", storage_dir=workdir,
+                        wal_options=plan.wal_options())
+    spread.aggregate_store.min_state_area = 1
+    backend = spread.storage_backend
+    ledger: list[list[tuple[int, list[tuple]]]] = []
+    pending_formulas: list[tuple[list, tuple]] = []
+
+    def flush_all() -> None:
+        # Park the crash arm: a full flush either completes (every pending
+        # formula durable at the post-flush watermark) or not at all.
+        plan.crash_enabled = False
+        try:
+            spread.flush_compute()
+        finally:
+            plan.crash_enabled = True
+        watermark = backend.durable_commits
+        for entry, op in pending_formulas:
+            entry.append((watermark, [op]))
+        pending_formulas.clear()
+
+    try:
+        try:
+            anchor_row, anchor_column = SEED_ANCHOR
+            seed_op = ("value", anchor_row, anchor_column, seed)
+            ledger.append([(backend.durable_commits + 1, [seed_op])])
+            apply_edit(spread, seed_op)
+
+            for _step in range(steps):
+                action = rng.randrange(12)
+                if action < 7:  # single edit
+                    op = random_edit(rng)
+                    entry = []
+                    ledger.append(entry)
+                    if op[0] == "formula":
+                        # Acknowledged provisionally: durable only once a
+                        # flush commits the evaluated cell.
+                        pending_formulas.append((entry, op))
+                        apply_edit(spread, op)
+                    else:
+                        entry.append((backend.durable_commits + 1, [op]))
+                        apply_edit(spread, op)
+                elif action < 9:  # structural edit (atomic group, immediate)
+                    op = random_structural(rng)
+                    ledger.append([(backend.durable_commits + 1, [op])])
+                    apply_structural(spread, op)
+                elif action < 11:  # full drain commits every pending formula
+                    flush_all()
+                else:  # checkpoint
+                    spread.checkpoint()
+        except SimulatedCrash:
+            pass
+        else:
+            flush_all()
+            spread.close()
+        durable = backend.durable_commits
+        committed = _select_committed(ledger, durable)
+        recovered = recover(workdir)
+        try:
+            _assert_matches_oracle(recovered, committed, (seed, durable, "async"))
+        finally:
+            recovered.close()
+        return plan.crashed
+    finally:
+        try:
+            spread.close()
+        except BaseException:
+            pass
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -595,7 +595,7 @@ class TestComputeSchedulerUnit:
         scheduler.run()
         assert seen == [CellState.COMPUTING]
 
-    def test_failed_evaluation_leaves_cell_queued(self):
+    def test_failed_evaluation_retried_within_run(self):
         graph = DependencyGraph()
         graph.register(addr("B1"), "A1+1")
         attempts = []
@@ -607,11 +607,38 @@ class TestComputeSchedulerUnit:
 
         scheduler = ComputeScheduler(graph, evaluate)
         scheduler.mark_dirty([addr("A1")])
-        with pytest.raises(RuntimeError):
-            scheduler.run()
-        assert scheduler.pending_count == 1
         assert scheduler.run() == 1
         assert attempts == [addr("B1"), addr("B1")]
+        assert scheduler.pending_count == 0
+        assert scheduler.stats.quarantine_retries == 1
+        assert not scheduler.quarantined
+        assert scheduler.is_fresh(addr("B1"))
+
+    def test_persistent_failure_quarantined_and_drain_continues(self):
+        graph = DependencyGraph()
+        graph.register(addr("B1"), "A1+1")
+        graph.register(addr("C1"), "A1+2")
+        attempts = []
+
+        def evaluate(address):
+            attempts.append(address)
+            if address == addr("B1"):
+                raise RuntimeError("poisoned")
+
+        scheduler = ComputeScheduler(graph, evaluate)
+        scheduler.mark_dirty([addr("A1")])
+        scheduler.run()
+        # B1 exhausts its retry budget and is quarantined; C1 still drains.
+        assert attempts.count(addr("B1")) == ComputeScheduler.max_evaluate_attempts
+        assert attempts.count(addr("C1")) == 1
+        assert scheduler.pending_count == 0
+        assert addr("B1") in scheduler.quarantined
+        assert "poisoned" in scheduler.quarantined[addr("B1")]
+        assert scheduler.stats.quarantined == 1
+        # Re-dirtying the seed clears the quarantine and retries from scratch.
+        scheduler.mark_dirty([addr("A1")])
+        assert addr("B1") not in scheduler.quarantined
+        assert scheduler.pending_count == 2
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,488 @@
+"""Durability layer: WAL, snapshots, recovery, fault injection, quarantine.
+
+Covers the write-ahead log's frame codec and group-commit folding, the
+retry-with-rewind IO path under injected transient errors, snapshot
+generations and checkpoint rotation, the engine's commit-point mapping
+(synchronous singletons, batch groups, structural atomic groups, async
+provisional placeholders), redo-replay recovery, the compute scheduler's
+poisoned-formula quarantine, and the seeded crash-recovery fuzz
+(``make crash-fuzz`` widens the seed set via ``REPRO_CRASH_SEEDS``).
+"""
+
+import os
+
+import pytest
+
+from repro.engine.dataspread import DataSpread
+from repro.errors import RecoveryError, StorageError, WALError
+from repro.storage.recovery import recover, recovered_cells, replay_records
+from repro.storage.snapshot import (
+    list_wal_generations,
+    load_snapshot,
+    snapshot_path,
+    wal_path,
+    write_snapshot,
+)
+from repro.storage.wal import (
+    WALWriter,
+    cell_record,
+    committed_records,
+    decode_frames,
+    encode_frame,
+    read_records,
+)
+
+from tests.support import (
+    FaultPlan,
+    SimulatedCrash,
+    run_async_crash_recovery,
+    run_crash_recovery,
+)
+
+#: Fast deterministic crash-fuzz seeds for tier-1; ``make crash-fuzz``
+#: widens via REPRO_CRASH_SEEDS (disjoint async offset, as in the
+#: equivalence fuzz).
+_FAST_CRASH_SEEDS = range(31, 37)
+
+
+def _crash_seed_set() -> list[int]:
+    requested = os.environ.get("REPRO_CRASH_SEEDS")
+    if requested:
+        return list(range(1, int(requested) + 1))
+    return list(_FAST_CRASH_SEEDS)
+
+
+# ---------------------------------------------------------------------- #
+# WAL frame codec and group folding
+# ---------------------------------------------------------------------- #
+class TestFrameCodec:
+    def test_round_trip(self):
+        records = [
+            cell_record(1, 2, 42, None),
+            cell_record(3, 4, "x", "A1+1"),
+            {"t": "structural", "axis": "row", "kind": "insert", "line": 5, "count": 2},
+        ]
+        data = b"".join(encode_frame(r) for r in records)
+        assert list(decode_frames(data)) == records
+
+    @pytest.mark.parametrize("cut", [1, 3, 7, 9])
+    def test_torn_tail_discarded(self, cut):
+        intact = encode_frame(cell_record(1, 1, 1, None))
+        torn = encode_frame(cell_record(2, 2, 2, None))
+        data = intact + torn[:cut]
+        assert list(decode_frames(data)) == [cell_record(1, 1, 1, None)]
+
+    def test_corrupt_checksum_terminates(self):
+        first = encode_frame(cell_record(1, 1, 1, None))
+        second = bytearray(encode_frame(cell_record(2, 2, 2, None)))
+        second[-1] ^= 0xFF  # flip one payload byte
+        assert list(decode_frames(first + bytes(second))) == [cell_record(1, 1, 1, None)]
+
+    def test_group_folding(self):
+        records = [
+            {"t": "cell", "r": 1, "c": 1, "v": 1, "f": None},
+            {"t": "begin"},
+            {"t": "cell", "r": 2, "c": 1, "v": 2, "f": None},
+            {"t": "cell", "r": 3, "c": 1, "v": 3, "f": None},
+            {"t": "commit"},
+            {"t": "begin"},
+            {"t": "cell", "r": 4, "c": 1, "v": 4, "f": None},
+            {"t": "abort"},
+            {"t": "cell", "r": 5, "c": 1, "v": 5, "f": None},
+        ]
+        rows = [r["r"] for r in committed_records(records)]
+        assert rows == [1, 2, 3, 5]  # aborted group's row 4 is dropped
+
+    def test_dangling_group_dropped(self):
+        records = [
+            {"t": "cell", "r": 1, "c": 1, "v": 1, "f": None},
+            {"t": "begin"},
+            {"t": "cell", "r": 2, "c": 1, "v": 2, "f": None},
+            # crash: no commit ever lands
+        ]
+        assert [r["r"] for r in committed_records(records)] == [1]
+
+
+# ---------------------------------------------------------------------- #
+# WAL writer: durability counters and transient-error retry
+# ---------------------------------------------------------------------- #
+class TestWALWriter:
+    def test_singleton_and_group_commit_counters(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = WALWriter(path)
+        writer.append(cell_record(1, 1, 1, None))
+        assert writer.durable_commits == 1
+        writer.begin()
+        writer.append(cell_record(2, 1, 2, None))
+        writer.append(cell_record(3, 1, 3, None))
+        assert writer.durable_commits == 1  # grouped appends defer the fsync
+        writer.commit()
+        assert writer.durable_commits == 2
+        writer.close()
+        assert len(committed_records(read_records(path))) == 3
+
+    def test_transient_append_errors_retried_without_loss(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        plan = FaultPlan(append_errors=2)
+        writer = WALWriter(path, io_factory=plan.io_factory(), backoff_seconds=0.0)
+        writer.append(cell_record(1, 1, "survives", None))
+        writer.append(cell_record(2, 1, "also", None))
+        writer.close()
+        assert plan.transients_injected == 2
+        assert writer.retries == 2
+        values = [r["v"] for r in committed_records(read_records(path))]
+        assert values == ["survives", "also"]
+
+    def test_transient_fsync_errors_retried(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        plan = FaultPlan(sync_errors=2)
+        writer = WALWriter(path, io_factory=plan.io_factory(), backoff_seconds=0.0)
+        writer.append(cell_record(1, 1, 1, None))
+        writer.close()
+        assert writer.durable_commits == 1
+        assert writer.retries == 2
+
+    def test_retry_exhaustion_raises_walerror(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        plan = FaultPlan(append_errors=99)
+        writer = WALWriter(path, io_factory=plan.io_factory(),
+                           max_retries=2, backoff_seconds=0.0)
+        with pytest.raises(WALError):
+            writer.append(cell_record(1, 1, 1, None))
+        writer.close()
+
+    def test_crash_leaves_intact_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        plan = FaultPlan(crash_after_appends=3, torn_tail=True)
+        writer = WALWriter(path, io_factory=plan.io_factory(), backoff_seconds=0.0)
+        writer.append(cell_record(1, 1, 1, None))
+        writer.append(cell_record(2, 1, 2, None))
+        with pytest.raises(SimulatedCrash):
+            writer.append(cell_record(3, 1, 3, None))
+        # The torn third frame is on disk but unreadable; the prefix survives.
+        assert os.path.getsize(path) > 2 * len(encode_frame(cell_record(1, 1, 1, None))) - 1
+        assert [r["r"] for r in read_records(path)] == [1, 2]
+        assert writer.durable_commits == 2
+
+
+# ---------------------------------------------------------------------- #
+# snapshots and generations
+# ---------------------------------------------------------------------- #
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        directory = str(tmp_path)
+        cells = [(1, 1, 10, None), (2, 3, "x", "A1+1")]
+        size = write_snapshot(directory, generation=4, cells=cells,
+                              config={"mapping_scheme": "rcv"})
+        assert size > 0
+        snapshot = load_snapshot(directory)
+        assert snapshot["generation"] == 4
+        assert [tuple(c) for c in snapshot["cells"]] == cells
+        assert snapshot["config"]["mapping_scheme"] == "rcv"
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(str(tmp_path)) is None
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        directory = str(tmp_path)
+        with open(snapshot_path(directory), "wb") as handle:
+            handle.write(b"\x01\x02\x03 not a snapshot")
+        with pytest.raises(RecoveryError):
+            load_snapshot(directory)
+
+    def test_generation_listing(self, tmp_path):
+        directory = str(tmp_path)
+        for generation in (0, 2, 5):
+            with open(wal_path(directory, generation), "wb"):
+                pass
+        assert list_wal_generations(directory) == [0, 2, 5]
+
+
+# ---------------------------------------------------------------------- #
+# engine integration: commit-point mapping
+# ---------------------------------------------------------------------- #
+class TestEngineWAL:
+    def _spread(self, tmp_path, **kwargs):
+        return DataSpread(durability="wal", storage_dir=str(tmp_path), **kwargs)
+
+    def test_durability_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DataSpread(durability="wal")  # storage_dir required
+        with pytest.raises(ValueError):
+            DataSpread(durability="bogus")
+        assert DataSpread().durability == "none"
+
+    def test_existing_state_guard(self, tmp_path):
+        spread = self._spread(tmp_path)
+        spread.set_value(1, 1, 1)
+        spread.close()
+        with pytest.raises(WALError):
+            self._spread(tmp_path)  # must go through recover() instead
+
+    def test_sync_edit_is_one_fsynced_singleton(self, tmp_path):
+        spread = self._spread(tmp_path)
+        backend = spread.storage_backend
+        spread.set_value(1, 1, 7)
+        assert backend.durable_commits == 1
+        records = committed_records(read_records(backend.log_path))
+        assert records == [cell_record(1, 1, 7, None)]
+        spread.close()
+
+    def test_batch_is_one_atomic_group(self, tmp_path):
+        spread = self._spread(tmp_path)
+        backend = spread.storage_backend
+        with spread.batch():
+            spread.set_value(1, 1, 1)
+            spread.set_value(2, 1, 2)
+            spread.set_value(3, 1, 3)
+            assert backend.durable_commits == 0  # nothing durable mid-batch
+        assert backend.durable_commits == 1
+        raw = read_records(backend.log_path)
+        assert raw[0]["t"] == "begin" and raw[4]["t"] == "commit"
+        spread.close()
+
+    def test_aborted_batch_logs_nothing(self, tmp_path):
+        spread = self._spread(tmp_path)
+
+        class Boom(Exception):
+            pass
+
+        spread.set_value(1, 1, 1)
+        try:
+            with spread.batch():
+                spread.set_value(2, 1, 2)
+                raise Boom()
+        except Boom:
+            pass
+        records = committed_records(read_records(spread.storage_backend.log_path))
+        assert records == [cell_record(1, 1, 1, None)]
+        spread.close()
+
+    def test_structural_edit_is_atomic_with_flush(self, tmp_path):
+        spread = self._spread(tmp_path)
+        backend = spread.storage_backend
+        spread.set_value(2, 1, 5)
+        pre = backend.durable_commits
+        spread.insert_row_after(1, 1)
+        assert backend.durable_commits == pre + 1
+        records = committed_records(read_records(backend.log_path))
+        assert records[-1] == {"t": "structural", "axis": "row",
+                               "kind": "insert", "line": 1, "count": 1}
+        spread.close()
+
+    def test_async_placeholders_not_logged(self, tmp_path):
+        spread = self._spread(tmp_path, async_recompute=True)
+        backend = spread.storage_backend
+        spread.set_value(1, 1, 4)
+        spread.set_formula(1, 2, "A1*10")
+        records = committed_records(read_records(backend.log_path))
+        # The provisional formula is acknowledged but not yet durable
+        # (only its empty extent-growth record may appear).
+        assert not any(r.get("f") for r in records)
+        spread.flush_compute()
+        records = committed_records(read_records(backend.log_path))
+        assert {"t": "cell", "r": 1, "c": 2, "v": 40, "f": "A1*10"} in records
+        spread.close()
+
+    def test_checkpoint_rotates_and_truncates(self, tmp_path):
+        spread = self._spread(tmp_path)
+        spread.set_value(1, 1, 1)
+        info = spread.checkpoint()
+        assert info["generation"] == 1
+        assert list_wal_generations(str(tmp_path)) == [1]
+        assert read_records(wal_path(str(tmp_path), 1)) == []
+        assert load_snapshot(str(tmp_path))["generation"] == 1
+        spread.close()
+
+    def test_checkpoint_forbidden_inside_batch(self, tmp_path):
+        spread = self._spread(tmp_path)
+        with spread.batch():
+            with pytest.raises(WALError):
+                spread.checkpoint()
+        spread.close()
+
+    def test_io_retry_surfaces_in_backend_stats(self, tmp_path):
+        plan = FaultPlan(append_errors=1)
+        spread = self._spread(tmp_path, wal_options=plan.wal_options())
+        spread.set_value(1, 1, 1)
+        assert spread.storage_backend.io_retries == 1
+        assert spread.get_value(1, 1) == 1  # retried, not lost
+        spread.close()
+        assert committed_records(read_records(wal_path(str(tmp_path), 0))) == [
+            cell_record(1, 1, 1, None)
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# recovery
+# ---------------------------------------------------------------------- #
+class TestRecovery:
+    def test_recovers_exact_state(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory)
+        spread.set_value(1, 1, 3)
+        spread.set_value(2, 1, 4)
+        spread.set_formula(1, 2, "SUM(A1:A2)")
+        spread.close()
+        recovered = recover(directory)
+        assert recovered.get_value(1, 2) == 7
+        assert recovered.get_cell(1, 2).formula == "SUM(A1:A2)"
+        assert recovered.durability == "wal"
+        recovered.close()
+
+    def test_recovery_is_a_checkpoint_barrier(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory)
+        spread.set_value(1, 1, 3)
+        spread.close()
+        recovered = recover(directory)
+        generation = recovered.storage_backend.generation
+        assert generation >= 1  # the replayed log was folded into a snapshot
+        assert list_wal_generations(directory) == [generation]
+        recovered.close()
+
+    def test_torn_tail_discarded(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory)
+        spread.set_value(1, 1, "keep")
+        log_path = spread.storage_backend.log_path
+        spread.close()
+        with open(log_path, "ab") as handle:
+            handle.write(encode_frame(cell_record(9, 9, "torn", None))[:7])
+        assert recovered_cells(directory) == {(1, 1): ("keep", None)}
+
+    def test_aborted_group_discarded(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory)
+        spread.set_value(1, 1, "keep")
+        log_path = spread.storage_backend.log_path
+        spread.close()
+        # Simulate a crash mid-batch: a begin group with no commit.
+        with open(log_path, "ab") as handle:
+            handle.write(encode_frame({"t": "begin"}))
+            handle.write(encode_frame(cell_record(5, 5, "lost", None)))
+        assert recovered_cells(directory) == {(1, 1): ("keep", None)}
+
+    def test_structural_replay_remaps_and_rewrites(self, tmp_path):
+        # A structural record whose engine-side rewritten texts never made
+        # it to the log: replay must re-key cells AND rewrite formulas.
+        base = {(2, 1): (5, None), (2, 2): (5, "A2*1")}
+        records = [{"t": "structural", "axis": "row", "kind": "insert",
+                    "line": 1, "count": 2}]
+        replayed = replay_records(base, records)
+        assert replayed == {(4, 1): (5, None), (4, 2): (5, "A4*1")}
+
+    def test_recompute_heals_stale_dependents(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(1, 2, "A1*2")
+        log_path = spread.storage_backend.log_path
+        spread.close()
+        # Crash window: A1's new value committed, B1's refresh was not.
+        with open(log_path, "ab") as handle:
+            handle.write(encode_frame(cell_record(1, 1, 10, None)))
+        # fake durability of the appended record (fsynced singleton)
+        recovered = recover(directory)
+        assert recovered.get_value(1, 1) == 10
+        assert recovered.get_value(1, 2) == 20  # healed by the recompute pass
+        recovered.close()
+
+    def test_recover_empty_directory(self, tmp_path):
+        recovered = recover(str(tmp_path))
+        assert recovered.cell_count() == 0
+        recovered.close()
+
+    def test_recover_preserves_mapping_scheme(self, tmp_path):
+        directory = str(tmp_path)
+        spread = DataSpread(durability="wal", storage_dir=directory,
+                            mapping_scheme="monotonic")
+        spread.set_value(1, 1, 1)
+        spread.checkpoint()
+        spread.close()
+        recovered = recover(directory)
+        assert recovered.mapping_scheme == "monotonic"
+        recovered.close()
+
+
+# ---------------------------------------------------------------------- #
+# scheduler quarantine under the engine
+# ---------------------------------------------------------------------- #
+class TestQuarantineIntegration:
+    def test_poisoned_formula_quarantined_with_error_value(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(1, 2, "A1+1")
+        spread.set_formula(1, 3, "B1+1")
+        calls = {"n": 0}
+        original = spread._safe_evaluate
+
+        def poisoned(formula, address=None):
+            if address and (address.row, address.column) == (1, 2):
+                calls["n"] += 1
+                raise RuntimeError("evaluator bug")
+            return original(formula, address)
+
+        spread._safe_evaluate = poisoned
+        spread.flush_compute()
+        # Bounded retries, then quarantined as an error value; the drain
+        # kept going and committed the dependent.
+        assert calls["n"] == spread.compute_scheduler.max_evaluate_attempts
+        assert spread.get_value(1, 2) == "#ERROR!"
+        assert spread.get_cell(1, 2).formula == "A1+1"
+        assert spread.get_value(1, 3) == "#VALUE!"  # arithmetic over the error value
+        stats = spread.compute_scheduler.stats
+        assert stats.quarantined == 1
+        assert stats.quarantine_retries == spread.compute_scheduler.max_evaluate_attempts - 1
+        assert list(spread.compute_scheduler.quarantined) != []
+
+    def test_reedit_clears_quarantine(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(1, 2, "A1+1")
+        original = spread._safe_evaluate
+        state = {"poison": True}
+
+        def flaky(formula, address=None):
+            if state["poison"] and address and (address.row, address.column) == (1, 2):
+                raise RuntimeError("still broken")
+            return original(formula, address)
+
+        spread._safe_evaluate = flaky
+        spread.flush_compute()
+        assert spread.get_value(1, 2) == "#ERROR!"
+        state["poison"] = False
+        spread.set_value(1, 1, 5)  # re-dirties the quarantined dependent
+        spread.flush_compute()
+        assert spread.get_value(1, 2) == 6
+        assert not spread.compute_scheduler.quarantined
+
+    def test_structural_edit_remaps_quarantine(self):
+        spread = DataSpread(async_recompute=True)
+        spread.set_value(1, 1, 1)
+        spread.set_formula(10, 2, "A1+1")
+        original = spread._safe_evaluate
+        spread._safe_evaluate = lambda formula, address=None: (_ for _ in ()).throw(
+            RuntimeError("poison")
+        ) if address and address.column == 2 else original(formula, address)
+        spread.flush_compute()
+        assert spread.compute_scheduler.quarantined
+        # The insert moves the quarantined cell but leaves its references
+        # (and therefore its text) untouched, so the quarantine mark must
+        # follow the cell rather than being cleared by a rewrite re-dirty.
+        spread.insert_row_after(2, 3)
+        quarantined = list(spread.compute_scheduler.quarantined)
+        assert [(a.row, a.column) for a in quarantined] == [(13, 2)]
+
+
+# ---------------------------------------------------------------------- #
+# crash-recovery fuzz (seeded; widened by ``make crash-fuzz``)
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", _crash_seed_set())
+def test_sync_crash_recovery(seed):
+    run_crash_recovery(seed)
+
+
+@pytest.mark.parametrize("seed", [1000 + seed for seed in _crash_seed_set()])
+def test_async_crash_recovery(seed):
+    run_async_crash_recovery(seed)

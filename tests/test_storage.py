@@ -266,3 +266,159 @@ class TestDatabase:
         database.create_table("t", [ColumnDef("id", "integer")])
         with pytest.raises(SchemaError):
             database.insert("t", ("not-an-int",))
+
+
+# ---------------------------------------------------------------------- #
+# live-bytes accounting and vacuum (dead-space compaction)
+# ---------------------------------------------------------------------- #
+class TestVacuum:
+    def test_live_vs_used_accounting(self):
+        page = Page(page_id=0)
+        baseline = page.used_bytes
+        assert page.live_bytes == baseline and page.dead_bytes == 0
+        slots = [page.insert(("x" * 10,)) for _ in range(4)]
+        assert page.live_bytes == page.used_bytes
+        payload = record_payload_size(("x" * 10,))
+        page.delete(slots[1])
+        # Historical semantics: the tombstone keeps its 4-byte line pointer
+        # in used_bytes; live_bytes drops by payload + pointer.
+        assert page.used_bytes == baseline + 4 * (payload + 4) - payload
+        assert page.live_bytes == baseline + 3 * (payload + 4)
+        assert page.dead_bytes == 4
+
+    def test_update_keeps_live_in_step(self):
+        page = Page(page_id=0)
+        slot = page.insert(("ab",))
+        page.update(slot, ("abcdef",))
+        assert page.live_bytes == page.used_bytes
+
+    def test_compact_reclaims_only_trailing_tombstones(self):
+        page = Page(page_id=0)
+        slots = [page.insert((i,)) for i in range(5)]
+        page.delete(slots[1])  # interior: must keep its pointer
+        page.delete(slots[3])
+        page.delete(slots[4])  # trailing run of two
+        assert page.compact() == 8
+        assert page.dead_bytes == 4  # the interior tombstone remains
+        assert page.read(slots[2]) == (2,)  # surviving slot ids unchanged
+
+    def test_vacuum_pointer_stability(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        pointers = [heap.insert((i, "payload")) for i in range(40)]
+        for index in range(0, 40, 3):
+            heap.delete(pointers[index])
+        survivors = [p for i, p in enumerate(pointers) if i % 3 != 0]
+        before = [heap.read(p) for p in survivors]
+        result = heap.vacuum()
+        assert result["bytes_reclaimed"] >= 0
+        assert [heap.read(p) for p in survivors] == before
+        assert heap.dead_bytes() < 40 * 4  # some pointers reclaimed
+
+    def test_vacuum_drops_trailing_dead_pages(self):
+        heap = HeapFile(page_capacity_bytes=128)
+        pointers = [heap.insert(("x" * 40,)) for i in range(8)]
+        pages_before = heap.page_count
+        assert pages_before > 2
+        # Kill everything on the trailing pages, keep the first record live.
+        for pointer in pointers[1:]:
+            heap.delete(pointer)
+        result = heap.vacuum()
+        assert result["pages_dropped"] == pages_before - 1
+        assert heap.page_count == 1
+        assert heap.read(pointers[0]) == ("x" * 40,)
+        assert heap.used_bytes() == heap.page_count * 128
+
+    def test_vacuum_keeps_interior_pages(self):
+        heap = HeapFile(page_capacity_bytes=128)
+        pointers = [heap.insert(("x" * 40,)) for i in range(8)]
+        last = pointers[-1]
+        for pointer in pointers[:-1]:
+            heap.delete(pointer)  # interior pages fully dead, last page live
+        pages_before = heap.page_count
+        result = heap.vacuum()
+        assert result["pages_dropped"] == 0  # page ids are list indices
+        assert heap.page_count == pages_before
+        assert heap.read(last) == ("x" * 40,)
+        assert heap.live_bytes() < heap.used_bytes()
+
+
+# ---------------------------------------------------------------------- #
+# storage error taxonomy across the Database/Table/BPlusTree/HeapFile
+# boundary (CatalogError and SchemaError are StorageErrors too)
+# ---------------------------------------------------------------------- #
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(CatalogError, StorageError)
+        assert issubclass(SchemaError, StorageError)
+
+    def test_duplicate_table_is_catalog_error(self):
+        database = Database()
+        database.create_table("t", ["a"])
+        with pytest.raises(CatalogError):
+            database.create_table("t", ["a"])
+
+    def test_unknown_table_is_catalog_error(self):
+        database = Database()
+        with pytest.raises(CatalogError) as excinfo:
+            database.table("missing")
+        assert isinstance(excinfo.value, StorageError)
+        with pytest.raises(CatalogError):
+            database.drop_table("missing")
+
+    def test_unknown_column_errors(self):
+        # A bad key column is rejected at schema build time (SchemaError);
+        # resolving an unknown column on a valid schema is a CatalogError.
+        with pytest.raises(SchemaError):
+            TableSchema.build("t", ["a"], key_column="nope")
+        schema = TableSchema.build("t", ["a"])
+        with pytest.raises(CatalogError):
+            schema.column_index("nope")
+
+    def test_bad_pointer_reads_are_storage_errors(self):
+        heap = HeapFile()
+        pointer = heap.insert((1,))
+        with pytest.raises(StorageError):
+            heap.read(TuplePointer(page_id=99, slot_id=0))
+        with pytest.raises(StorageError):
+            heap.read(TuplePointer(page_id=0, slot_id=99))
+        heap.delete(pointer)
+        with pytest.raises(StorageError):
+            heap.read(pointer)  # tombstone
+
+    def test_oversized_record_is_storage_error(self):
+        heap = HeapFile(page_capacity_bytes=128)
+        with pytest.raises(StorageError):
+            heap.insert(("x" * 1000,))
+
+    def test_null_key_rows_stored_but_unindexed(self):
+        database = Database()
+        table = database.create_table(
+            "t", [ColumnDef("id", "integer"), ColumnDef("name", "text")],
+            key_column="id",
+        )
+        table.insert((None, "unindexed"))
+        table.insert((1, "indexed"))
+        assert table.row_count == 2
+        assert len(table.key_index) == 1
+        found = table.lookup(1)
+        assert found is not None and found[1] == (1, "indexed")
+        assert table.lookup(None) is None  # NULL never matches the index
+
+    def test_empty_tree_min_max_are_storage_errors(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            tree.min_key()
+        with pytest.raises(StorageError):
+            tree.max_key()
+
+    def test_schema_violations_are_schema_errors(self):
+        database = Database()
+        database.create_table(
+            "t", [ColumnDef("id", "integer", nullable=False), ColumnDef("v", "text")]
+        )
+        with pytest.raises(SchemaError):
+            database.insert("t", (None, "x"))  # non-nullable NULL
+        with pytest.raises(SchemaError):
+            database.insert("t", (1,))  # arity mismatch
+        with pytest.raises(SchemaError):
+            database.insert("t", (True, "x"))  # boolean is not an integer
