@@ -4,15 +4,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-## Seeds for the widened randomized-equivalence sweep (`make fuzz`).
-FUZZ_SEEDS ?= 50
+## Seed counts for the widened randomized sweeps.  The canonical knobs are
+## the REPRO_* names (the same environment variables the tests read, so
+## `REPRO_FUZZ_SEEDS=100 make fuzz` and `make fuzz REPRO_FUZZ_SEEDS=100`
+## behave identically); the bare legacy names (FUZZ_SEEDS / CRASH_SEEDS /
+## SESSION_SEEDS) keep working as aliases.
+REPRO_FUZZ_SEEDS ?= $(or $(FUZZ_SEEDS),50)
+REPRO_CRASH_SEEDS ?= $(or $(CRASH_SEEDS),60)
+REPRO_SESSION_SEEDS ?= $(or $(SESSION_SEEDS),100)
 
-## Seeds for the crash-recovery fuzz sweep (`make crash-fuzz`); each seed
-## runs once against the sync engine and once against the async scheduler.
-CRASH_SEEDS ?= 60
-
-.PHONY: test fuzz crash-fuzz bench bench-async bench-incremental \
-	bench-recovery docs-check examples all
+.PHONY: test fuzz fuzz-sessions crash-fuzz bench bench-async \
+	bench-incremental bench-recovery bench-sessions docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -27,7 +29,15 @@ test:
 ## MAX_ROWS/MAX_COLUMNS boundary).  Seeded and bounded, so a failure
 ## replays deterministically from the seed in its assertion message.
 fuzz:
-	REPRO_FUZZ_SEEDS=$(FUZZ_SEEDS) $(PYTHON) -m pytest -q tests/test_equivalence_fuzz.py
+	REPRO_FUZZ_SEEDS=$(REPRO_FUZZ_SEEDS) $(PYTHON) -m pytest -q tests/test_equivalence_fuzz.py
+
+## Multi-session interleaving sweep: seeds 1..$(REPRO_SESSION_SEEDS) of the
+## service-layer harness (N writer sessions with batches, savepoints and
+## rollbacks, M reader sessions with viewports, partial drains and snapshot
+## probes, all over one shared async engine); every run must converge
+## post-drain to a synchronous replay of the committed ops in commit order.
+fuzz-sessions:
+	REPRO_SESSION_SEEDS=$(REPRO_SESSION_SEEDS) $(PYTHON) -m pytest -q tests/test_sessions.py
 
 ## Widened crash-recovery sweep: seeds 1..$(CRASH_SEEDS) of the
 ## fault-injection harness (random kills mid-write, torn final frames,
@@ -35,7 +45,7 @@ fuzz:
 ## the async scheduler; every run recovers the workspace and asserts exact
 ## equality with an oracle replayed to the last durable commit point.
 crash-fuzz:
-	REPRO_CRASH_SEEDS=$(CRASH_SEEDS) $(PYTHON) -m pytest -q tests/test_durability.py
+	REPRO_CRASH_SEEDS=$(REPRO_CRASH_SEEDS) $(PYTHON) -m pytest -q tests/test_durability.py
 
 ## Paper-figure benchmarks (slow; pytest-benchmark).
 bench:
@@ -61,6 +71,16 @@ bench-incremental:
 bench-recovery:
 	$(PYTHON) -m repro.experiments recovery --json BENCH_recovery.json
 	$(PYTHON) scripts/check_bench.py BENCH_recovery.json
+
+## Multi-client service benchmark: edit-ack latency and post-drain
+## convergence for concurrent writer/reader sessions over one shared async
+## engine, vs the synchronous single-client baseline.  Emits
+## BENCH_service.json and fails if any configuration diverged from the
+## committed-op replay or the ack latency ceiling is blown
+## (scripts/check_bench.py guard).
+bench-sessions:
+	$(PYTHON) -m repro.experiments service --json BENCH_service.json
+	$(PYTHON) scripts/check_bench.py BENCH_service.json
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:

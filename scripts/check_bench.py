@@ -18,6 +18,12 @@ dispatched per experiment id, so one JSON file may carry several results:
     * the post-checkpoint log not truncated — checkpointing stopped
       folding the WAL into the snapshot.
 
+``service`` (``make bench-sessions``)
+    * any multi-session configuration whose drained grid diverged from
+      the synchronous replay of the committed ops (``converged``);
+    * the multi-session edit ack falling behind the synchronous
+      baseline — the deferred acknowledgement stopped paying for itself.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench.py BENCH_file.json \
@@ -83,10 +89,34 @@ def check_recovery(result: dict, **_options) -> list[str]:
     return failures
 
 
+def check_service(result: dict, **_options) -> list[str]:
+    failures: list[str] = []
+    multi = [row for row in result["rows"] if row.get("mode") == "multi-session"]
+    baseline = next(
+        (row for row in result["rows"] if row.get("mode") == "sync-baseline"), None)
+    if not multi:
+        failures.append("missing multi-session rows")
+    for row in multi:
+        label = f"{row.get('writers')}w/{row.get('readers')}r"
+        if not row.get("converged", False):
+            failures.append(
+                f"drained grid diverged from the committed-op replay ({label})"
+            )
+        if baseline is not None and row["ack_ms_mean"] > baseline["ack_ms_mean"]:
+            failures.append(
+                f"multi-session ack {row['ack_ms_mean']:.3f}ms fell behind the "
+                f"sync baseline {baseline['ack_ms_mean']:.3f}ms ({label})"
+            )
+    if baseline is None:
+        failures.append("missing sync-baseline row")
+    return failures
+
+
 #: Guarded experiments; results with other ids pass through unchecked.
 CHECKERS = {
     "recompute-incremental": check_recompute_incremental,
     "recovery": check_recovery,
+    "service": check_service,
 }
 
 

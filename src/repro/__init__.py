@@ -34,6 +34,11 @@ The public API is organised around a handful of entry points:
     The DataSpread facade tying everything together: LRU cell cache, hybrid
     translator/optimizer, formula evaluation, and relational operators.
 
+``repro.service``
+    The multi-session workspace layer: named sessions over one shared
+    engine, single-writer transactions with real savepoints, per-session
+    viewports, and snapshot-isolated readers.
+
 ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments``
     Workload generators, corpus analysis, and the per-table/figure experiment
     harness used by the benchmark suite.
@@ -43,6 +48,7 @@ from repro.grid.address import CellAddress, column_letter_to_index, column_index
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.engine.dataspread import DataSpread
+from repro.service import Workspace
 from repro.storage.recovery import recover
 
 __version__ = "1.0.0"
@@ -52,6 +58,7 @@ __all__ = [
     "RangeRef",
     "Sheet",
     "DataSpread",
+    "Workspace",
     "column_letter_to_index",
     "column_index_to_letter",
     "recover",

@@ -99,7 +99,10 @@ class ComputeScheduler:
         self._evaluate = evaluate
         self._stale: set[CellAddress] = set()
         self._computing: CellAddress | None = None
-        self._viewport: RangeRef | None = None
+        # Registered regions of interest, keyed by owner token.  ``None``
+        # is the legacy single-viewport slot; the service layer registers
+        # one viewport per session, drained round-robin for fairness.
+        self._viewports: dict[object | None, RangeRef] = {}
         self.stats = ComputeStats()
         # Poisoned-formula containment: per-cell failure counts and the
         # quarantine set (address -> last error text).  A quarantined cell
@@ -116,7 +119,10 @@ class ComputeScheduler:
         self._successors: dict[CellAddress, list[CellAddress]] = {}
         self._predecessors: dict[CellAddress, list[CellAddress]] = {}
         self._priority: set[CellAddress] = set()
-        self._ready_priority: deque[CellAddress] = deque()
+        self._priority_by_owner: dict[object | None, set[CellAddress]] = {}
+        self._ready_by_owner: dict[object | None, deque[CellAddress]] = {}
+        self._rr_order: list[object | None] = []
+        self._rr_index = 0
         self._ready: deque[CellAddress] = deque()
 
     # ------------------------------------------------------------------ #
@@ -151,15 +157,30 @@ class ComputeScheduler:
         self._order_stale = True
         return new
 
-    def set_viewport(self, region: RangeRef | None) -> None:
-        """Register the region of interest scheduled ahead of other work."""
-        self._viewport = region
+    def set_viewport(self, region: RangeRef | None, owner: object | None = None) -> None:
+        """Register a region of interest scheduled ahead of other work.
+
+        ``owner`` identifies whose viewport this is (the service layer
+        passes a session token); the default ``None`` slot preserves the
+        legacy single-viewport API.  ``region=None`` unregisters the
+        owner's viewport.  When several owners hold viewports, their ready
+        work is drained round-robin so no session's visible region starves
+        another's.
+        """
+        if region is None:
+            self._viewports.pop(owner, None)
+        else:
+            self._viewports[owner] = region
         self._order_stale = True
 
     @property
     def viewport(self) -> RangeRef | None:
-        """The currently registered region of interest."""
-        return self._viewport
+        """The legacy (ownerless) region of interest."""
+        return self._viewports.get(None)
+
+    def viewports(self) -> dict[object | None, RangeRef]:
+        """Every registered viewport, keyed by owner token (a copy)."""
+        return dict(self._viewports)
 
     # ------------------------------------------------------------------ #
     # state
@@ -306,8 +327,7 @@ class ComputeScheduler:
                 if failures < self.max_evaluate_attempts:
                     self._failures[address] = failures
                     self.stats.quarantine_retries += 1
-                    queue = self._ready_priority if address in self._priority else self._ready
-                    queue.append(address)
+                    self._requeue(address)
                     continue
                 self._failures.pop(address, None)
                 self._quarantined[address] = f"{type(error).__name__}: {error}"
@@ -318,8 +338,7 @@ class ComputeScheduler:
             except BaseException:
                 # Leave the cell queued and re-runnable: it was popped but
                 # not evaluated, so put it back at the front of its queue.
-                queue = self._ready_priority if address in self._priority else self._ready
-                queue.appendleft(address)
+                self._requeue(address, front=True)
                 self._computing = None
                 raise
             else:
@@ -334,26 +353,67 @@ class ComputeScheduler:
             for successor in self._successors.get(address, ()):
                 self._indegree[successor] -= 1
                 if self._indegree[successor] == 0:
-                    if successor in self._priority:
-                        self._ready_priority.append(successor)
-                    else:
-                        self._ready.append(successor)
+                    self._requeue(successor)
         return evaluated
 
-    def _pop_ready(self, only: set[CellAddress] | None) -> CellAddress | None:
-        for queue, is_priority in ((self._ready_priority, True), (self._ready, False)):
+    def _requeue(self, address: CellAddress, *, front: bool = False) -> None:
+        """Enqueue a ready cell on every queue it belongs to.
+
+        A cell in several owners' priority closures enters each owner's
+        queue; the duplicate pops are skipped via the stale-set check in
+        :meth:`_pop_ready`.
+        """
+        if address in self._priority:
+            for owner, members in self._priority_by_owner.items():
+                if address in members:
+                    queue = self._ready_by_owner[owner]
+                    if front:
+                        queue.appendleft(address)
+                    else:
+                        queue.append(address)
+        elif front:
+            self._ready.appendleft(address)
+        else:
+            self._ready.append(address)
+
+    def _pop_priority_ready(self, only: set[CellAddress] | None) -> CellAddress | None:
+        owners = self._rr_order
+        count = len(owners)
+        for offset in range(count):
+            position = (self._rr_index + offset) % count
+            queue = self._ready_by_owner[owners[position]]
             if only is None:
-                if queue:
-                    if is_priority:
-                        self.stats.priority_evaluations += 1
-                    return queue.popleft()
-                continue
-            for index, address in enumerate(queue):
-                if address in only:
-                    del queue[index]
-                    if is_priority:
-                        self.stats.priority_evaluations += 1
+                while queue:
+                    address = queue.popleft()
+                    if address not in self._stale:
+                        continue  # already evaluated via another owner's queue
+                    self._rr_index = (position + 1) % count
+                    self.stats.priority_evaluations += 1
                     return address
+            else:
+                for index, address in enumerate(queue):
+                    if address in only and address in self._stale:
+                        del queue[index]
+                        self._rr_index = (position + 1) % count
+                        self.stats.priority_evaluations += 1
+                        return address
+        return None
+
+    def _pop_ready(self, only: set[CellAddress] | None) -> CellAddress | None:
+        address = self._pop_priority_ready(only)
+        if address is not None:
+            return address
+        queue = self._ready
+        if only is None:
+            while queue:
+                address = queue.popleft()
+                if address in self._stale:
+                    return address
+            return None
+        for index, address in enumerate(queue):
+            if address in only:
+                del queue[index]
+                return address
         return None
 
     def _rebuild(self) -> None:
@@ -380,23 +440,27 @@ class ComputeScheduler:
             predecessors[dependent].append(precedent)
             indegree[dependent] += 1
 
+        # Each owner's priority closure: its region of interest plus every
+        # stale cell that region transitively reads — those precedents must
+        # evaluate first regardless, so promoting them is what actually
+        # makes the viewport fresh early.
         priority: set[CellAddress] = set()
-        viewport = self._viewport
-        if viewport is not None:
-            # The region of interest plus every stale cell it transitively
-            # reads: those precedents must evaluate first regardless, so
-            # promoting them is what actually makes the viewport fresh early.
+        priority_by_owner: dict[object | None, set[CellAddress]] = {}
+        for owner, viewport in self._viewports.items():
             frontier = [
                 address for address in self._stale
                 if viewport.contains_coordinates(address.row, address.column)
             ]
-            priority = set(frontier)
+            members = set(frontier)
             while frontier:
                 current = frontier.pop()
                 for predecessor in predecessors.get(current, ()):
-                    if predecessor not in priority:
-                        priority.add(predecessor)
+                    if predecessor not in members:
+                        members.add(predecessor)
                         frontier.append(predecessor)
+            if members:
+                priority_by_owner[owner] = members
+                priority |= members
 
         ready = sorted(
             (address for address in self._stale if indegree[address] == 0),
@@ -406,6 +470,12 @@ class ComputeScheduler:
         self._successors = successors
         self._predecessors = predecessors
         self._priority = priority
-        self._ready_priority = deque(a for a in ready if a in priority)
+        self._priority_by_owner = priority_by_owner
+        self._ready_by_owner = {
+            owner: deque(a for a in ready if a in members)
+            for owner, members in priority_by_owner.items()
+        }
+        self._rr_order = list(priority_by_owner)
+        self._rr_index = self._rr_index % len(self._rr_order) if self._rr_order else 0
         self._ready = deque(a for a in ready if a not in priority)
         self._order_stale = False

@@ -42,7 +42,7 @@ from repro.storage.snapshot import (
     wal_path,
     write_snapshot,
 )
-from repro.storage.wal import WALWriter, cell_record, structural_record
+from repro.storage.wal import WALWriter, cell_record, mark_record, structural_record
 
 #: Applies one committed cell to the engine's data model.
 ApplyCell = Callable[[int, int, Cell], None]
@@ -72,6 +72,9 @@ class DirectBackend:
         self._apply_cells(items)
 
     def log_structural(self, edit: StructuralEdit) -> None:
+        pass
+
+    def annotate(self, payload: dict[str, Any]) -> None:
         pass
 
     @contextmanager
@@ -168,6 +171,10 @@ class WALBackend:
     def log_structural(self, edit: StructuralEdit) -> None:
         """Log a structural edit (the model shift itself is in-memory)."""
         self._writer.append(structural_record(edit))
+
+    def annotate(self, payload: dict[str, Any]) -> None:
+        """Log an annotation (``mark``) record; no effect on replay."""
+        self._writer.append(mark_record(payload))
 
     @contextmanager
     def atomic(self) -> Iterator[None]:

@@ -39,6 +39,22 @@ BulkCellWriter = Callable[[Iterable[tuple[int, int, Cell]]], None]
 DEFAULT_CAPACITY = 100_000
 
 
+class _Absent:
+    """Sentinel preimage: the key had no buffered write before this put."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<absent>"
+
+
+#: Preimage marker used by :meth:`LRUCellCache.restore_pending` — restoring a
+#: key to ``ABSENT`` removes its buffered write instead of replacing it.
+ABSENT = _Absent()
+
+PreimageRecorder = Callable[[tuple[int, int], "Cell | _Absent"], None]
+
+
 class LRUCellCache:
     """A bounded read-through / write-through cache of cells keyed by (row, column)."""
 
@@ -58,7 +74,14 @@ class LRUCellCache:
         self._capacity = capacity
         self._entries: OrderedDict[tuple[int, int], Cell] = OrderedDict()
         self._pending: dict[tuple[int, int], Cell] | None = None
+        self._pending_owner: object | None = None
+        self._active_reader: object | None = None
         self._provisional: dict[tuple[int, int], Cell] = {}
+        #: When set, called with ``(key, prior)`` before a deferred-mode put
+        #: overwrites (or first creates) a buffered write; ``prior`` is the
+        #: previous buffered cell or :data:`ABSENT`.  The engine uses this to
+        #: collect savepoint preimages without instrumenting every put site.
+        self.record_preimage: PreimageRecorder | None = None
         self.hits = 0
         self.misses = 0
 
@@ -81,9 +104,45 @@ class LRUCellCache:
         """Number of buffered writes awaiting a flush."""
         return len(self._pending) if self._pending is not None else 0
 
+    @property
+    def pending_owner(self) -> object | None:
+        """The session token owning the buffered writes (``None`` = shared)."""
+        return self._pending_owner
+
+    def set_active_reader(self, token: object | None) -> object | None:
+        """Set the reader whose session-scoped writes are visible.
+
+        Owner-scoped buffered writes (``begin_deferred(owner=...)``) are only
+        read-visible to the matching active reader; every other reader sees
+        the committed storage state (read-committed isolation between
+        sessions).  Returns the previous token so callers can nest scopes.
+        """
+        previous = self._active_reader
+        self._active_reader = token
+        return previous
+
+    def _pending_visible(self) -> bool:
+        owner = self._pending_owner
+        return owner is None or owner == self._active_reader
+
     def get(self, row: int, column: int) -> Cell:
         """Read a cell, pulling it from the storage layer on a miss."""
         key = (row, column)
+        pending = self._pending
+        if pending is not None and self._pending_owner is not None and key in pending:
+            # Owner-scoped buffered write: the shared entry map deliberately
+            # holds no mirror of it, so resolve visibility explicitly.
+            provisional = self._provisional.get(key)
+            if provisional is not None:
+                self.hits += 1
+                return provisional
+            if self._pending_owner == self._active_reader:
+                self.hits += 1
+                return pending[key]
+            self.misses += 1
+            # Foreign readers see the committed state.  Not cached: the
+            # entry map must stay free of this key while it is buffered.
+            return self._loader(row, column)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
@@ -118,11 +177,19 @@ class LRUCellCache:
         not turn every batched write into a storage probe.
         """
         key = (row, column)
+        pending = self._pending
+        if pending is not None and self._pending_owner is not None and key in pending:
+            cell = self._provisional.get(key)
+            if cell is None and self._pending_owner == self._active_reader:
+                cell = pending[key]
+            if cell is None:
+                return (False, None)  # only storage knows the committed state
+            return (True, cell.value)
         cell = self._entries.get(key)
         if cell is None:
             cell = self._provisional.get(key)
-        if cell is None and self._pending is not None:
-            cell = self._pending.get(key)
+        if cell is None and pending is not None:
+            cell = pending.get(key)
         if cell is None:
             return (False, None)
         return (True, cell.value)
@@ -135,10 +202,18 @@ class LRUCellCache:
         """
         key = (row, column)
         if self._pending is not None:
+            if self.record_preimage is not None:
+                self.record_preimage(key, self._pending.get(key, ABSENT))
             self._pending[key] = cell
+            self._provisional.pop(key, None)
+            if self._pending_owner is not None:
+                # Owner-scoped buffering: never mirror uncommitted data
+                # into the shared entry map.
+                self._entries.pop(key, None)
+                return
         else:
             self._writer(row, column, cell)
-        self._provisional.pop(key, None)
+            self._provisional.pop(key, None)
         self._store(key, cell)
 
     # ------------------------------------------------------------------ #
@@ -206,10 +281,57 @@ class LRUCellCache:
     # ------------------------------------------------------------------ #
     # deferred (batched) write-through
     # ------------------------------------------------------------------ #
-    def begin_deferred(self) -> None:
-        """Start buffering writes; idempotent."""
+    def begin_deferred(self, owner: object | None = None) -> None:
+        """Start buffering writes; idempotent.
+
+        With ``owner`` set, the buffered writes are *session-scoped*: they
+        are read-visible only while :meth:`set_active_reader` holds the same
+        token, and they are never mirrored into the shared entry map.  With
+        the default ``owner=None`` the buffer behaves as before — visible to
+        every reader.
+        """
         if self._pending is None:
             self._pending = {}
+            self._pending_owner = owner
+
+    def restore_pending(self, key: tuple[int, int], preimage: Cell | _Absent) -> None:
+        """Reset one buffered write to a captured preimage (savepoint rollback).
+
+        ``ABSENT`` removes the buffered write (and any cached mirror, so the
+        next read reloads the committed state); a cell reinstates the prior
+        buffered content.  Bypasses :attr:`record_preimage` — a rollback must
+        not record new undo state.
+        """
+        if self._pending is None:
+            return
+        if preimage is ABSENT:
+            self._pending.pop(key, None)
+            self._entries.pop(key, None)
+        else:
+            self._pending[key] = preimage
+            if self._pending_owner is None:
+                self._store(key, preimage)
+            else:
+                self._entries.pop(key, None)
+
+    def suspend_deferred(self) -> tuple[dict[tuple[int, int], Cell] | None, object | None]:
+        """Temporarily leave deferred mode, stashing the buffer untouched.
+
+        Used for autonomous commits: an edit issued outside the open
+        transaction writes through immediately while the transaction's
+        buffered writes stay parked.  Returns an opaque state token for
+        :meth:`resume_deferred`.
+        """
+        state = (self._pending, self._pending_owner)
+        self._pending = None
+        self._pending_owner = None
+        return state
+
+    def resume_deferred(
+        self, state: tuple[dict[tuple[int, int], Cell] | None, object | None]
+    ) -> None:
+        """Re-enter the deferred mode stashed by :meth:`suspend_deferred`."""
+        self._pending, self._pending_owner = state
 
     def flush_pending(self) -> int:
         """Push buffered writes to storage in bulk; stays in deferred mode.
@@ -224,6 +346,16 @@ class LRUCellCache:
         else:
             for row, column, cell in items:
                 self._writer(row, column, cell)
+        if self._pending_owner is not None:
+            # Now committed: safe (and necessary) to refresh the shared
+            # entry map — it may hold values from autonomous writes that
+            # this flush just superseded.  Provisional placeholders stay:
+            # they are always newer than the buffered write they shadow (a
+            # real put retires the placeholder), so the mirror must keep
+            # serving them or a queued formula would lose its text.
+            for row, column, cell in items:
+                if (row, column) not in self._provisional:
+                    self._store((row, column), cell)
         self._pending.clear()
         return len(items)
 
@@ -231,6 +363,7 @@ class LRUCellCache:
         """Flush buffered writes and return to write-through mode."""
         flushed = self.flush_pending()
         self._pending = None
+        self._pending_owner = None
         return flushed
 
     def discard_deferred(self) -> int:
@@ -248,6 +381,7 @@ class LRUCellCache:
         for key in self._pending:
             self._entries.pop(key, None)
         self._pending = None
+        self._pending_owner = None
         return discarded
 
     # ------------------------------------------------------------------ #
@@ -258,11 +392,13 @@ class LRUCellCache:
 
         Buffered (deferred-mode) writes merged with provisional
         placeholders; a provisional entry wins for a cell holding both,
-        since it was written over the buffered content.
+        since it was written over the buffered content.  Owner-scoped
+        buffered writes are included only for the matching active reader.
         """
-        if not self._pending and not self._provisional:
+        pending = (self._pending or {}) if self._pending_visible() else {}
+        if not pending and not self._provisional:
             return []
-        merged: dict[tuple[int, int], Cell] = dict(self._pending or {})
+        merged: dict[tuple[int, int], Cell] = dict(pending)
         merged.update(self._provisional)
         return list(merged.items())
 
@@ -274,7 +410,7 @@ class LRUCellCache:
         thousands of stale formulas does not pay an O(stale) scan on each
         range read.
         """
-        pending = self._pending or {}
+        pending = (self._pending or {}) if self._pending_visible() else {}
         provisional = self._provisional
         if not pending and not provisional:
             return {}

@@ -90,7 +90,7 @@ from repro.decomposition import (
     decompose_dp,
     decompose_greedy,
 )
-from repro.engine.cache import LRUCellCache
+from repro.engine.cache import ABSENT, LRUCellCache
 from repro.engine.relational import TableValue
 from repro.engine.sql import execute_sql
 from repro.errors import (
@@ -98,6 +98,7 @@ from repro.errors import (
     FormulaEvaluationError,
     FormulaSyntaxError,
     LinkTableError,
+    SavepointError,
     WALError,
 )
 from repro.formula.aggregates import AggregateStore
@@ -122,6 +123,115 @@ _OPTIMIZERS = {
     "greedy": decompose_greedy,
     "aggressive": decompose_aggressive,
 }
+
+
+class _UndoFrame:
+    """One savepoint boundary on the engine's transaction stack.
+
+    Every open batch/savepoint level owns one frame recording *first-touch
+    preimages* of everything the level changed, so rolling the frame back
+    restores exactly its boundary without disturbing outer levels:
+
+    * ``registrations`` — pre-frame dependency-graph registrations;
+    * ``pending`` — pre-frame buffered-write cells (or :data:`ABSENT`),
+      collected via the cache's preimage-recorder hook so every put site
+      (edits, mid-batch scheduler commits, extent growth) is covered;
+    * ``provisional`` — pre-frame stale-placeholder entries;
+    * ``composites`` — pre-frame spilled table values;
+    * ``dirty`` — addresses first dirtied by this frame (insertion order);
+    * ``drained`` — cells the scheduler evaluated inside this frame (their
+      computed values sit in the discardable pending map, so a rollback
+      re-queues them);
+    * ``aggregates`` — a deep copy of the running aggregate states at frame
+      creation, restorable only while ``commit_epoch`` still matches the
+      engine (no commit landed in between);
+    * ``barriered`` — a mid-frame commit point (structural edit, explicit
+      flush) wiped the records above; a user rollback across it raises
+      :class:`~repro.errors.SavepointError` instead of desyncing.
+    """
+
+    __slots__ = (
+        "registrations", "pending", "provisional", "composites",
+        "dirty", "drained", "aggregates", "commit_epoch", "barriered",
+    )
+
+    def __init__(self, commit_epoch: int, aggregates) -> None:
+        self.registrations: dict[
+            CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]] | None
+        ] = {}
+        self.pending: dict[tuple[int, int], object] = {}
+        self.provisional: dict[CellAddress, Cell | None] = {}
+        self.composites: dict[tuple[int, int], TableValue | None] = {}
+        self.dirty: dict[CellAddress, None] = {}
+        self.drained: dict[CellAddress, None] = {}
+        self.aggregates = aggregates
+        self.commit_epoch = commit_epoch
+        self.barriered = False
+
+    def clear_records(self) -> None:
+        """Forget everything recorded (after a flush made it durable)."""
+        self.registrations = {}
+        self.pending = {}
+        self.provisional = {}
+        self.composites = {}
+        self.dirty = {}
+        self.drained = {}
+
+
+class Savepoint:
+    """A handle on one :class:`_UndoFrame` (returned by ``savepoint()``).
+
+    SQLAlchemy-style semantics: :meth:`rollback` restores the boundary and
+    *keeps the savepoint live* (it can roll back again); :meth:`release`
+    merges its work into the enclosing level (or commits, when it is the
+    outermost transaction level).  As a context manager, a clean exit
+    releases and an exception rolls back, discards the savepoint, and
+    re-raises.  Operating on a non-innermost savepoint first collapses the
+    savepoints nested inside it.
+    """
+
+    __slots__ = ("_spread", "_frame", "_released")
+
+    def __init__(self, spread: "DataSpread", frame: _UndoFrame) -> None:
+        self._spread = spread
+        self._frame = frame
+        self._released = False
+
+    @property
+    def active(self) -> bool:
+        """Whether the savepoint can still be rolled back or released."""
+        return not self._released and self._frame in self._spread._frames
+
+    def rollback(self) -> None:
+        """Restore the boundary captured at creation; stays re-rollbackable.
+
+        Raises :class:`~repro.errors.SavepointError` if the savepoint was
+        already released, or if a mid-batch commit point (structural edit,
+        explicit flush) has made part of its work durable.
+        """
+        self._spread._rollback_to_frame(self._require_frame())
+
+    def release(self) -> None:
+        """Merge this level's work into the enclosing one (or commit)."""
+        self._spread._release_through_frame(self._require_frame())
+        self._released = True
+
+    def _require_frame(self) -> _UndoFrame:
+        if not self.active:
+            raise SavepointError("savepoint is no longer active")
+        return self._frame
+
+    def __enter__(self) -> "Savepoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return
+        if exc_type is None:
+            self.release()
+        else:
+            self._spread._unwind_frame(self._frame)
+            self._released = True
 
 
 class DataSpread:
@@ -202,31 +312,37 @@ class DataSpread:
         )
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
-        self._batch_depth = 0
-        # Insertion-ordered dirty set (dict keys): with auto_evaluate off,
-        # batched formulas must evaluate in the order they were set.
-        self._batch_dirty: dict[CellAddress, None] = {}
-        # Pre-batch dependency registrations (first touch wins), so a failed
-        # batch can roll the graph back alongside its discarded writes.
-        self._batch_undo: dict[
-            CellAddress, tuple[frozenset[CellAddress], tuple[RangeRef, ...]] | None
-        ] = {}
+        # The transaction stack: one _UndoFrame per open batch/savepoint
+        # level.  The outermost frame is the batch; nested frames are real
+        # savepoints (rolling one back preserves outer work).
+        self._frames: list[_UndoFrame] = []
         # Dirty cells whose writes a mid-batch flush already committed to
         # storage: their registrations survive a failed batch and they still
         # get recomputed, so flushed formulas never linger at value None.
         self._batch_flushed: dict[CellAddress, None] = {}
-        # Pre-batch composite table values displaced inside the batch.
-        self._batch_composite_undo: dict[tuple[int, int], TableValue | None] = {}
-        # Pre-batch provisional (stale-placeholder) cache entries displaced
-        # inside the batch (first touch wins), restored on abort.
-        self._batch_provisional_undo: dict[CellAddress, Cell | None] = {}
-        # Cells the scheduler evaluated *inside* the batch: their computed
-        # values sit in the discardable pending map, so an abort must
-        # re-queue them (their placeholders are restored alongside).
-        self._batch_drained: dict[CellAddress, None] = {}
+        #: Monotonic count of commit points (write-throughs, flushes,
+        #: structural edits).  Savepoint frames capture it so an aggregate
+        #: snapshot is only restored when nothing committed in between.
+        self.commit_epoch = 0
+        #: Savepoints created inside the current outermost transaction
+        #: (annotated into the WAL commit group when a scope label is set).
+        self._txn_savepoints = 0
+        #: Session token owning the next transaction's buffered writes
+        #: (``None`` = legacy shared visibility); set by the service layer.
+        self._session_scope: object | None = None
+        #: Human-readable scope label annotated into WAL commit groups.
+        self._scope_label: str | None = None
+        #: When set, called with the list of ``(row, column)`` keys of every
+        #: commit *before* the backend applies it (the model still holds the
+        #: old cells) — the service layer's copy-on-write snapshot feed.
+        self.before_commit_hook = None
+        #: When set, called with the StructuralEdit (or ``None`` for a
+        #: wholesale relink) before the coordinate space changes.
+        self.invalidation_hook = None
         #: Number of topological recompute passes run so far (a batched edit
         #: of any size contributes exactly one; exposed for tests/benchmarks).
         self.recompute_passes = 0
+        self._cache.record_preimage = self._record_pending_preimage
         self._scheduler = ComputeScheduler(self._dependencies, self._scheduler_evaluate)
         self._scheduler.on_quarantine = self._quarantine_cell
         self._async = False
@@ -393,92 +509,212 @@ class DataSpread:
         ``None``; its value materialises at batch exit).  When the outermost
         batch exits cleanly, the engine flushes the buffered writes to the
         storage layer in bulk, then evaluates the dirty formulas and all
-        their transitive dependents in one topological pass.  Nested
-        batches join the outermost one.  If an exception unwinds the
-        outermost batch, the buffered writes are *discarded* and dependency
-        registrations made inside the batch are rolled back — no recompute
-        runs and storage keeps its pre-batch state — rather than persisting
-        a half-applied batch.  Two scoping caveats: a *nested* batch is not
-        a savepoint, so catching its exception inside the outer batch keeps
-        its edits in the outer batch (join semantics); and structural edits
-        inside the batch flush the writes buffered so far — those flushed
-        writes persist, registrations included, and their cells are still
-        recomputed on abort.  Bulk reads overlay the buffered writes
-        without flushing, so reading never commits anything.
+        their transitive dependents in one topological pass.  If an
+        exception unwinds the outermost batch, the buffered writes are
+        *discarded* and dependency registrations made inside the batch are
+        rolled back — no recompute runs and storage keeps its pre-batch
+        state — rather than persisting a half-applied batch.
+
+        A *nested* batch is a real savepoint: its exception rolls back only
+        the nested level's work (registrations, buffered writes, aggregate
+        state, placeholders) and the outer batch keeps everything it did
+        before and after — catch the exception outside the nested ``with``
+        and keep going.  ``savepoint()`` exposes the same boundary as a
+        re-rollbackable handle.
+
+        Structural edits inside the batch remain commit points: they flush
+        the writes buffered so far — those flushed writes persist,
+        registrations included, and their cells are still recomputed on
+        abort; savepoints created before the flush refuse to roll back
+        (:class:`~repro.errors.SavepointError`).  Bulk reads overlay the
+        buffered writes without flushing, so reading never commits anything.
         """
-        if self._batch_depth == 0:
-            self._cache.begin_deferred()
-        self._batch_depth += 1
+        frame = self._push_frame()
         try:
             yield self
         except BaseException:
-            self._batch_depth -= 1
-            if self._batch_depth == 0:
-                self._abort_batch()
+            self._unwind_frame(frame)
             raise
-        self._batch_depth -= 1
-        if self._batch_depth == 0:
-            try:
-                dirty = self._batch_flushed
-                dirty.update(self._batch_dirty)
-                self._batch_dirty = {}
-                self._batch_flushed = {}
-                self._batch_undo = {}
-                self._batch_composite_undo = {}
-                self._batch_provisional_undo = {}
-                self._batch_drained = {}
-                if dirty:
-                    # Land the batch's raw writes before recomputing so
-                    # range reads during the recompute go straight to the
-                    # bulk model path instead of overlaying (and linearly
-                    # scanning) a pending map holding every batched cell.
-                    # (Provisional placeholders are not raw writes and stay
-                    # uncommitted.)
-                    self._cache.flush_pending()
-                    if self._async:
-                        self._scheduler.mark_dirty(dirty)
-                    else:
-                        self._recompute_batch(dirty)
-            finally:
-                self._cache.end_deferred()
+        self._release_through_frame(frame)
 
-    def _abort_batch(self) -> None:
-        """Roll back a batch whose body raised.
+    def savepoint(self) -> Savepoint:
+        """Open a savepoint: an undo boundary nested in the current batch.
 
-        Unflushed writes are discarded and their dependency registrations
-        restored; composite values displaced by the batch are reinstated.
-        Writes a mid-batch flush already committed stay committed — their
-        cells are recomputed so no flushed formula is left at value None.
+        Outside a batch this opens a transaction level of its own (its
+        release commits, like an outermost batch exit).  The returned
+        handle rolls back to — or releases — exactly this boundary; see
+        :class:`Savepoint`.
         """
-        # The rollback rewinds cell values the delta path already folded in;
-        # the store cannot replay them backwards, so it starts over.
-        self._aggregates.invalidate_all()
-        undo = self._batch_undo
-        flushed = self._batch_flushed
-        composites = self._batch_composite_undo
-        provisional = self._batch_provisional_undo
-        drained = self._batch_drained
-        self._batch_undo = {}
-        self._batch_dirty = {}
-        self._batch_flushed = {}
-        self._batch_composite_undo = {}
-        self._batch_provisional_undo = {}
-        self._batch_drained = {}
-        for address, snapshot in undo.items():
+        return Savepoint(self, self._push_frame())
+
+    # ------------------------------------------------------------------ #
+    # transaction-stack internals
+    # ------------------------------------------------------------------ #
+    def _push_frame(self) -> _UndoFrame:
+        if not self._frames:
+            self._cache.begin_deferred(owner=self._session_scope)
+            self._txn_savepoints = 0
+        else:
+            self._txn_savepoints += 1
+        frame = _UndoFrame(self.commit_epoch, self._aggregates.snapshot_states())
+        self._frames.append(frame)
+        return frame
+
+    def _frame_index(self, frame: _UndoFrame) -> int:
+        for index in range(len(self._frames) - 1, -1, -1):
+            if self._frames[index] is frame:
+                return index
+        raise SavepointError("savepoint does not belong to the open transaction")
+
+    def _record_pending_preimage(self, key: tuple[int, int], prior) -> None:
+        # Cache hook: called before every deferred-mode put overwrite.
+        if self._frames:
+            frame = self._frames[-1]
+            if key not in frame.pending:
+                frame.pending[key] = prior
+
+    def _restore_frame_records(self, frame: _UndoFrame) -> None:
+        """Undo everything a frame recorded (records are consumed)."""
+        for address, snapshot in frame.registrations.items():
             self._dependencies.restore_registration(address, snapshot)
-        for key, table in composites.items():
+        for key, preimage in frame.pending.items():
+            self._cache.restore_pending(key, preimage)
+        for address, cell in frame.provisional.items():
+            self._cache.restore_provisional(address.row, address.column, cell)
+        for key, table in frame.composites.items():
             if table is None:
                 self._composite_values.pop(key, None)
             else:
                 self._composite_values[key] = table
-        self._cache.discard_deferred()
-        for address, cell in provisional.items():
-            self._cache.restore_provisional(address.row, address.column, cell)
+        drained = frame.drained
+        frame.clear_records()
         if self._async and drained:
-            # Values the scheduler computed mid-batch were buffered in the
-            # pending map the discard just dropped: those cells are stale
+            # Values the scheduler computed inside the frame sat in the
+            # pending map the restore just rewound: those cells are stale
             # again (their placeholders were restored above).
             self._scheduler.mark_dirty(drained)
+
+    def _rollback_to_frame(self, frame: _UndoFrame) -> None:
+        """Restore the boundary ``frame`` captured; the frame stays open."""
+        index = self._frame_index(frame)
+        if frame.barriered:
+            raise SavepointError(
+                "cannot roll back across a mid-batch commit point "
+                "(a structural edit or flush made this work durable)"
+            )
+        for inner in reversed(self._frames[index:]):
+            self._restore_frame_records(inner)
+        del self._frames[index + 1:]
+        if frame.commit_epoch == self.commit_epoch:
+            self._aggregates.restore_states(frame.aggregates)
+        else:
+            # Something committed since the boundary was captured; the
+            # snapshot no longer matches reality.  States rebuild lazily.
+            self._aggregates.invalidate_all()
+
+    def _release_through_frame(self, frame: _UndoFrame) -> None:
+        """Clean exit of a frame: merge into the parent, or commit."""
+        index = self._frame_index(frame)
+        # Collapse any savepoints left open inside this level first: their
+        # work is kept (first-touch-wins merge), exactly as if released.
+        while len(self._frames) - 1 > index:
+            self._merge_top_frame()
+        if index > 0:
+            self._merge_top_frame()
+            return
+        self._commit_outermost()
+
+    def _merge_top_frame(self) -> None:
+        """Fold the top frame's records into its parent (savepoint release)."""
+        frame = self._frames.pop()
+        parent = self._frames[-1]
+        for address, snapshot in frame.registrations.items():
+            parent.registrations.setdefault(address, snapshot)
+        for key, preimage in frame.pending.items():
+            if key not in parent.pending:
+                parent.pending[key] = preimage
+        for address, cell in frame.provisional.items():
+            parent.provisional.setdefault(address, cell)
+        for key, table in frame.composites.items():
+            if key not in parent.composites:
+                parent.composites[key] = table
+        # Dirty addresses are globally unique across frames (first-touch
+        # check at marking time), so appending preserves first-set order.
+        parent.dirty.update(frame.dirty)
+        parent.drained.update(frame.drained)
+        # ``parent.aggregates`` keeps the earlier boundary; the released
+        # frame's snapshot is simply dropped.
+
+    def _commit_outermost(self) -> None:
+        """Outermost transaction exit: flush, recompute, leave deferred mode."""
+        frame = self._frames.pop()
+        try:
+            dirty = self._batch_flushed
+            dirty.update(frame.dirty)
+            self._batch_flushed = {}
+            if dirty:
+                # Land the batch's raw writes before recomputing so range
+                # reads during the recompute go straight to the bulk model
+                # path instead of overlaying (and linearly scanning) a
+                # pending map holding every batched cell.  (Provisional
+                # placeholders are not raw writes and stay uncommitted.)
+                self._flush_commit_group()
+                if self._async:
+                    self._scheduler.mark_dirty(dirty)
+                else:
+                    self._recompute_batch(dirty)
+        finally:
+            self._cache.end_deferred()
+
+    def _flush_commit_group(self) -> None:
+        """Flush buffered writes as one commit group, annotated when a
+        session scope label is registered (so recovery tooling can see
+        which session's transaction — and how many savepoints — a WAL
+        group carries)."""
+        if self._scope_label is not None and self._cache.pending_count:
+            with self._backend.atomic():
+                self._backend.annotate({
+                    "kind": "txn-commit",
+                    "scope": self._scope_label,
+                    "savepoints": self._txn_savepoints,
+                })
+                self._cache.flush_pending()
+        else:
+            self._cache.flush_pending()
+
+    def _unwind_frame(self, frame: _UndoFrame) -> None:
+        """Exception path: roll the frame (and everything inside it) back.
+
+        Unlike a user-driven :meth:`Savepoint.rollback`, barriered frames do
+        not raise: whatever was recorded *after* the barrier is restored
+        (the pre-barrier work is durably flushed and stays, exactly like
+        the historical abort-after-structural behaviour).  The frame is
+        popped; when it was the outermost one, flushed cells are recomputed
+        so no committed formula lingers at value ``None``.
+        """
+        index = self._frame_index(frame)
+        barriered = any(inner.barriered for inner in self._frames[index:])
+        for inner in reversed(self._frames[index:]):
+            self._restore_frame_records(inner)
+        del self._frames[index:]
+        if index > 0:
+            # A nested savepoint failed: outer levels keep their work.
+            if not barriered and frame.commit_epoch == self.commit_epoch:
+                self._aggregates.restore_states(frame.aggregates)
+            else:
+                self._aggregates.invalidate_all()
+            return
+        # Outermost abort.
+        if not barriered and frame.commit_epoch == self.commit_epoch:
+            self._aggregates.restore_states(frame.aggregates)
+        else:
+            # The rollback rewound cell values the delta path already folded
+            # in (or a flush committed some); the store cannot replay them
+            # backwards, so it starts over.
+            self._aggregates.invalidate_all()
+        flushed = self._batch_flushed
+        self._batch_flushed = {}
+        self._cache.discard_deferred()
         if flushed:
             if self._async:
                 # The flushed cells re-enter the compute queue; anything the
@@ -492,10 +728,75 @@ class DataSpread:
                 # keep their stored values until the cycle is edited away.
                 pass
 
+    @contextmanager
+    def autonomous(self) -> Iterator["DataSpread"]:
+        """Run cell edits *outside* the open transaction (autocommit).
+
+        The transaction's buffered writes and undo stack are parked, the
+        enclosed edits write through (and log) immediately, then the
+        transaction resumes untouched.  Used by the service layer when a
+        session issues a single edit while another session's transaction is
+        open.  Cell edits only — structural edits and checkpoints must not
+        run here (the parked writes are addressed against the current
+        coordinate space).
+        """
+        if not self._frames:
+            yield self
+            return
+        frames, flushed = self._frames, self._batch_flushed
+        self._frames, self._batch_flushed = [], {}
+        state = self._cache.suspend_deferred()
+        try:
+            yield self
+        finally:
+            self._cache.resume_deferred(state)
+            self._frames, self._batch_flushed = frames, flushed
+
     @property
     def in_batch(self) -> bool:
-        """Whether a batch is currently open."""
-        return self._batch_depth > 0
+        """Whether a batch (or standalone savepoint) is currently open."""
+        return bool(self._frames)
+
+    @property
+    def savepoint_depth(self) -> int:
+        """Number of open transaction levels (batches and savepoints)."""
+        return len(self._frames)
+
+    def transaction_touches(self, row: int, column: int) -> bool:
+        """Whether the open transaction holds uncommitted work on a cell.
+
+        True when any open undo frame records the cell — a buffered write,
+        a provisional placeholder, or a dirtied address.  These are the
+        cells an :meth:`autonomous` edit must not overwrite: the buffered
+        version would silently clobber it at the commit flush (or, for a
+        placeholder, be clobbered *by* it), so the service layer refuses
+        the conflicting edit instead.  Cells whose in-transaction work was
+        already flushed by a mid-batch commit point are committed state
+        and report False.
+        """
+        if not self._frames:
+            return False
+        address = CellAddress(row, column)
+        key = (row, column)
+        return any(
+            address in frame.dirty
+            or key in frame.pending
+            or address in frame.provisional
+            for frame in self._frames
+        )
+
+    def activate_scope(self, token: object | None,
+                       label: str | None = None) -> tuple[object | None, str | None]:
+        """Install a session scope: owner for new transactions' buffered
+        writes, active reader for owner-scoped visibility, and the WAL
+        annotation label.  Returns the previous ``(token, label)`` pair so
+        callers can nest and restore.
+        """
+        previous = (self._session_scope, self._scope_label)
+        self._session_scope = token
+        self._scope_label = label
+        self._cache.set_active_reader(token)
+        return previous
 
     def set_values(self, updates: Iterable[tuple[int, int, CellValue]]) -> int:
         """Set many constants at once; dependents recompute in one pass.
@@ -620,7 +921,7 @@ class DataSpread:
         self._set_constant(row, column, value)
         self._aggregates_commit(capture, value)
         if self.in_batch:
-            self._batch_dirty[address] = None
+            self._mark_batch_dirty(address)
         elif self._async:
             self._scheduler.mark_dirty((address,))
         elif self.auto_evaluate:
@@ -661,7 +962,7 @@ class DataSpread:
             else:
                 self._cache.put(row, column, Cell(value=None, formula=text))
                 self._aggregates_commit(capture, None)
-            self._batch_dirty[address] = None
+            self._mark_batch_dirty(address)
             return None
         if self._async:
             self._ensure_stored_extent(row, column)
@@ -689,7 +990,7 @@ class DataSpread:
         self._aggregates_commit(capture, None)
         self._composite_values.pop((row, column), None)
         if self.in_batch:
-            self._batch_dirty[address] = None
+            self._mark_batch_dirty(address)
         elif self._async:
             self._scheduler.mark_dirty((address,))
         elif self.auto_evaluate:
@@ -753,6 +1054,10 @@ class DataSpread:
         topological pass; inside a batch they join the batch's dirty set and
         recompute at batch exit.
         """
+        if self.invalidation_hook is not None:
+            # The coordinate space is about to shift: open read snapshots
+            # cannot stay coherent and must be invalidated.
+            self.invalidation_hook(edit)
         # The mid-batch flush and the structural record are one atomic
         # commit point: recovery must see the flushed writes (addressed
         # against pre-edit coordinates) together with the shift that
@@ -798,7 +1103,7 @@ class DataSpread:
             # (Rewritten *provisional* cells persist as placeholders instead
             # — they are equally commit-point-durable, since the abort path
             # only rolls back snapshots taken after this edit.)
-            self._cache.flush_pending()
+            self._flush_batch_writes()
             self._batch_flushed.update(dirty)
         elif self._async:
             self._scheduler.mark_dirty(dirty)
@@ -1002,15 +1307,19 @@ class DataSpread:
         self._scheduler.ensure(CellAddress(row, column))
         return self.get_value(row, column)
 
-    def set_viewport(self, region: RangeRef | str | None) -> RangeRef | None:
+    def set_viewport(self, region: RangeRef | str | None,
+                     owner: object | None = None) -> RangeRef | None:
         """Register the user-visible region the scheduler serves first.
 
         Stale cells inside the region — and the stale cells they
         transitively read — are evaluated before off-screen work during a
-        drain.  Pass ``None`` to clear.  Returns the registered region.
+        drain.  ``owner`` keys the viewport (the service layer passes a
+        session token; several owners' viewports drain round-robin).  Pass
+        ``region=None`` to clear the owner's viewport.  Returns the
+        registered region.
         """
         region = RangeRef.from_a1(region) if isinstance(region, str) else region
-        self._scheduler.set_viewport(region)
+        self._scheduler.set_viewport(region, owner)
         return region
 
     # ------------------------------------------------------------------ #
@@ -1040,6 +1349,10 @@ class DataSpread:
             if rows is not None:
                 self.database.insert_many(table_name, [tuple(row) for row in rows])
         table = self.database.table(table_name)
+        if self.invalidation_hook is not None:
+            # The linked region's content changes wholesale under any
+            # open read snapshot.
+            self.invalidation_hook(None)
         if self._async:
             # add_region clears the cache; commit placeholders first.
             self.flush_compute()
@@ -1130,9 +1443,27 @@ class DataSpread:
             self._aggregates.invalidate_targets(targets)
 
     def _snapshot_registration(self, address: CellAddress) -> None:
-        """Capture a cell's pre-batch dependency registration (first touch)."""
-        if address not in self._batch_undo:
-            self._batch_undo[address] = self._dependencies.snapshot_registration(address)
+        """Capture a cell's pre-frame dependency registration (first touch).
+
+        Each open frame needs its *own* first-touch preimage: rolling a
+        savepoint back restores the registration the address had when that
+        savepoint opened, not the pre-batch one.
+        """
+        frame = self._frames[-1]
+        if address not in frame.registrations:
+            frame.registrations[address] = self._dependencies.snapshot_registration(address)
+
+    def _mark_batch_dirty(self, address: CellAddress) -> None:
+        """Record a dirtied address in the top frame (first touch wins).
+
+        The global first-touch check keeps addresses unique across frames,
+        so the bottom-up union of frame dirt preserves first-set order —
+        the order ``auto_evaluate=False`` batches evaluate in.
+        """
+        for frame in self._frames:
+            if address in frame.dirty:
+                return
+        self._frames[-1].dirty[address] = None
 
     def _remap_batch_addresses(self, mapper) -> None:
         """Renumber batch bookkeeping after a mid-batch structural edit.
@@ -1142,21 +1473,29 @@ class DataSpread:
         the new address, or ``None`` for a deleted cell.  Dependency
         registrations are *not* touched here — the graph re-keys every
         registration itself in ``DependencyGraph.apply_structural_edit``.
+        (The frames' undo records need no remapping: the flush preceding
+        every structural edit wiped them.)
         """
         if not self.in_batch:
             return
-        for attribute in ("_batch_dirty", "_batch_flushed"):
+        collections = [self._batch_flushed] + [frame.dirty for frame in self._frames]
+        remapped_all = []
+        for collection in collections:
             remapped: dict[CellAddress, None] = {}
-            for address in getattr(self, attribute):
+            for address in collection:
                 moved = mapper(address)
                 if moved is not None:
                     remapped[moved] = None
-            setattr(self, attribute, remapped)
+            remapped_all.append(remapped)
+        self._batch_flushed = remapped_all[0]
+        for frame, remapped in zip(self._frames, remapped_all[1:]):
+            frame.dirty = remapped
 
     def _snapshot_composite(self, key: tuple[int, int]) -> None:
         """Capture a composite value about to be displaced (first touch)."""
-        if key not in self._batch_composite_undo:
-            self._batch_composite_undo[key] = self._composite_values.get(key)
+        frame = self._frames[-1]
+        if key not in frame.composites:
+            frame.composites[key] = self._composite_values.get(key)
 
     def _ensure_stored_extent(self, row: int, column: int) -> None:
         """Grow the storage extent to cover a provisional-only cell.
@@ -1181,10 +1520,11 @@ class DataSpread:
         """Capture a cell's provisional placeholder (first touch).
 
         A no-op snapshot (``None``) when the cell holds no placeholder, so
-        the abort path can tell "remove the placeholder the batch created"
-        from "reinstate the one it displaced"."""
-        if address not in self._batch_provisional_undo:
-            self._batch_provisional_undo[address] = self._cache.provisional_at(
+        the rollback path can tell "remove the placeholder the frame
+        created" from "reinstate the one it displaced"."""
+        frame = self._frames[-1]
+        if address not in frame.provisional:
+            frame.provisional[address] = self._cache.provisional_at(
                 address.row, address.column
             )
 
@@ -1218,12 +1558,21 @@ class DataSpread:
     def _write_cell(self, row: int, column: int, cell: Cell) -> None:
         # The cache's write-through path: every synchronous commit funnels
         # here, so the backend sees (and logs) exactly the committed writes.
+        if self.before_commit_hook is not None:
+            self.before_commit_hook([(row, column)])
         self._backend.write_cell(row, column, cell)
+        self.commit_epoch += 1
 
     def _write_cells(self, items: Iterable[tuple[int, int, Cell]]) -> None:
         # The cache's bulk (batch-flush) path: the backend groups the flush
         # into one atomic commit point.
-        self._backend.write_cells(list(items))
+        items = list(items)
+        if not items:
+            return
+        if self.before_commit_hook is not None:
+            self.before_commit_hook([(row, column) for row, column, _cell in items])
+        self._backend.write_cells(items)
+        self.commit_epoch += 1
 
     def _apply_cell_to_model(self, row: int, column: int, cell: Cell) -> None:
         self._model.update_cell(row, column, cell)
@@ -1313,7 +1662,7 @@ class DataSpread:
             return
         if self.in_batch:
             self._snapshot_provisional(address)
-            self._batch_drained[address] = None
+            self._frames[-1].drained[address] = None
         value = self._safe_evaluate(existing.formula, address)
         if value != existing.value:
             self._aggregates.apply_edit(address, existing.value, value)
@@ -1335,7 +1684,7 @@ class DataSpread:
             return
         if self.in_batch:
             self._snapshot_provisional(address)
-            self._batch_drained[address] = None
+            self._frames[-1].drained[address] = None
         value = "#ERROR!"
         if value != existing.value:
             self._aggregates.apply_edit(address, existing.value, value)
@@ -1352,18 +1701,21 @@ class DataSpread:
         The flush is a *commit point*: the landed writes, their dependency
         registrations, and any composite-value changes are no longer rolled
         back if the batch body later raises, but the flushed cells still
-        get the batch-exit recompute (or the abort-path recompute).
+        get the batch-exit recompute (or the abort-path recompute).  Every
+        open frame is *barriered*: its undo records are wiped (mid-batch
+        drained values just landed in storage and need no re-queue either)
+        and a user rollback across the barrier raises
+        :class:`~repro.errors.SavepointError`.
         """
         if self.in_batch:
             self._cache.flush_pending()
-            self._batch_flushed.update(self._batch_dirty)
-            self._batch_dirty = {}
-            self._batch_undo = {}
-            self._batch_composite_undo = {}
-            self._batch_provisional_undo = {}
-            # Mid-batch drained values just landed in storage: they are
-            # durably fresh and need no abort-path re-queue.
-            self._batch_drained = {}
+            for frame in self._frames:
+                self._batch_flushed.update(frame.dirty)
+                frame.clear_records()
+                frame.barriered = True
+            # A flush is a commit: savepoint aggregate snapshots captured
+            # before it can no longer be restored truthfully.
+            self.commit_epoch += 1
 
     def _snapshot_native_cells(self) -> Sheet:
         """Copy all cells except those owned by linked tables into a Sheet."""

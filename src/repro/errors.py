@@ -80,6 +80,30 @@ class PositionError(ReproError, IndexError):
     """Raised for invalid positions in a positional mapping."""
 
 
+class SavepointError(ReproError):
+    """Raised for invalid savepoint operations.
+
+    Notably: rolling back to a savepoint created before a mid-batch commit
+    point (a structural edit or an explicit flush) — the work it would have
+    to undo is already durably committed, so the rollback refuses rather
+    than desync the visible grid from the log.
+    """
+
+
+class SessionError(ReproError):
+    """Base class for multi-session service-layer failures."""
+
+
+class TransactionBusyError(SessionError):
+    """Raised when a session needs the workspace's single write transaction
+    while another session holds it (single-writer model, like SQLite)."""
+
+
+class SnapshotInvalidatedError(SessionError):
+    """Raised when reading a snapshot whose coordinate space was changed
+    by a structural edit (or a wholesale relink) after it was opened."""
+
+
 class LinkTableError(ReproError):
     """Raised when linking a spreadsheet region to a database table fails."""
 

@@ -14,6 +14,7 @@ from repro.experiments.recompute import (
 )
 from repro.experiments.recovery import run_recovery
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.service import run_service
 from repro.experiments.storage import (
     run_fig13a,
     run_fig13b,
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "recompute-async": run_recompute_async,
     "recompute-incremental": run_recompute_incremental,
     "recovery": run_recovery,
+    "service": run_service,
     "usecase-genomics": run_usecase_genomics,
     "usecase-retail": run_usecase_retail,
 }

@@ -444,3 +444,41 @@ class AggregateStore:
         if self._states:
             self._states.clear()
             self.stats.full_invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    # savepoint snapshot / restore
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _copy_state(state: RangeAggregateState) -> RangeAggregateState:
+        clone = RangeAggregateState()
+        for slot in RangeAggregateState.__slots__:
+            setattr(clone, slot, getattr(state, slot))
+        return clone
+
+    def snapshot_states(self) -> dict[CellAddress, dict[RangeRef, RangeAggregateState]]:
+        """Deep-copy every running state (savepoint boundary capture).
+
+        States are plain numeric components, so the copy is cheap relative
+        to the range reads that built them.  The snapshot is independent of
+        the live store: later deltas do not leak into it, and it can be
+        restored more than once.
+        """
+        return {
+            formula: {region: self._copy_state(state) for region, state in per_formula.items()}
+            for formula, per_formula in self._states.items()
+        }
+
+    def restore_states(
+        self, snapshot: dict[CellAddress, dict[RangeRef, RangeAggregateState]]
+    ) -> None:
+        """Replace the live states with copies of a captured snapshot.
+
+        Only sound when no cell value was *committed* between capture and
+        restore (the engine guards with its commit epoch and falls back to
+        :meth:`invalidate_all` otherwise): buffered writes that the rollback
+        also retracts are exactly what the snapshot predates.
+        """
+        self._states = {
+            formula: {region: self._copy_state(state) for region, state in per_formula.items()}
+            for formula, per_formula in snapshot.items()
+        }

@@ -1,0 +1,5 @@
+"""Concurrent multi-session service layer (see :mod:`.workspace`)."""
+
+from repro.service.workspace import ReadSnapshot, Session, SessionSavepoint, Workspace
+
+__all__ = ["Workspace", "Session", "SessionSavepoint", "ReadSnapshot"]

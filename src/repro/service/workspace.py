@@ -1,0 +1,470 @@
+"""Multi-session service layer over a single DataSpread engine.
+
+A :class:`Workspace` owns one :class:`~repro.engine.dataspread.DataSpread`
+and hands out :class:`Session` objects — the unit a client (a spreadsheet
+tab, an API connection) holds.  Sessions share the committed grid but are
+isolated in what they have *not* yet committed:
+
+* **Single-writer transactions.**  At most one session's write transaction
+  (``session.batch()`` / ``session.savepoint()``) is open at a time — the
+  SQLite model.  While session A's transaction is open, session B's single
+  edits still succeed: they run *autonomously* (the engine parks A's
+  buffered writes, commits B's edit, resumes A), so short edits never wait
+  on a long transaction.  Cells A's transaction has uncommitted work on
+  are *write-locked* — B editing one raises
+  :class:`~repro.errors.TransactionBusyError` (the database row-lock
+  model) rather than racing A's commit flush.  B's own transaction — and
+  any structural edit, which would shift the coordinate space under A's
+  buffered writes — raise :class:`~repro.errors.TransactionBusyError`
+  as well.
+
+* **Read-committed visibility.**  A transaction's buffered writes are
+  visible only to the session that owns it.  Other sessions (and the async
+  scheduler draining between edits) read the last committed values.
+
+* **Real savepoints.**  ``session.savepoint()`` captures an undo boundary
+  inside the open transaction; ``rollback()`` restores exactly that
+  boundary — cache writes, dependency registrations, aggregate delta
+  state, provisional placeholders — without discarding outer work.
+  Releases and rollbacks map onto the engine's WAL group commit points
+  (the commit group is annotated with the owning session's name).
+
+* **Snapshot reads.**  ``session.read_snapshot()`` pins the committed
+  generation at open time: concurrent commits — including the async
+  scheduler's own committing evaluations — do not move values under the
+  snapshot (copy-on-write via the engine's before-commit hook).  A
+  structural edit changes the coordinate space and *invalidates* open
+  snapshots; reading one afterwards raises
+  :class:`~repro.errors.SnapshotInvalidatedError`.
+
+* **Per-session viewports.**  Each session's viewport feeds the async
+  scheduler's priority queue; the scheduler round-robins between
+  sessions' viewports so one client cannot starve another's visible
+  region.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.engine.dataspread import DataSpread, Savepoint
+from repro.grid.address import CellAddress
+from repro.errors import (
+    SessionError,
+    SnapshotInvalidatedError,
+    TransactionBusyError,
+)
+from repro.grid.range import RangeRef
+
+
+class Workspace:
+    """One shared engine, many sessions.
+
+    Keyword arguments are forwarded to the :class:`DataSpread` constructor;
+    ``async_recompute`` defaults to ``True`` because a multi-client service
+    wants edits acknowledged before dependents recompute.  Pass an existing
+    engine via ``engine=`` to wrap one (e.g. a recovered workspace).
+    """
+
+    def __init__(self, *, engine: DataSpread | None = None, **engine_kwargs: Any) -> None:
+        if engine is None:
+            engine_kwargs.setdefault("async_recompute", True)
+            engine = DataSpread(**engine_kwargs)
+        elif engine_kwargs:
+            raise SessionError("pass either an engine or engine kwargs, not both")
+        self._spread = engine
+        self._spread.before_commit_hook = self._before_commit
+        self._spread.invalidation_hook = self._coordinates_changed
+        self._sessions: dict[str, "Session"] = {}
+        self._txn_owner: "Session | None" = None
+        self._snapshots: list["ReadSnapshot"] = []
+        self._next_session = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> DataSpread:
+        """The shared engine (read freely; prefer sessions for writes)."""
+        return self._spread
+
+    @property
+    def transaction_owner(self) -> "Session | None":
+        """The session currently holding the write transaction, if any."""
+        return self._txn_owner
+
+    def open_session(self, name: str | None = None) -> "Session":
+        self._require_open()
+        self._next_session += 1
+        if name is None:
+            name = f"session-{self._next_session}"
+        if name in self._sessions:
+            raise SessionError(f"session {name!r} already open")
+        session = Session(self, name)
+        self._sessions[name] = session
+        return session
+
+    def drain(self, limit: int | None = None) -> int:
+        """Run up to ``limit`` queued evaluations (all of them when None).
+
+        Draining happens outside any session scope: the scheduler computes
+        from committed values only, never from a transaction's buffered
+        writes.
+        """
+        return self._spread.flush_compute(limit)
+
+    def flush(self) -> int:
+        """Drain the compute queue completely."""
+        return self._spread.flush_compute()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for snapshot in list(self._snapshots):
+            snapshot.close()
+        self._sessions.clear()
+        self._spread.before_commit_hook = None
+        self._spread.invalidation_hook = None
+        self._spread.close()
+
+    # ------------------------------------------------------------------ #
+    # engine hooks
+    # ------------------------------------------------------------------ #
+    def _before_commit(self, keys: list[tuple[int, int]]) -> None:
+        # Copy-on-write for open snapshots: capture the committed value of
+        # every about-to-be-overwritten cell a snapshot has not pinned yet.
+        for snapshot in self._snapshots:
+            snapshot._capture(keys)
+
+    def _coordinates_changed(self, _edit: Any) -> None:
+        # A structural edit (or wholesale relink) shifts the coordinate
+        # space; pinned (row, column) keys no longer name the same cells.
+        for snapshot in self._snapshots:
+            snapshot._invalidated = True
+        self._snapshots.clear()
+
+    # ------------------------------------------------------------------ #
+    # session plumbing
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _scope(self, session: "Session") -> Iterator[None]:
+        previous = self._spread.activate_scope(session, session.name)
+        try:
+            yield
+        finally:
+            self._spread.activate_scope(*previous)
+
+    def _acquire_txn(self, session: "Session") -> bool:
+        """Claim the single write-transaction slot.
+
+        Returns True when this call took the slot (the caller must release
+        it), False when ``session`` already holds it (re-entrant nesting).
+        """
+        if self._txn_owner is None:
+            self._txn_owner = session
+            return True
+        if self._txn_owner is session:
+            return False
+        raise TransactionBusyError(
+            f"write transaction held by session {self._txn_owner.name!r}"
+        )
+
+    def _release_txn(self, session: "Session") -> None:
+        if self._txn_owner is session and not self._spread.in_batch:
+            self._txn_owner = None
+
+    def _check_structural(self, session: "Session") -> None:
+        if self._txn_owner is not None and self._txn_owner is not session:
+            raise TransactionBusyError(
+                "structural edits must wait for session "
+                f"{self._txn_owner.name!r} to commit (they would shift the "
+                "coordinate space under its buffered writes)"
+            )
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError("workspace is closed")
+
+
+class Session:
+    """One client's handle on a shared :class:`Workspace`.
+
+    All reads and writes run under the session's *scope*: buffered
+    transaction writes belong to (and are visible to) this session only.
+    Do not share one session between threads; open one per client instead.
+    """
+
+    def __init__(self, workspace: Workspace, name: str) -> None:
+        self._workspace = workspace
+        self.name = name
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def workspace(self) -> Workspace:
+        return self._workspace
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._workspace._txn_owner is self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        ws = self._workspace
+        ws._sessions.pop(self.name, None)
+        ws._spread.set_viewport(None, owner=self)
+        if ws._txn_owner is self and not ws._spread.in_batch:
+            ws._txn_owner = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    def set_value(self, row: int, column: int, value: Any) -> None:
+        self._write(lambda engine: engine.set_value(row, column, value),
+                    (row, column))
+
+    def set_formula(self, row: int, column: int, formula: str) -> Any:
+        return self._write(lambda engine: engine.set_formula(row, column, formula),
+                           (row, column))
+
+    def set_input(self, reference: str, text: Any) -> Any:
+        address = CellAddress.from_a1(reference)
+        return self._write(lambda engine: engine.set_input(reference, text),
+                           (address.row, address.column))
+
+    def clear_cell(self, row: int, column: int) -> None:
+        self._write(lambda engine: engine.clear_cell(row, column),
+                    (row, column))
+
+    def insert_row_after(self, row: int, count: int = 1) -> None:
+        self._structural(lambda engine: engine.insert_row_after(row, count))
+
+    def delete_row(self, row: int, count: int = 1) -> None:
+        self._structural(lambda engine: engine.delete_row(row, count))
+
+    def insert_column_after(self, column: int, count: int = 1) -> None:
+        self._structural(lambda engine: engine.insert_column_after(column, count))
+
+    def delete_column(self, column: int, count: int = 1) -> None:
+        self._structural(lambda engine: engine.delete_column(column, count))
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def batch(self) -> Iterator["Session"]:
+        """Open (or nest within) this session's write transaction.
+
+        Acquires the workspace's single-writer slot; a nested call is a
+        savepoint (engine semantics).  Raises
+        :class:`~repro.errors.TransactionBusyError` when another session's
+        transaction is open.
+        """
+        self._require_usable()
+        ws = self._workspace
+        acquired = ws._acquire_txn(self)
+        try:
+            with ws._scope(self), ws._spread.batch():
+                yield self
+        finally:
+            if acquired:
+                ws._release_txn(self)
+
+    def savepoint(self) -> "SessionSavepoint":
+        """Capture an undo boundary in this session's transaction.
+
+        Outside a batch this opens a transaction of its own (released on
+        ``release()`` / context-manager exit).
+        """
+        self._require_usable()
+        ws = self._workspace
+        acquired = ws._acquire_txn(self)
+        try:
+            with ws._scope(self):
+                handle = ws._spread.savepoint()
+        except BaseException:
+            if acquired:
+                ws._release_txn(self)
+            raise
+        return SessionSavepoint(self, handle, acquired)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def get_value(self, row: int, column: int) -> Any:
+        with self._workspace._scope(self):
+            return self._workspace._spread.get_value(row, column)
+
+    def get_cell(self, row: int, column: int) -> Any:
+        with self._workspace._scope(self):
+            return self._workspace._spread.get_cell(row, column)
+
+    def get_range_values(self, region: RangeRef | str) -> list[list[Any]]:
+        with self._workspace._scope(self):
+            return self._workspace._spread.get_range_values(region)
+
+    def set_viewport(self, region: RangeRef | str | None) -> None:
+        """Declare this session's visible region (scheduler priority)."""
+        self._workspace._spread.set_viewport(region, owner=self)
+
+    def read_snapshot(self) -> "ReadSnapshot":
+        """Pin the committed generation for consistent multi-cell reads."""
+        self._require_usable()
+        snapshot = ReadSnapshot(self._workspace)
+        self._workspace._snapshots.append(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    def _write(self, operation, key: tuple[int, int]):
+        self._require_usable()
+        ws = self._workspace
+        owner = ws._txn_owner
+        if owner is None or owner is self:
+            with ws._scope(self):
+                return operation(ws._spread)
+        # Another session's transaction is open: commit autonomously so a
+        # long transaction never blocks other clients' single edits.  Cells
+        # the transaction has uncommitted work on are write-locked — an
+        # autonomous overwrite would race the owner's commit flush.
+        if ws._spread.transaction_touches(*key):
+            raise TransactionBusyError(
+                f"cell {key} is write-locked by session "
+                f"{owner.name!r}'s open transaction"
+            )
+        with ws._scope(self), ws._spread.autonomous():
+            return operation(ws._spread)
+
+    def _structural(self, operation):
+        self._require_usable()
+        ws = self._workspace
+        ws._check_structural(self)
+        with ws._scope(self):
+            return operation(ws._spread)
+
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise SessionError(f"session {self.name!r} is closed")
+        self._workspace._require_open()
+
+
+class SessionSavepoint:
+    """A session-scoped wrapper over the engine's :class:`Savepoint`.
+
+    Rollback and release run under the owning session's scope; releasing
+    (or unwinding) the savepoint that *opened* the transaction also frees
+    the workspace's single-writer slot.
+    """
+
+    def __init__(self, session: Session, handle: Savepoint, acquired: bool) -> None:
+        self._session = session
+        self._handle = handle
+        self._acquired = acquired
+
+    @property
+    def active(self) -> bool:
+        return self._handle.active
+
+    def rollback(self) -> None:
+        """Restore the boundary; the savepoint stays open for re-rollback.
+
+        Raises :class:`~repro.errors.SavepointError` when a mid-batch
+        commit point (structural edit) made the work durable.
+        """
+        ws = self._session._workspace
+        with ws._scope(self._session):
+            self._handle.rollback()
+
+    def release(self) -> None:
+        """Keep the work and close the boundary (commits when outermost)."""
+        ws = self._session._workspace
+        with ws._scope(self._session):
+            self._handle.release()
+        self._settle_txn()
+
+    def __enter__(self) -> "SessionSavepoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ws = self._session._workspace
+        try:
+            with ws._scope(self._session):
+                self._handle.__exit__(exc_type, exc, tb)
+        finally:
+            self._settle_txn()
+
+    def _settle_txn(self) -> None:
+        if self._acquired:
+            self._session._workspace._release_txn(self._session)
+
+
+class ReadSnapshot:
+    """A consistent view of the committed grid at open time.
+
+    Values the snapshot has read — or could read — do not move while it is
+    open: the workspace captures the committed preimage of every cell just
+    before a commit overwrites it (copy-on-write), including the async
+    scheduler's own committing evaluations mid-drain.  Uncommitted work
+    (any session's buffered transaction writes) is never visible.
+
+    A structural edit invalidates the snapshot wholesale: the pinned
+    (row, column) keys no longer name the same conceptual cells, so reads
+    raise :class:`~repro.errors.SnapshotInvalidatedError` afterwards.
+    """
+
+    def __init__(self, workspace: Workspace) -> None:
+        self._workspace = workspace
+        self._overlay: dict[tuple[int, int], Any] = {}
+        self._invalidated = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def valid(self) -> bool:
+        return not (self._invalidated or self._closed)
+
+    def get_value(self, row: int, column: int) -> Any:
+        if self._invalidated:
+            raise SnapshotInvalidatedError(
+                "a structural edit changed the coordinate space after this "
+                "snapshot was opened"
+            )
+        if self._closed:
+            raise SessionError("snapshot is closed")
+        key = (row, column)
+        if key in self._overlay:
+            return self._overlay[key]
+        # The data model holds exactly the committed state: transaction
+        # buffers and provisional placeholders live in the cache and never
+        # reach the model before their commit point.
+        return self._workspace._spread.model.get_cell(row, column).value
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._workspace._snapshots.remove(self)
+        except ValueError:
+            pass  # already invalidated (and unregistered) or workspace closed
+
+    def __enter__(self) -> "ReadSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _capture(self, keys: list[tuple[int, int]]) -> None:
+        model = self._workspace._spread.model
+        for key in keys:
+            if key not in self._overlay:
+                self._overlay[key] = model.get_cell(*key).value

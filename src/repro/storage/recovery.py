@@ -61,6 +61,8 @@ def replay_records(base: CellMap, records: list[dict[str, Any]]) -> CellMap:
                 cells[key] = (value, formula)
         elif kind == "structural":
             cells = _apply_structural(cells, record)
+        elif kind == "mark":
+            pass  # annotation only: no replay effect
         else:
             raise RecoveryError(f"unknown WAL record type {kind!r}")
     return cells

@@ -22,6 +22,9 @@ Record taxonomy (the ``"t"`` field of the JSON payload):
     rewrites straddling formula references, so a structural record is
     self-sufficient even if the crash lands before the engine's rewritten
     formula texts were themselves logged.
+``mark``
+    An annotation: free-form metadata (e.g. which session transaction a
+    group commit belongs to).  Skipped during replay.
 ``begin`` / ``commit`` / ``abort``
     Group-commit markers.  Records between a ``begin`` and its ``commit``
     apply atomically: a group missing its ``commit`` (torn tail, crash,
@@ -112,6 +115,19 @@ def structural_edit_from(record: dict[str, Any]) -> StructuralEdit:
     """Rebuild the :class:`StructuralEdit` a ``structural`` record describes."""
     return StructuralEdit(axis=record["axis"], kind=record["kind"],
                           line=record["line"], count=record["count"])
+
+
+def mark_record(payload: dict[str, Any]) -> dict[str, Any]:
+    """An annotation record: metadata riding in the log without replay effect.
+
+    Marks let higher layers label their commit points (e.g. a session
+    transaction stamping the group that carries its writes with its scope
+    and savepoint count).  Replay skips them; they exist for forensics and
+    for tests asserting which commit points a workload produced.
+    """
+    record = {"t": "mark"}
+    record.update(payload)
+    return record
 
 
 BEGIN = {"t": "begin"}

@@ -23,4 +23,5 @@ from tests.support.harness import (  # noqa: F401
     run_crash_recovery,
     run_equivalence,
     run_mid_batch_equivalence,
+    run_session_interleaving,
 )

@@ -29,6 +29,7 @@ import shutil
 import tempfile
 
 from repro.engine.dataspread import DataSpread
+from repro.errors import SavepointError
 from repro.grid.address import MAX_COLUMNS, MAX_ROWS, column_index_to_letter
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
@@ -401,35 +402,65 @@ def run_crash_recovery(seed: int, *, steps: int = 50) -> bool:
                     op = random_edit(rng)
                     ledger.append([(backend.durable_commits + 1, [op])])
                     apply_edit(spread, op)
-                elif action < 9:  # batch (clean or aborted), maybe structurals
-                    ops = [
-                        random_structural(rng) if rng.random() < 0.35 else random_edit(rng)
-                        for _ in range(rng.randint(2, 6))
-                    ]
+                elif action < 9:  # batch: edits, structurals, savepoints
                     abort = rng.random() < 0.25
                     entry: list[tuple[int, list[tuple]]] = []
                     ledger.append(entry)
                     applied: list[tuple] = []
+                    # Open savepoints as [handle, applied-watermark, barriered].
+                    sp_stack: list[list] = []
                     try:
                         with spread.batch():
-                            for op in ops:
-                                if op[0] in STRUCTURAL_KINDS:
+                            for _ in range(rng.randint(2, 7)):
+                                roll = rng.random()
+                                if roll < 0.15:
+                                    sp_stack.append(
+                                        [spread.savepoint(), len(applied), False])
+                                elif roll < 0.27 and sp_stack:
+                                    index = rng.randrange(len(sp_stack))
+                                    handle, mark, barriered = sp_stack[index]
+                                    if barriered:
+                                        # A mid-batch commit point already
+                                        # flushed past this boundary; rolling
+                                        # back must refuse, changing nothing.
+                                        try:
+                                            handle.rollback()
+                                        except SavepointError:
+                                            pass
+                                        else:
+                                            raise AssertionError(
+                                                "barriered rollback succeeded")
+                                    else:
+                                        handle.rollback()
+                                        del applied[mark:]
+                                        del sp_stack[index + 1:]
+                                elif roll < 0.35 and sp_stack:
+                                    index = rng.randrange(len(sp_stack))
+                                    sp_stack[index][0].release()
+                                    del sp_stack[index:]
+                                elif roll < 0.60:
+                                    op = random_structural(rng)
                                     # A mid-batch structural edit is a commit
                                     # point covering the batch prefix so far.
                                     # Register the alternative *before* the
                                     # call: the group commits inside it, and
                                     # a crash in the post-commit recompute
-                                    # must still find the prefix durable.
+                                    # must still find the prefix durable.  It
+                                    # also barriers every open savepoint.
                                     pre = backend.durable_commits
                                     applied.append(op)
                                     entry.append((pre + 1, list(applied)))
                                     apply_structural(spread, op)
+                                    for item in sp_stack:
+                                        item[2] = True
                                 else:
+                                    op = random_edit(rng)
                                     apply_edit(spread, op)
                                     applied.append(op)
                             if abort:
                                 raise Boom()
-                            # The closing flush commits the whole batch.
+                            # The closing flush commits the savepoint-surviving
+                            # batch suffix along with everything before it.
                             entry.append((backend.durable_commits + 1, list(applied)))
                     except Boom:
                         pass
@@ -543,3 +574,202 @@ def run_async_crash_recovery(seed: int, *, steps: int = 50) -> bool:
         except BaseException:
             pass
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------- #
+# multi-session interleaving fuzz
+# ---------------------------------------------------------------------- #
+def run_session_interleaving(seed: int, *, writers: int = 3, readers: int = 2,
+                             steps: int = 90) -> None:
+    """One randomized multi-session interleaving over a shared workspace.
+
+    ``writers`` writer sessions and ``readers`` reader sessions share one
+    async :class:`~repro.service.Workspace`.  Writers issue single edits,
+    transactions with nested savepoints (pushed, rolled back — possibly
+    repeatedly — and released), mid-transaction structural edits (commit
+    points that barrier earlier savepoints), aborts, and autonomous edits
+    while another session's transaction is open; foreign transactions and
+    structural edits must refuse with
+    :class:`~repro.errors.TransactionBusyError`.  Readers move their
+    viewports (exercising the scheduler's round-robin priority), read
+    mid-drain, run partial drains, and probe snapshot isolation against
+    concurrent commits.
+
+    Convergence oracle: every op that *committed* is appended to a ledger
+    in commit order — rollbacks truncate a transaction's survivors, aborts
+    drop them, mid-batch structural edits flush them early — and after a
+    full drain the shared grid must equal a synchronous ``Sheet`` replay
+    of exactly that ledger.
+    """
+    from repro.errors import (
+        SavepointError,
+        SnapshotInvalidatedError,
+        TransactionBusyError,
+    )
+    from repro.service import Workspace
+
+    rng = random.Random(seed)
+    ws = Workspace()
+    ws.engine.aggregate_store.min_state_area = 1
+    writer_sessions = [ws.open_session(f"writer-{n}") for n in range(writers)]
+    reader_sessions = [ws.open_session(f"reader-{n}") for n in range(readers)]
+    committed: list[tuple] = []
+    sheet = Sheet()
+
+    def commit_op(op: tuple) -> None:
+        committed.append(op)
+
+    anchor_row, anchor_column = SEED_ANCHOR
+    seed_op = ("value", anchor_row, anchor_column, seed)
+    apply_edit(writer_sessions[0], seed_op)
+    commit_op(seed_op)
+
+    def other_writer(owner) -> "object | None":
+        candidates = [w for w in writer_sessions if w is not owner]
+        return rng.choice(candidates) if candidates else None
+
+    def run_transaction(owner) -> None:
+        survivors: list[tuple] = []
+        # Stack of (handle, survivor-watermark, barriered) for open savepoints.
+        stack: list[list] = []
+
+        def script() -> None:
+            for _op in range(rng.randint(2, 8)):
+                pick = rng.randrange(12)
+                if pick < 5:  # owner edit, buffered in the transaction
+                    op = random_edit(rng)
+                    apply_edit(owner, op)
+                    survivors.append(op)
+                elif pick < 7:  # push a savepoint
+                    stack.append([owner.savepoint(), len(survivors), False])
+                elif pick < 9 and stack:  # roll back to a random savepoint
+                    index = rng.randrange(len(stack))
+                    handle, watermark, barriered = stack[index]
+                    if barriered:
+                        # A mid-batch commit point made the work durable;
+                        # the rollback must refuse rather than desync.
+                        try:
+                            handle.rollback()
+                        except SavepointError:
+                            pass
+                        else:
+                            raise AssertionError(
+                                (seed, "barriered rollback succeeded"))
+                    else:
+                        handle.rollback()
+                        del survivors[watermark:]
+                        del stack[index + 1:]
+                elif pick == 9 and stack and rng.random() < 0.5:
+                    # Release a savepoint: keep its work, collapse the ones
+                    # nested inside it.
+                    index = rng.randrange(len(stack))
+                    stack[index][0].release()
+                    del stack[index:]
+                elif pick == 9:  # mid-transaction structural edit: a commit
+                    op = random_structural(rng)  # point; flushes survivors
+                    commit_op_list = list(survivors)
+                    survivors.clear()
+                    committed.extend(commit_op_list)
+                    commit_op(op)
+                    apply_structural(owner, op)
+                    for entry in stack:
+                        entry[2] = True
+                elif pick == 10:  # foreign activity while the txn is open
+                    foreign = other_writer(owner)
+                    if foreign is None:
+                        continue
+                    roll = rng.random()
+                    if roll < 0.5:  # single edit commits autonomously —
+                        # unless it lands on a cell the open transaction
+                        # write-locked (uncommitted owner work on it).
+                        op = random_edit(rng)
+                        try:
+                            apply_edit(foreign, op)
+                        except TransactionBusyError:
+                            assert ws.engine.transaction_touches(op[1], op[2]), (
+                                seed, op, "spurious write-lock refusal")
+                        else:
+                            commit_op(op)
+                    elif roll < 0.75:  # foreign transaction: busy
+                        try:
+                            with foreign.batch():
+                                raise AssertionError(
+                                    (seed, "foreign batch not refused"))
+                        except TransactionBusyError:
+                            pass
+                    else:  # foreign structural edit: busy
+                        try:
+                            apply_structural(foreign, random_structural(rng))
+                        except TransactionBusyError:
+                            pass
+                        else:
+                            raise AssertionError(
+                                (seed, "foreign structural not refused"))
+                else:  # scheduler drains mid-transaction (committed inputs)
+                    ws.drain(rng.randint(1, 4))
+            if rng.random() < 0.25:
+                raise Boom()
+
+        try:
+            with owner.batch():
+                script()
+        except Boom:
+            return  # aborted: survivors (and open savepoints) are gone
+        committed.extend(survivors)
+
+    def snapshot_probe(reader) -> None:
+        sample = [(rng.randint(1, DATA_ROWS), rng.randint(1, 5))
+                  for _ in range(4)]
+        with reader.read_snapshot() as snap:
+            pinned = {key: snap.get_value(*key) for key in sample}
+            for _edit in range(rng.randint(1, 3)):
+                op = random_edit(rng)
+                apply_edit(rng.choice(writer_sessions), op)
+                commit_op(op)
+            ws.drain(rng.randint(1, 6))
+            for key, value in pinned.items():
+                assert snap.get_value(*key) == value, (seed, key, "snapshot")
+            if rng.random() < 0.3:  # structural edits invalidate snapshots
+                op = random_structural(rng)
+                apply_structural(rng.choice(writer_sessions), op)
+                commit_op(op)
+                try:
+                    snap.get_value(*sample[0])
+                except SnapshotInvalidatedError:
+                    pass
+                else:
+                    raise AssertionError((seed, "snapshot not invalidated"))
+
+    for _step in range(steps):
+        action = rng.randrange(12)
+        if action < 4:  # single committed edit by a random writer
+            op = random_edit(rng)
+            apply_edit(rng.choice(writer_sessions), op)
+            commit_op(op)
+        elif action < 8:  # a full transaction script
+            run_transaction(rng.choice(writer_sessions))
+        elif action < 9:  # standalone structural edit
+            op = random_structural(rng)
+            apply_structural(rng.choice(writer_sessions), op)
+            commit_op(op)
+        elif action < 11:  # reader churn: viewports, reads, partial drains
+            reader = rng.choice(reader_sessions)
+            roll = rng.random()
+            if roll < 0.4:
+                top = rng.randint(1, 30)
+                reader.set_viewport(
+                    RangeRef(top, 1, top + 10, 8) if rng.random() < 0.8 else None
+                )
+            elif roll < 0.7:
+                reader.get_value(rng.randint(1, DATA_ROWS), rng.randint(1, 5))
+                reader.get_range_values(RangeRef(1, 1, DATA_ROWS, 5))
+            else:
+                ws.drain(rng.randint(1, 5))
+        else:  # snapshot isolation probe
+            snapshot_probe(rng.choice(reader_sessions))
+
+    ws.flush()
+    for op in committed:
+        apply_op(sheet, op)
+    assert_oracle_agrees(ws.engine, sheet, context=(seed, "sessions"))
+    ws.close()

@@ -197,7 +197,7 @@ class TestEngineAggregateDeltas:
         assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A100")
         assert spread.get_value(1, 3) != expected_before
 
-    def test_batch_abort_invalidates_and_recovers(self):
+    def test_batch_abort_restores_the_snapshot_and_recovers(self):
         spread = self._build(rows=50)
         spread.set_formula(1, 3, "SUM(A1:A50)")
         expected = spread.get_value(1, 3)
@@ -205,9 +205,11 @@ class TestEngineAggregateDeltas:
             with spread.batch():
                 spread.set_value(5, 1, 999)
                 raise RuntimeError("boom")
-        assert spread.aggregate_store.state_count == 0
+        # The abort restores the frame's aggregate snapshot (no commit point
+        # intervened), so the pre-batch state survives intact.
+        assert spread.aggregate_store.state_count == 1
         assert spread.get_value(1, 3) == expected  # the abort rolled back
-        spread.set_value(5, 1, 123)  # rebuild-from-full-read, then delta again
+        spread.set_value(5, 1, 123)  # delta straight off the restored state
         assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A50")
 
     def test_structural_edit_invalidates_then_rebuilds(self):

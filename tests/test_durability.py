@@ -38,6 +38,7 @@ from tests.support import (
     run_async_crash_recovery,
     run_crash_recovery,
 )
+from tests.support.seeds import seed_set
 
 #: Fast deterministic crash-fuzz seeds for tier-1; ``make crash-fuzz``
 #: widens via REPRO_CRASH_SEEDS (disjoint async offset, as in the
@@ -46,10 +47,8 @@ _FAST_CRASH_SEEDS = range(31, 37)
 
 
 def _crash_seed_set() -> list[int]:
-    requested = os.environ.get("REPRO_CRASH_SEEDS")
-    if requested:
-        return list(range(1, int(requested) + 1))
-    return list(_FAST_CRASH_SEEDS)
+    return seed_set("REPRO_CRASH_SEEDS", _FAST_CRASH_SEEDS,
+                    aliases=("CRASH_SEEDS",))
 
 
 # ---------------------------------------------------------------------- #

@@ -12,11 +12,10 @@ variable (e.g. ``REPRO_FUZZ_SEEDS=50`` runs seeds 1..50).  Every failure
 message carries its seed, so a fuzz find replays as a one-seed run.
 """
 
-import os
-
 import pytest
 
 from tests.support import run_equivalence, run_mid_batch_equivalence
+from tests.support.seeds import seed_set
 
 #: Fast deterministic default (tier-1); disjoint from the seeds
 #: tests/test_async_compute.py already runs.
@@ -24,10 +23,7 @@ _FAST_SEEDS = range(21, 27)
 
 
 def _seed_set() -> list[int]:
-    requested = os.environ.get("REPRO_FUZZ_SEEDS")
-    if requested:
-        return list(range(1, int(requested) + 1))
-    return list(_FAST_SEEDS)
+    return seed_set("REPRO_FUZZ_SEEDS", _FAST_SEEDS, aliases=("FUZZ_SEEDS",))
 
 
 @pytest.mark.parametrize("seed", _seed_set())

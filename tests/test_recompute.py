@@ -432,11 +432,13 @@ class TestReviewRegressions:
         assert spread.get_value(1, 1) is None
         assert spread.cell_count() == 0
 
-    def test_nested_batch_is_not_a_savepoint(self):
-        """Nested batches join the outermost one: catching an inner batch's
-        exception inside the outer batch keeps the inner edits."""
+    def test_nested_batch_is_a_savepoint(self):
+        """A nested batch is a real savepoint: catching an inner batch's
+        exception rolls back exactly the inner edits while the outer
+        batch's work — before and after — survives."""
         spread = DataSpread()
         with spread.batch():
+            spread.set_value(2, 1, "before")
             try:
                 with spread.batch():
                     spread.set_value(1, 1, "inner")
@@ -444,7 +446,8 @@ class TestReviewRegressions:
             except RuntimeError:
                 pass
             spread.set_value(1, 2, "outer")
-        assert spread.get_value(1, 1) == "inner"
+        assert spread.get_value(1, 1) is None
+        assert spread.get_value(2, 1) == "before"
         assert spread.get_value(1, 2) == "outer"
 
     def test_batch_without_auto_evaluate_matches_unbatched_order(self):
