@@ -14,7 +14,8 @@ REPRO_CRASH_SEEDS ?= $(or $(CRASH_SEEDS),60)
 REPRO_SESSION_SEEDS ?= $(or $(SESSION_SEEDS),100)
 
 .PHONY: test fuzz fuzz-sessions crash-fuzz bench bench-async \
-	bench-incremental bench-recovery bench-sessions docs-check examples all
+	bench-incremental bench-query bench-recovery bench-sessions \
+	docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -65,6 +66,17 @@ bench-incremental:
 		--json BENCH_recompute_incremental.json
 	$(PYTHON) scripts/check_bench.py BENCH_recompute_incremental.json
 
+## Query subsystem benchmark: planner pushdown + streaming LIMIT vs naive
+## full-region materialisation (10k/100k/1M-row ladder, scaled to 0.1
+## here; full scale via `python -m repro.experiments query`), plus
+## live-view recompute latency after point edits.  Emits BENCH_query.json
+## and fails if the pushdown speedup floor is blown, either path
+## diverges, or the live view stops refreshing reactively
+## (scripts/check_bench.py guard).
+bench-query:
+	$(PYTHON) -m repro.experiments query --scale 0.1 --json BENCH_query.json
+	$(PYTHON) scripts/check_bench.py BENCH_query.json
+
 ## Durability benchmark: redo-replay recovery time vs log length, plus the
 ## checkpointed alternative.  Emits BENCH_recovery.json and fails if any
 ## recovered grid diverges or the checkpoint stops truncating the log.
@@ -84,7 +96,7 @@ bench-sessions:
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:
-	$(PYTHON) scripts/check_docs.py README.md
+	$(PYTHON) scripts/check_docs.py README.md docs/architecture.md
 
 ## Run the example walkthroughs end to end.
 examples:

@@ -24,6 +24,14 @@ dispatched per experiment id, so one JSON file may carry several results:
     * the multi-session edit ack falling behind the synchronous
       baseline — the deferred acknowledgement stopped paying for itself.
 
+``query`` (``make bench-query``)
+    * the pushdown speedup at the largest ladder size below the floor —
+      the planner stopped pushing predicates/projections/LIMIT into the
+      scan;
+    * either execution path disagreeing with the other, or the live view
+      diverging from (or refreshing less often than) its
+      re-materialisation oracle.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench.py BENCH_file.json \
@@ -112,9 +120,42 @@ def check_service(result: dict, **_options) -> list[str]:
     return failures
 
 
+def check_query(result: dict, *, min_speedup: float) -> list[str]:
+    failures: list[str] = []
+    ladder = [row for row in result["rows"] if row.get("mode") == "pushdown-vs-naive"]
+    if not ladder:
+        failures.append("missing pushdown-vs-naive rows")
+    for row in ladder:
+        if not row.get("results_match", False):
+            failures.append(
+                f"pushdown result diverged from the naive materialisation "
+                f"({row.get('rows')} rows)"
+            )
+    if ladder:
+        largest = max(ladder, key=lambda row: row.get("rows", 0))
+        if largest.get("speedup", 0.0) < min_speedup:
+            failures.append(
+                f"pushdown speedup {largest.get('speedup', 0.0):.1f}x at "
+                f"{largest.get('rows')} rows fell below the {min_speedup:.1f}x floor"
+            )
+    view = next((row for row in result["rows"] if row.get("mode") == "live-view"), None)
+    if view is None:
+        failures.append("missing live-view row")
+    else:
+        if not view.get("view_matches_oracle", False):
+            failures.append("live view diverged from the re-materialisation oracle")
+        if view.get("refreshes", 0) < view.get("edits", 0):
+            failures.append(
+                f"live view refreshed {view.get('refreshes')} times for "
+                f"{view.get('edits')} source edits — reactivity regressed"
+            )
+    return failures
+
+
 #: Guarded experiments; results with other ids pass through unchecked.
 CHECKERS = {
     "recompute-incremental": check_recompute_incremental,
+    "query": check_query,
     "recovery": check_recovery,
     "service": check_service,
 }

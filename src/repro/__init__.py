@@ -39,6 +39,11 @@ The public API is organised around a handful of entry points:
     engine, single-writer transactions with real savepoints, per-session
     viewports, and snapshot-isolated readers.
 
+``repro.query``
+    The generative relational query subsystem: composable ``select()``
+    over grid regions and linked tables, a pushdown planner, a streaming
+    executor, and reactive live views.
+
 ``repro.workloads`` / ``repro.analysis`` / ``repro.experiments``
     Workload generators, corpus analysis, and the per-table/figure experiment
     harness used by the benchmark suite.
@@ -48,6 +53,7 @@ from repro.grid.address import CellAddress, column_letter_to_index, column_index
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
 from repro.engine.dataspread import DataSpread
+from repro.query import avg, col, count, max_, min_, region, select, sum_, table
 from repro.service import Workspace
 from repro.storage.recovery import recover
 
@@ -59,8 +65,17 @@ __all__ = [
     "Sheet",
     "DataSpread",
     "Workspace",
+    "avg",
+    "col",
     "column_letter_to_index",
     "column_index_to_letter",
+    "count",
+    "max_",
+    "min_",
     "recover",
+    "region",
+    "select",
+    "sum_",
+    "table",
     "__version__",
 ]

@@ -92,12 +92,13 @@ from repro.decomposition import (
 )
 from repro.engine.cache import ABSENT, LRUCellCache
 from repro.engine.relational import TableValue
-from repro.engine.sql import execute_sql
+from repro.engine.sql import parse_sql
 from repro.errors import (
     CircularDependencyError,
     FormulaEvaluationError,
     FormulaSyntaxError,
     LinkTableError,
+    QueryError,
     SavepointError,
     WALError,
 )
@@ -107,7 +108,7 @@ from repro.formula.dependencies import DependencyGraph
 from repro.formula.evaluator import DEFAULT_PARSE_CACHE_CAPACITY, Evaluator
 from repro.formula.rewrite import StructuralEdit, rewrite_formula
 from repro.formula.serializer import to_formula
-from repro.grid.address import CellAddress
+from repro.grid.address import MAX_COLUMNS, MAX_ROWS, CellAddress
 from repro.grid.cell import Cell, CellValue
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
@@ -115,6 +116,11 @@ from repro.grid.structural import check_delete_line, check_insert_line
 from repro.models.base import ModelKind
 from repro.models.hybrid import HybridDataModel, HybridRegion
 from repro.models.tom import TableOrientedModel
+from repro.query.ast import GridRelation
+from repro.query.builder import Select, select as build_select
+from repro.query.executor import QueryResult, run_plan
+from repro.query.planner import compile_select
+from repro.query.views import LiveView
 from repro.storage.costs import POSTGRES_COSTS, CostParameters
 from repro.storage.database import Database
 
@@ -312,6 +318,10 @@ class DataSpread:
         )
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
+        # Live query views, keyed by the sentinel anchor address that
+        # represents each view in the dependency graph / scheduler.
+        self._views: dict[CellAddress, LiveView] = {}
+        self._view_anchor_seq = 0
         # The transaction stack: one _UndoFrame per open batch/savepoint
         # level.  The outermost frame is the batch; nested frames are real
         # savepoints (rolling one back preserves outer work).
@@ -611,6 +621,8 @@ class DataSpread:
             # Something committed since the boundary was captured; the
             # snapshot no longer matches reality.  States rebuild lazily.
             self._aggregates.invalidate_all()
+        # Pinned view results may reflect the rolled-back writes.
+        self._mark_views_stale()
 
     def _release_through_frame(self, frame: _UndoFrame) -> None:
         """Clean exit of a frame: merge into the parent, or commit."""
@@ -697,6 +709,8 @@ class DataSpread:
         for inner in reversed(self._frames[index:]):
             self._restore_frame_records(inner)
         del self._frames[index:]
+        # Pinned view results may reflect the rolled-back writes.
+        self._mark_views_stale()
         if index > 0:
             # A nested savepoint failed: outer levels keep their work.
             if not barriered and frame.commit_epoch == self.commit_epoch:
@@ -1075,6 +1089,11 @@ class DataSpread:
         provisional = self._cache.provisional_items()
         model_op()
         self._cache.clear()
+        # View anchors sit at sentinel coordinates the edit's mapping would
+        # shift or drop; pull them out of the graph first and re-register
+        # them below against their *remapped* source regions.
+        for anchor in self._views:
+            self._dependencies.unregister(anchor)
         rewrite = self._dependencies.apply_structural_edit(edit)
         self._scheduler.apply_structural_edit(edit)
         for (row, column), cell in provisional:
@@ -1094,6 +1113,17 @@ class DataSpread:
             for (row, column), table in self._composite_values.items()
             if (moved := edit.map_address(CellAddress(row, column))) is not None
         }
+        surviving_anchors: list[CellAddress] = []
+        for anchor, view in list(self._views.items()):
+            if view.remap(edit):
+                self._register_view_ranges(view)
+                surviving_anchors.append(anchor)
+            else:
+                del self._views[anchor]  # a source region (or spill) died
+        if self._async and surviving_anchors:
+            # The scheduler's remap dropped the off-sheet anchors; re-queue
+            # them so the drain refreshes every surviving view.
+            self._scheduler.mark_dirty(surviving_anchors)
         dirty = self._rewrite_formula_texts(edit, rewrite.changed)
         if self.in_batch:
             # The rewritten texts belong to the commit point: land them now
@@ -1201,6 +1231,7 @@ class DataSpread:
         self._model = rebuilt
         self._cache.clear()
         self._aggregates.invalidate_all()
+        self._mark_views_stale()
         return plan
 
     def storage_cost(self) -> float:
@@ -1364,11 +1395,16 @@ class DataSpread:
         # The linked region's content changed wholesale under any
         # aggregates reading it.
         self._aggregates.invalidate_all()
+        self._mark_views_stale()
+        for view in self._views.values():
+            # A view naming this table now has a grid footprint to watch.
+            self._register_view_ranges(view)
         return tom
 
     def sql(self, query: str, *parameters: CellValue) -> TableValue:
-        """Run a SQL SELECT against linked/database tables (the ``sql`` function)."""
-        return execute_sql(query, self._resolve_table, parameters)
+        """Run a SQL SELECT against linked tables or grid regions (``sql()``)."""
+        statement = parse_sql(query, parameters)
+        return run_plan(compile_select(statement, self), self).to_table()
 
     def table_from_range(self, region: RangeRef | str, *, header: bool = True) -> TableValue:
         """Treat a tabular spreadsheet region as a composite table value."""
@@ -1401,6 +1437,160 @@ class DataSpread:
         """The composite table value most recently spilled at ``reference``."""
         anchor = CellAddress.from_a1(reference) if isinstance(reference, str) else reference
         return self._composite_values.get((anchor.row, anchor.column))
+
+    # ------------------------------------------------------------------ #
+    # the generative query subsystem
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Select | RangeRef | str) -> QueryResult:
+        """Run a generative :func:`~repro.query.select` query.
+
+        ``query`` may also be a bare region/table source, which runs as
+        ``select(source)``.  The result streams: iterate it row by row
+        (a ``limit(n)`` query over a huge region reads only the chunks it
+        needs) or drain it with ``to_table()``.
+        """
+        if not isinstance(query, Select):
+            query = build_select(query)
+        return run_plan(compile_select(query, self), self)
+
+    def explain(self, query: Select | RangeRef | str) -> str:
+        """The compiled plan of a query, one human-readable line per stage."""
+        if not isinstance(query, Select):
+            query = build_select(query)
+        return compile_select(query, self).explain()
+
+    def create_live_view(
+        self,
+        query: Select | RangeRef | str,
+        *,
+        at: str | CellAddress | None = None,
+        name: str | None = None,
+        include_header: bool = True,
+    ) -> LiveView:
+        """Pin a query as a :class:`~repro.query.LiveView`.
+
+        The view's source regions are registered in the dependency graph
+        under a sentinel anchor, so edits inside them recompute the view
+        through the same reactive path as formulas (synchronously in the
+        topological pass, via the compute scheduler in async mode).  With
+        ``at=`` the result also spills onto the sheet, rewriting exactly
+        the cells that change on each refresh.
+        """
+        if not isinstance(query, Select):
+            query = build_select(query)
+        self._view_anchor_seq += 1
+        anchor = CellAddress(MAX_ROWS - self._view_anchor_seq, MAX_COLUMNS)
+        spill = CellAddress.from_a1(at) if isinstance(at, str) else at
+        view = LiveView(
+            self, name or f"view{self._view_anchor_seq}", anchor, query,
+            spill_at=spill, include_header=include_header,
+        )
+        self._views[anchor] = view
+        self._register_view_ranges(view)
+        try:
+            # Initial materialisation (and spill).  Unlike a reactive
+            # refresh, a bad query here propagates to the caller.
+            view.refresh(self._compile_and_run_view, self._write_view_spill)
+        except QueryError:
+            self._dependencies.unregister(anchor)
+            del self._views[anchor]
+            raise
+        return view
+
+    def drop_live_view(self, view: LiveView | str) -> None:
+        """Unregister a live view (its spilled cells stay on the sheet)."""
+        if isinstance(view, str):
+            by_name = [v for v in self._views.values() if v.name == view]
+            if not by_name:
+                raise KeyError(f"no live view named {view!r}")
+            view = by_name[0]
+        self._dependencies.unregister(view.anchor)
+        self._views.pop(view.anchor, None)
+        view.detach("the view was dropped")
+
+    @property
+    def live_views(self) -> list[LiveView]:
+        """The currently registered live views."""
+        return list(self._views.values())
+
+    # -- catalog protocol (the planner/executor read through these) ----- #
+    def grid_values(self, region: RangeRef) -> dict[tuple[int, int], CellValue]:
+        """Bulk region read for query scans (batch overlays included)."""
+        return self._provide_range(region)
+
+    def resolve_table(self, name: str) -> TableValue:
+        """Resolve a linked or database table by name."""
+        return self._resolve_table(name)
+
+    def table_region(self, name: str) -> RangeRef | None:
+        """The sheet footprint of a linked table (``None`` if not linked)."""
+        tom = self._linked_tables.get(name)
+        return tom.region() if tom is not None else None
+
+    # -- view internals -------------------------------------------------- #
+    def _view_source_regions(self, view: LiveView) -> list[RangeRef]:
+        """The sheet regions whose edits must wake ``view``: its grid
+        relations plus the grid footprints of its linked tables."""
+        regions: list[RangeRef] = []
+        for relation in view.query.relations():
+            if isinstance(relation, GridRelation):
+                regions.append(relation.region)
+            else:
+                footprint = self.table_region(relation.table)
+                if footprint is not None:
+                    regions.append(footprint)
+        return regions
+
+    def _register_view_ranges(self, view: LiveView) -> None:
+        self._dependencies.register_ranges(
+            view.anchor, self._view_source_regions(view)
+        )
+
+    def _compile_and_run_view(self, query: Select):
+        plan = compile_select(query, self)
+        return plan, run_plan(plan, self).to_table()
+
+    def _refresh_view(self, view: LiveView) -> None:
+        try:
+            view.refresh(self._compile_and_run_view, self._write_view_spill)
+        except QueryError as exc:
+            # A reactive refresh runs inside the edit that triggered it; a
+            # query invalidated by a schema change (say, its header column
+            # was deleted) detaches instead of blowing up that edit.
+            view.detach(str(exc))
+
+    def _ensure_view_fresh(self, view: LiveView) -> None:
+        """Bring one view up to date (the ``LiveView.value()`` slow path)."""
+        if self._async:
+            # Drain exactly the view's scheduler subtree (stale source
+            # formulas first, then the anchor itself).
+            self._scheduler.ensure(view.anchor)
+        if view.stale or view._table is None:
+            self._refresh_view(view)
+
+    def _mark_views_stale(self) -> None:
+        """Wholesale invalidation: every view refreshes on next access."""
+        for view in self._views.values():
+            view.mark_stale()
+
+    def _write_view_spill(self, changes: dict[tuple[int, int], CellValue]) -> set[CellAddress]:
+        """Land a view's spill diff through the ordinary edit path, so
+        formulas reading the spilled region recompute (or queue) as usual.
+        Unchanged cells are skipped — a point edit rewrites only the rows
+        it actually moved."""
+        written: set[CellAddress] = set()
+        for (row, column), value in sorted(changes.items()):
+            existing = self._cache.get(row, column)
+            if value is None:
+                if existing.is_empty:
+                    continue
+                self.clear_cell(row, column)
+            else:
+                if existing.formula is None and existing.value == value:
+                    continue
+                self.set_value(row, column, value)
+            written.add(CellAddress(row, column))
+        return written
 
     # ------------------------------------------------------------------ #
     # internals
@@ -1636,6 +1826,13 @@ class DataSpread:
                 self._reevaluate(address)
 
     def _reevaluate(self, address: CellAddress) -> None:
+        view = self._views.get(address)
+        if view is not None:
+            # A live view's sentinel anchor landed in the recompute order:
+            # one of its source cells changed.  Re-run the query now so the
+            # view (and its spill) stays reactive like any formula.
+            self._refresh_view(view)
+            return
         existing = self._cache.get(address.row, address.column)
         if existing.formula is None:
             return
@@ -1657,6 +1854,14 @@ class DataSpread:
         Inside an open batch the committing put lands in the discardable
         pending map, so the evaluation is recorded (and the displaced
         placeholder snapshotted) for the abort path to re-queue."""
+        view = self._views.get(address)
+        if view is not None:
+            if self.in_batch:
+                # Recorded like a drained formula: an abort re-marks the
+                # anchor dirty so the view re-runs against rolled-back data.
+                self._frames[-1].drained[address] = None
+            self._refresh_view(view)
+            return
         existing = self._cache.get(address.row, address.column)
         if existing.formula is None:
             return

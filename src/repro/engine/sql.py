@@ -1,402 +1,436 @@
-"""A minimal SQL SELECT engine for the ``sql()`` spreadsheet function.
+"""The SQL front-end for the ``sql()`` spreadsheet function.
 
 The paper delegates ``sql(query, param, ...)`` to the backing PostgreSQL
-instance.  This substrate implements the subset of SELECT that the paper's
-use cases exercise (Appendix B, Figure 19):
+instance.  This substrate implements the SELECT subset the paper's use
+cases exercise (Appendix B, Figure 19) — but instead of executing it
+directly, the statement is *parsed into the generative query AST*
+(:mod:`repro.query`) and compiled/run by the same planner and streaming
+executor that serve ``select()`` queries, so the two surfaces share one
+execution path:
 
 * ``SELECT`` of columns, ``*``, and the aggregates COUNT/SUM/AVG/MIN/MAX
   (with optional ``AS`` aliases);
-* a single ``FROM`` table plus any number of ``JOIN ... ON a = b`` clauses;
-* ``WHERE`` with ``AND``-combined comparisons (=, <>, !=, <, <=, >, >=);
-* ``GROUP BY``, ``ORDER BY ... [ASC|DESC]`` and ``LIMIT``;
-* ``?`` placeholders bound to positional parameters (prepared-statement style).
+* a single ``FROM`` relation — a linked table by name or a grid region
+  in A1 form (``FROM A1:C500``, first row as header) — plus any number
+  of ``JOIN ... ON a = b`` (same relation forms);
+* ``WHERE`` with ``AND``/``OR``/``NOT`` and parenthesized groups over
+  comparisons (=, <>, !=, <, <=, >, >=) — operands may be columns or
+  literals on either side;
+* ``GROUP BY``, multi-column ``ORDER BY ... [ASC|DESC]`` and ``LIMIT``;
+* ``?`` placeholders bound positionally (prepared-statement style) at
+  the *token* level, so a ``?`` inside a string literal is never bound;
+* string literals quote embedded quotes by doubling (``'it''s'``).
 
-Queries are case-insensitive in keywords and column names resolve
-case-insensitively against the available tables.
+Keywords are case-insensitive; column names resolve case-insensitively
+against the available tables, and an ambiguous resolution (several
+columns matching, including names differing only in case) is an error
+rather than a silent first match.  Malformed statements raise
+:class:`~repro.errors.QueryPlanError` (a
+:class:`~repro.errors.RelationalOperationError`).
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.errors import RelationalOperationError
+from repro.errors import QueryPlanError
 from repro.engine.relational import TableValue
 from repro.grid.cell import CellValue
+from repro.grid.range import RangeRef
+from repro.query.ast import (
+    AGGREGATE_FUNCS,
+    AggregateItem,
+    And,
+    ColumnItem,
+    ColumnRef,
+    Comparison,
+    GridRelation,
+    JoinSpec,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    Predicate,
+    SelectItem,
+    TableRelation,
+)
+from repro.query.builder import Select
+from repro.query.executor import run_plan
+from repro.query.planner import compile_select
 
 TableResolver = Callable[[str], TableValue]
 
-_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
-
-
-@dataclass
-class _SelectItem:
-    expression: str
-    alias: str
-    aggregate: str | None = None
-    argument: str | None = None
-
-
-@dataclass
-class _Condition:
-    column: str
-    operator: str
-    value: CellValue
-
-
-@dataclass
-class _ParsedQuery:
-    select_items: list[_SelectItem]
-    base_table: str
-    joins: list[tuple[str, str, str]] = field(default_factory=list)  # (table, left col, right col)
-    conditions: list[_Condition] = field(default_factory=list)
-    group_by: list[str] = field(default_factory=list)
-    order_by: tuple[str, bool] | None = None  # (column, descending)
-    limit: int | None = None
-
 
 # ---------------------------------------------------------------------- #
-# public API
+# tokenizer
 # ---------------------------------------------------------------------- #
-def execute_sql(
-    query: str,
-    resolver: TableResolver,
-    parameters: Sequence[CellValue] = (),
-) -> TableValue:
-    """Execute a SELECT statement against tables provided by ``resolver``."""
-    bound = _bind_parameters(query, parameters)
-    parsed = _parse(bound)
-    rows, columns = _build_source(parsed, resolver)
-    rows = _apply_where(rows, columns, parsed.conditions)
-    result = _apply_projection(rows, columns, parsed)
-    if parsed.order_by is not None:
-        column, descending = parsed.order_by
-        index = _resolve_column(result.columns, column)
-        result = TableValue(
-            columns=result.columns,
-            rows=tuple(
-                sorted(
-                    result.rows,
-                    key=lambda row: (row[index] is not None, row[index]),
-                    reverse=descending,
-                )
-            ),
-        )
-    if parsed.limit is not None:
-        result = TableValue(columns=result.columns, rows=result.rows[: parsed.limit])
-    return result
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_]\w*(?:\.[A-Za-z_]\w*)?)
+  | (?P<symbol><>|!=|<=|>=|[(),*=<>?;.:\-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "JOIN", "ON", "WHERE", "AND", "OR", "NOT",
+    "GROUP", "ORDER", "BY", "ASC", "DESC", "LIMIT", "AS",
+    "NULL", "TRUE", "FALSE",
+}
 
 
-# ---------------------------------------------------------------------- #
-# parameter binding
-# ---------------------------------------------------------------------- #
-def _bind_parameters(query: str, parameters: Sequence[CellValue]) -> str:
-    placeholder_count = query.count("?")
-    if placeholder_count != len(parameters):
-        raise RelationalOperationError(
-            f"query has {placeholder_count} placeholder(s) but {len(parameters)} parameter(s) given"
-        )
-    bound = query
-    for parameter in parameters:
-        bound = bound.replace("?", _render_literal(parameter), 1)
-    return bound
+def _tokenize(query: str) -> list[tuple[str, Any]]:
+    tokens: list[tuple[str, Any]] = []
+    position = 0
+    while position < len(query):
+        match = _TOKEN_RE.match(query, position)
+        if match is None:
+            raise QueryPlanError(
+                f"unsupported character {query[position]!r} in SQL statement"
+            )
+        position = match.end()
+        if match.lastgroup == "space":
+            continue
+        text = match.group()
+        if match.lastgroup == "string":
+            tokens.append(("str", text[1:-1].replace("''", "'")))
+        elif match.lastgroup == "number":
+            tokens.append(("num", float(text) if "." in text or "e" in text.lower()
+                           else int(text)))
+        elif match.lastgroup == "ident":
+            tokens.append(("ident", text))
+        else:
+            tokens.append(("sym", text))
+    return tokens
 
 
-def _render_literal(value: CellValue) -> str:
-    if value is None:
-        return "NULL"
-    if isinstance(value, bool):
-        return "TRUE" if value else "FALSE"
-    if isinstance(value, (int, float)):
-        return repr(value)
-    escaped = str(value).replace("'", "''")
-    return f"'{escaped}'"
+class _Tokens:
+    """A token cursor with keyword-aware helpers."""
+
+    def __init__(self, tokens: list[tuple[str, Any]], query: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self.query = query
+
+    def peek(self) -> tuple[str, Any] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def next(self) -> tuple[str, Any]:
+        token = self.peek()
+        if token is None:
+            raise QueryPlanError(f"unexpected end of SQL statement: {self.query!r}")
+        self._index += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return (token is not None and token[0] == "ident"
+                and token[1].upper() in keywords)
+
+    def take_keyword(self, *keywords: str) -> str | None:
+        if self.at_keyword(*keywords):
+            return self.next()[1].upper()
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if self.take_keyword(keyword) is None:
+            raise QueryPlanError(
+                f"expected {keyword} in SQL statement near {self.peek()!r}"
+            )
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.peek()
+        return token is not None and token[0] == "sym" and token[1] in symbols
+
+    def take_symbol(self, *symbols: str) -> str | None:
+        if self.at_symbol(*symbols):
+            return self.next()[1]
+        return None
+
+    def expect_symbol(self, symbol: str) -> None:
+        if self.take_symbol(symbol) is None:
+            raise QueryPlanError(
+                f"expected {symbol!r} in SQL statement near {self.peek()!r}"
+            )
+
+    def expect_name(self) -> str:
+        token = self.next()
+        if token[0] != "ident" or token[1].upper() in _KEYWORDS:
+            raise QueryPlanError(f"expected a name, got {token[1]!r}")
+        return token[1]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _column(name: str) -> ColumnRef:
+    if "." in name:
+        qualifier, _, bare = name.partition(".")
+        return ColumnRef(bare, qualifier)
+    return ColumnRef(name)
+
+
+def _parse_relation(cursor: _Tokens, clause: str) -> GridRelation | TableRelation:
+    """A relation in FROM/JOIN: a table name or a grid region (``A1:C500``)."""
+    name = cursor.expect_name()
+    if cursor.take_symbol(":") is not None:
+        text = f"{name}:{cursor.expect_name()}"
+        try:
+            ref = RangeRef.from_a1(text)
+        except Exception as exc:
+            raise QueryPlanError(f"unsupported {clause} clause: {text!r}") from exc
+        return GridRelation(ref)
+    if "." in name:
+        raise QueryPlanError(f"unsupported {clause} clause: {name!r}")
+    return TableRelation(name)
 
 
 # ---------------------------------------------------------------------- #
 # parsing
 # ---------------------------------------------------------------------- #
-_SELECT_RE = re.compile(
-    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+(?P<rest>.+?)\s*;?\s*$",
-    re.IGNORECASE | re.DOTALL,
-)
-_JOIN_RE = re.compile(
-    r"\s+JOIN\s+(\w+)\s+ON\s+([\w\.]+)\s*=\s*([\w\.]+)", re.IGNORECASE
-)
-_LIMIT_RE = re.compile(r"\s+LIMIT\s+(\d+)\s*$", re.IGNORECASE)
-_ORDER_RE = re.compile(r"\s+ORDER\s+BY\s+([\w\.]+)(\s+(ASC|DESC))?\s*$", re.IGNORECASE)
-_GROUP_RE = re.compile(r"\s+GROUP\s+BY\s+([\w\.,\s]+?)\s*$", re.IGNORECASE)
-_WHERE_RE = re.compile(r"\s+WHERE\s+(.+)$", re.IGNORECASE | re.DOTALL)
-_AGG_RE = re.compile(r"^(COUNT|SUM|AVG|MIN|MAX)\s*\(\s*(\*|[\w\.]+)\s*\)$", re.IGNORECASE)
-_CONDITION_RE = re.compile(
-    r"^\s*([\w\.]+)\s*(=|<>|!=|<=|>=|<|>)\s*(.+?)\s*$", re.DOTALL
-)
+def parse_sql(query: str, parameters: Sequence[CellValue] = ()) -> Select:
+    """Parse a SELECT statement into a generative :class:`Select`.
 
+    ``?`` placeholders are bound to ``parameters`` positionally during
+    parsing, so a bound value is always a literal operand — never
+    re-parsed text.
+    """
+    tokens = _tokenize(query)
+    placeholder_count = sum(1 for kind, text in tokens if kind == "sym" and text == "?")
+    if placeholder_count != len(parameters):
+        raise QueryPlanError(
+            f"query has {placeholder_count} placeholder(s) "
+            f"but {len(parameters)} parameter(s) given"
+        )
+    cursor = _Tokens(tokens, query)
+    bound = list(parameters)
 
-def _parse(query: str) -> _ParsedQuery:
-    match = _SELECT_RE.match(query)
-    if match is None:
-        raise RelationalOperationError(f"unsupported SQL statement: {query!r}")
-    select_clause = match.group("select")
-    rest = match.group("rest")
+    if cursor.take_keyword("SELECT") is None:
+        raise QueryPlanError(f"unsupported SQL statement: {query!r}")
 
-    limit = None
-    limit_match = _LIMIT_RE.search(rest)
-    if limit_match:
-        limit = int(limit_match.group(1))
-        rest = rest[: limit_match.start()]
+    items = _parse_select_items(cursor)
 
-    order_by = None
-    order_match = _ORDER_RE.search(rest)
-    if order_match:
-        order_by = (order_match.group(1), bool(order_match.group(3))
-                    and order_match.group(3).upper() == "DESC")
-        rest = rest[: order_match.start()]
+    cursor.expect_keyword("FROM")
+    statement = Select(_parse_relation(cursor, "FROM"))
 
-    group_by: list[str] = []
-    group_match = _GROUP_RE.search(rest)
-    if group_match:
-        group_by = [name.strip() for name in group_match.group(1).split(",") if name.strip()]
-        rest = rest[: group_match.start()]
+    joins: list[JoinSpec] = []
+    while cursor.take_keyword("JOIN") is not None:
+        relation = _parse_relation(cursor, "JOIN")
+        cursor.expect_keyword("ON")
+        left = _column(cursor.expect_name())
+        cursor.expect_symbol("=")
+        right = _column(cursor.expect_name())
+        joins.append(JoinSpec(relation, left, right))
+    if joins:
+        statement = Select(statement.source, joins=tuple(joins))
 
-    conditions: list[_Condition] = []
-    where_match = _WHERE_RE.search(rest)
-    if where_match:
-        conditions = _parse_conditions(where_match.group(1))
-        rest = rest[: where_match.start()]
+    predicate: Predicate | None = None
+    if cursor.take_keyword("WHERE") is not None:
+        predicate = _parse_or(cursor, bound)
 
-    joins: list[tuple[str, str, str]] = []
-    join_matches = list(_JOIN_RE.finditer(rest))
-    if join_matches:
-        base_table = rest[: join_matches[0].start()].strip()
-        for join_match in join_matches:
-            joins.append((join_match.group(1), join_match.group(2), join_match.group(3)))
-    else:
-        base_table = rest.strip()
-    if not base_table or " " in base_table.strip():
-        raise RelationalOperationError(f"unsupported FROM clause: {rest.strip()!r}")
+    group: tuple[ColumnRef, ...] = ()
+    if cursor.take_keyword("GROUP") is not None:
+        cursor.expect_keyword("BY")
+        group = tuple(_parse_name_list(cursor))
 
-    return _ParsedQuery(
-        select_items=_parse_select_items(select_clause),
-        base_table=base_table,
-        joins=joins,
-        conditions=conditions,
-        group_by=group_by,
-        order_by=order_by,
-        limit=limit,
+    order: tuple[OrderItem, ...] = ()
+    if cursor.take_keyword("ORDER") is not None:
+        cursor.expect_keyword("BY")
+        order = tuple(_parse_order_keys(cursor))
+
+    limit: int | None = None
+    if cursor.take_keyword("LIMIT") is not None:
+        token = cursor.next()
+        if token[0] != "num" or not isinstance(token[1], int):
+            raise QueryPlanError(f"LIMIT expects an integer, got {token[1]!r}")
+        limit = token[1]
+
+    cursor.take_symbol(";")
+    if not cursor.exhausted:
+        raise QueryPlanError(
+            f"unsupported trailing SQL near {cursor.peek()[1]!r} in {query!r}"
+        )
+
+    return Select(
+        source=statement.source,
+        joins=statement.joins,
+        predicate=predicate,
+        items=items,
+        group=group,
+        order=order,
+        limit_count=limit,
     )
 
 
-def _parse_select_items(clause: str) -> list[_SelectItem]:
-    items: list[_SelectItem] = []
-    for raw in _split_commas(clause):
-        text = raw.strip()
-        alias = None
-        alias_match = re.search(r"\s+AS\s+(\w+)\s*$", text, re.IGNORECASE)
-        if alias_match:
-            alias = alias_match.group(1)
-            text = text[: alias_match.start()].strip()
-        aggregate_match = _AGG_RE.match(text)
-        if aggregate_match:
-            aggregate = aggregate_match.group(1).upper()
-            argument = aggregate_match.group(2)
-            items.append(
-                _SelectItem(
-                    expression=text,
-                    alias=alias or f"{aggregate.lower()}_{argument.replace('.', '_').replace('*', 'all')}",
-                    aggregate=aggregate,
-                    argument=argument,
-                )
-            )
-        else:
-            items.append(_SelectItem(expression=text, alias=alias or text.split(".")[-1]))
-    return items
-
-
-def _split_commas(clause: str) -> list[str]:
-    parts: list[str] = []
-    depth = 0
-    current = []
-    for char in clause:
-        if char == "(":
-            depth += 1
-        elif char == ")":
-            depth -= 1
-        if char == "," and depth == 0:
-            parts.append("".join(current))
-            current = []
-        else:
-            current.append(char)
-    if current:
-        parts.append("".join(current))
-    return parts
-
-
-def _parse_conditions(clause: str) -> list[_Condition]:
-    conditions = []
-    for part in re.split(r"\s+AND\s+", clause, flags=re.IGNORECASE):
-        match = _CONDITION_RE.match(part)
-        if match is None:
-            raise RelationalOperationError(f"unsupported WHERE condition: {part!r}")
-        column, operator, literal = match.groups()
-        conditions.append(
-            _Condition(column=column, operator=operator, value=_parse_literal(literal))
-        )
-    return conditions
-
-
-def _parse_literal(text: str) -> CellValue:
-    stripped = text.strip()
-    if stripped.upper() == "NULL":
+def _parse_select_items(cursor: _Tokens) -> tuple[SelectItem, ...] | None:
+    if cursor.take_symbol("*") is not None:
+        if not cursor.at_keyword("FROM"):
+            raise QueryPlanError("'*' must be the only select item")
         return None
-    if stripped.upper() == "TRUE":
-        return True
-    if stripped.upper() == "FALSE":
-        return False
-    if stripped.startswith("'") and stripped.endswith("'"):
-        return stripped[1:-1].replace("''", "'")
-    try:
-        return int(stripped)
-    except ValueError:
-        pass
-    try:
-        return float(stripped)
-    except ValueError as exc:
-        raise RelationalOperationError(f"unsupported literal: {text!r}") from exc
+    items: list[SelectItem] = []
+    while True:
+        items.append(_parse_select_item(cursor))
+        if cursor.take_symbol(",") is None:
+            break
+    return tuple(items)
+
+
+def _parse_select_item(cursor: _Tokens) -> SelectItem:
+    token = cursor.peek()
+    if token is None:
+        raise QueryPlanError("unexpected end of select list")
+    if (token[0] == "ident" and token[1].upper() in AGGREGATE_FUNCS):
+        func = cursor.next()[1].upper()
+        cursor.expect_symbol("(")
+        if cursor.take_symbol("*") is not None:
+            argument: ColumnRef | None = None
+            argument_text = "*"
+        else:
+            argument_text = cursor.expect_name()
+            argument = _column(argument_text)
+        cursor.expect_symbol(")")
+        alias = _parse_alias(cursor)
+        if alias is None:
+            # Legacy default names: count_all, sum_invoice_amount, ...
+            alias = f"{func.lower()}_{argument_text.replace('.', '_').replace('*', 'all')}"
+        return AggregateItem(func, argument, alias=alias)
+    name = cursor.expect_name()
+    alias = _parse_alias(cursor)
+    return ColumnItem(_column(name), alias=alias)
+
+
+def _parse_alias(cursor: _Tokens) -> str | None:
+    if cursor.take_keyword("AS") is not None:
+        return cursor.expect_name()
+    return None
+
+
+def _parse_name_list(cursor: _Tokens) -> list[ColumnRef]:
+    names = [_column(cursor.expect_name())]
+    while cursor.take_symbol(",") is not None:
+        names.append(_column(cursor.expect_name()))
+    return names
+
+
+def _parse_order_keys(cursor: _Tokens) -> list[OrderItem]:
+    keys: list[OrderItem] = []
+    while True:
+        column = _column(cursor.expect_name())
+        descending = False
+        direction = cursor.take_keyword("ASC", "DESC")
+        if direction == "DESC":
+            descending = True
+        keys.append(OrderItem(column, descending=descending))
+        if cursor.take_symbol(",") is None:
+            break
+    return keys
+
+
+# WHERE grammar: or_expr := and_expr (OR and_expr)*
+#                and_expr := not_expr (AND not_expr)*
+#                not_expr := [NOT] primary
+#                primary := '(' or_expr ')' | operand op operand
+def _parse_or(cursor: _Tokens, bound: list[CellValue]) -> Predicate:
+    node = _parse_and(cursor, bound)
+    items = [node]
+    while cursor.take_keyword("OR") is not None:
+        items.append(_parse_and(cursor, bound))
+    return items[0] if len(items) == 1 else Or(tuple(items))
+
+
+def _parse_and(cursor: _Tokens, bound: list[CellValue]) -> Predicate:
+    items = [_parse_not(cursor, bound)]
+    while cursor.take_keyword("AND") is not None:
+        items.append(_parse_not(cursor, bound))
+    return items[0] if len(items) == 1 else And(tuple(items))
+
+
+def _parse_not(cursor: _Tokens, bound: list[CellValue]) -> Predicate:
+    if cursor.take_keyword("NOT") is not None:
+        return Not(_parse_not(cursor, bound))
+    return _parse_primary(cursor, bound)
+
+
+def _parse_primary(cursor: _Tokens, bound: list[CellValue]) -> Predicate:
+    if cursor.take_symbol("(") is not None:
+        node = _parse_or(cursor, bound)
+        cursor.expect_symbol(")")
+        return node
+    left = _parse_operand(cursor, bound)
+    operator = cursor.take_symbol("=", "<>", "!=", "<=", ">=", "<", ">")
+    if operator is None:
+        raise QueryPlanError(
+            f"unsupported WHERE condition near {cursor.peek()!r}"
+        )
+    if operator == "!=":
+        operator = "<>"
+    right = _parse_operand(cursor, bound)
+    return Comparison(operator, left, right)
+
+
+def _parse_operand(cursor: _Tokens, bound: list[CellValue]) -> ColumnRef | Literal:
+    token = cursor.next()
+    if token[0] == "str":
+        return Literal(token[1])
+    if token[0] == "num":
+        return Literal(token[1])
+    if token[0] == "sym" and token[1] == "?":
+        return Literal(bound.pop(0))
+    if token[0] == "sym" and token[1] == "-":
+        number = cursor.next()
+        if number[0] != "num":
+            raise QueryPlanError(f"unsupported literal: -{number[1]!r}")
+        return Literal(-number[1])
+    if token[0] == "ident":
+        upper = token[1].upper()
+        if upper == "NULL":
+            return Literal(None)
+        if upper == "TRUE":
+            return Literal(True)
+        if upper == "FALSE":
+            return Literal(False)
+        if upper in _KEYWORDS:
+            raise QueryPlanError(f"unsupported operand {token[1]!r}")
+        return _column(token[1])
+    raise QueryPlanError(f"unsupported literal: {token[1]!r}")
 
 
 # ---------------------------------------------------------------------- #
 # execution
 # ---------------------------------------------------------------------- #
-def _build_source(parsed: _ParsedQuery, resolver: TableResolver) -> tuple[list[tuple], list[str]]:
-    base = resolver(parsed.base_table)
-    columns = [f"{parsed.base_table}.{name}" for name in base.columns]
-    rows = [tuple(row) for row in base.rows]
-    for table_name, left_column, right_column in parsed.joins:
-        other = resolver(table_name)
-        other_columns = [f"{table_name}.{name}" for name in other.columns]
-        left_index = _resolve_column(columns, left_column)
-        right_index = _resolve_column(other_columns, right_column)
-        joined_rows = []
-        other_rows = [tuple(row) for row in other.rows]
-        by_key: dict[CellValue, list[tuple]] = {}
-        for other_row in other_rows:
-            by_key.setdefault(other_row[right_index], []).append(other_row)
-        for row in rows:
-            for other_row in by_key.get(row[left_index], ()):
-                joined_rows.append(row + other_row)
-        columns = columns + other_columns
-        rows = joined_rows
-    return rows, columns
+class _ResolverCatalog:
+    """Adapt a bare table resolver to the planner's catalog protocol."""
 
+    __slots__ = ("_resolver",)
 
-def _resolve_column(columns: Sequence[str], name: str) -> int:
-    target = name.lower()
-    # Exact (qualified) match first, then suffix match on the bare name.
-    for index, column in enumerate(columns):
-        if column.lower() == target:
-            return index
-    matches = [
-        index for index, column in enumerate(columns)
-        if column.lower().split(".")[-1] == target.split(".")[-1]
-    ]
-    if len(matches) == 1:
-        return matches[0]
-    if not matches:
-        raise RelationalOperationError(f"unknown column {name!r}; available: {list(columns)}")
-    raise RelationalOperationError(f"ambiguous column {name!r}")
+    def __init__(self, resolver: TableResolver) -> None:
+        self._resolver = resolver
 
+    def grid_values(self, region: RangeRef) -> dict[tuple[int, int], Any]:
+        raise QueryPlanError("this SQL context has no sheet attached")
 
-def _apply_where(
-    rows: list[tuple], columns: list[str], conditions: list[_Condition]
-) -> list[tuple]:
-    for condition in conditions:
-        index = _resolve_column(columns, condition.column)
-        rows = [row for row in rows if _matches(row[index], condition)]
-    return rows
+    def resolve_table(self, name: str) -> TableValue:
+        return self._resolver(name)
 
-
-def _matches(value: CellValue, condition: _Condition) -> bool:
-    target = condition.value
-    operator = condition.operator
-    if operator in ("=",):
-        return value == target
-    if operator in ("<>", "!="):
-        return value != target
-    if value is None or target is None:
-        return False
-    try:
-        if operator == "<":
-            return value < target        # type: ignore[operator]
-        if operator == "<=":
-            return value <= target       # type: ignore[operator]
-        if operator == ">":
-            return value > target        # type: ignore[operator]
-        return value >= target           # type: ignore[operator]
-    except TypeError:
-        return False
-
-
-def _apply_projection(
-    rows: list[tuple], columns: list[str], parsed: _ParsedQuery
-) -> TableValue:
-    items = parsed.select_items
-    has_aggregate = any(item.aggregate for item in items)
-    star = len(items) == 1 and items[0].expression == "*" and not has_aggregate
-    if star:
-        bare = [name.split(".")[-1] for name in columns]
-        return TableValue(columns=tuple(bare), rows=tuple(rows))
-
-    if not has_aggregate and not parsed.group_by:
-        indices = [_resolve_column(columns, item.expression) for item in items]
-        projected = tuple(tuple(row[index] for index in indices) for row in rows)
-        return TableValue(columns=tuple(item.alias for item in items), rows=projected)
-
-    # Aggregation (with or without GROUP BY).
-    group_indices = [_resolve_column(columns, name) for name in parsed.group_by]
-    groups: dict[tuple, list[tuple]] = {}
-    for row in rows:
-        key = tuple(row[index] for index in group_indices)
-        groups.setdefault(key, []).append(row)
-    if not groups and not parsed.group_by:
-        groups[()] = []
-
-    output_rows = []
-    for key, members in groups.items():
-        output_row: list[CellValue] = []
-        for item in items:
-            if item.aggregate:
-                output_row.append(_aggregate(item, members, columns))
-            else:
-                index = _resolve_column(columns, item.expression)
-                if group_indices and index not in group_indices:
-                    raise RelationalOperationError(
-                        f"column {item.expression!r} must appear in GROUP BY"
-                    )
-                output_row.append(members[0][index] if members else None)
-        output_rows.append(tuple(output_row))
-        del key
-    return TableValue(columns=tuple(item.alias for item in items), rows=tuple(output_rows))
-
-
-def _aggregate(item: _SelectItem, rows: list[tuple], columns: list[str]) -> CellValue:
-    aggregate = item.aggregate or ""
-    if aggregate == "COUNT" and item.argument == "*":
-        return len(rows)
-    index = _resolve_column(columns, item.argument or "")
-    values = [row[index] for row in rows if row[index] is not None]
-    if aggregate == "COUNT":
-        return len(values)
-    numbers = [value for value in values if isinstance(value, (int, float)) and not isinstance(value, bool)]
-    if not numbers:
+    def table_region(self, name: str) -> RangeRef | None:
         return None
-    if aggregate == "SUM":
-        return sum(numbers)
-    if aggregate == "AVG":
-        return sum(numbers) / len(numbers)
-    if aggregate == "MIN":
-        return min(numbers)
-    if aggregate == "MAX":
-        return max(numbers)
-    raise RelationalOperationError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover
+
+
+def execute_sql(
+    query: str,
+    resolver: TableResolver,
+    parameters: Sequence[CellValue] = (),
+) -> TableValue:
+    """Execute a SELECT statement against tables provided by ``resolver``.
+
+    The statement parses into the generative query AST and runs through
+    the shared planner/executor pipeline.
+    """
+    statement = parse_sql(query, parameters)
+    catalog = _ResolverCatalog(resolver)
+    return run_plan(compile_select(statement, catalog), catalog).to_table()

@@ -110,3 +110,25 @@ class LinkTableError(ReproError):
 
 class RelationalOperationError(ReproError):
     """Raised when a spreadsheet-level relational operator receives bad input."""
+
+
+class QueryError(RelationalOperationError):
+    """Base class for failures in the generative query subsystem.
+
+    Subclasses split the lifecycle in two: :class:`QueryPlanError` for
+    problems detectable while compiling a query (unknown tables or
+    columns, ambiguous names, malformed SQL text, invalid plans) and
+    :class:`QueryExecutionError` for problems that only surface while the
+    executor streams rows (type errors inside predicates, a live view
+    whose source region was structurally deleted).  Both stay inside the
+    :class:`RelationalOperationError` family so existing callers of the
+    relational layer keep one ``except`` clause.
+    """
+
+
+class QueryPlanError(QueryError):
+    """Raised when a query cannot be compiled into an executable plan."""
+
+
+class QueryExecutionError(QueryError):
+    """Raised when a compiled query plan fails while streaming rows."""

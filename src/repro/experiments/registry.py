@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments.incremental import run_fig26a, run_fig26b, run_migration_cost_probe
 from repro.experiments.positional import run_fig18, run_fig22, run_fig23, run_fig24, run_table2
+from repro.experiments.query import run_query
 from repro.experiments.recompute import (
     run_recompute_async,
     run_recompute_bulk,
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig26a": run_fig26a,
     "fig26b": run_fig26b,
     "migration-probe": run_migration_cost_probe,
+    "query": run_query,
     "recompute-edit": run_recompute_edit,
     "recompute-bulk": run_recompute_bulk,
     "recompute-async": run_recompute_async,

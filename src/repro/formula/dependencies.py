@@ -430,6 +430,18 @@ class DependencyGraph:
         cells, ranges = extract_references(formula)
         self._install(address, frozenset(cells), tuple(ranges))
 
+    def register_ranges(self, address: CellAddress,
+                        ranges: Iterable[RangeRef]) -> None:
+        """Register ``address`` as a pure range reader (no formula text).
+
+        Used by live query views: the view's sentinel anchor depends on its
+        source regions, so edits anywhere inside them reach the view through
+        the same interval-indexed lookup as any formula, without a formula
+        ever existing at the anchor.
+        """
+        self.unregister(address)
+        self._install(address, frozenset(), tuple(ranges))
+
     def _install(
         self,
         address: CellAddress,

@@ -58,6 +58,11 @@ class HybridDataModel(DataModel):
         self._mapping_scheme = mapping_scheme
         self._catch_all: RowColumnValueModel | None = None
         self._has_overlaps = False
+        #: Observability counters for bulk reads (``get_cells``/``get_values``):
+        #: number of calls and total cell area requested.  The query executor's
+        #: streaming guarantees are asserted against these in tests.
+        self.bulk_reads = 0
+        self.cells_read = 0
         for region in regions:
             self.add_region(region, allow_overlap=allow_overlap)
 
@@ -136,6 +141,7 @@ class HybridDataModel(DataModel):
         the first containing region owns a coordinate (even where it stores
         nothing) and the catch-all only supplies coordinates outside every
         region."""
+        self._count_bulk_read(region)
         return self._merge_owned(
             region,
             lambda model: model.get_cells(region),
@@ -146,7 +152,19 @@ class HybridDataModel(DataModel):
         """Bulk value read; per-cell precedence matches ``get_cell`` exactly
         (first containing region wins, catch-all fills only unowned
         coordinates), so range formulas agree with per-cell reads."""
+        self._count_bulk_read(region)
         return self._merge_owned(region, lambda model: model.get_values(region), lambda key: key)
+
+    def _count_bulk_read(self, region: RangeRef) -> None:
+        self.bulk_reads += 1
+        self.cells_read += (region.bottom - region.top + 1) * (
+            region.right - region.left + 1
+        )
+
+    def reset_read_counters(self) -> None:
+        """Zero the bulk-read observability counters."""
+        self.bulk_reads = 0
+        self.cells_read = 0
 
     def _merge_owned(self, region, read, coords):
         """Merge per-model bulk reads under ``get_cell`` precedence.

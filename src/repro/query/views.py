@@ -1,0 +1,232 @@
+"""Live views: query results that recompute reactively.
+
+A :class:`LiveView` pins a compiled query's result and keeps it fresh as
+the sheet changes.  The engine registers the view's *source regions*
+(its grid relations plus the grid footprints of its linked tables) in
+the main dependency graph under a sentinel anchor address, so an edit to
+any source cell finds the view through the same interval-indexed
+``direct_dependents`` stab every formula uses — synchronously the view
+refreshes inside the topological recompute pass, asynchronously its
+anchor rides the compute scheduler's queue like any stale formula.
+
+Optionally a view spills its rows onto the sheet (``at=...``): each
+refresh rewrites exactly the cells that changed, clears rows that fell
+out of the result, and propagates to formulas reading the spilled
+region.
+
+Views are engine-resident runtime objects: they do not survive a crash
+recovery (a spilled view's last cells recover as plain values), and a
+structural edit that deletes a source region *detaches* the view —
+``value()`` then raises :class:`~repro.errors.QueryExecutionError` until
+the view is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import QueryExecutionError
+from repro.formula.rewrite import StructuralEdit
+from repro.grid.address import CellAddress
+from repro.query.ast import GridRelation
+from repro.query.builder import Select
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.relational import TableValue
+    from repro.query.planner import Plan
+
+
+def remap_select(query: Select, edit: StructuralEdit) -> Select | None:
+    """Rewrite a query's grid relations through a structural edit.
+
+    Returns ``None`` when any grid relation was deleted outright (the
+    view can no longer be evaluated and must detach).  Table relations
+    pass through untouched — linked tables are remapped by the engine
+    and re-resolved at the next compile.
+    """
+
+    def remap_relation(relation):
+        if not isinstance(relation, GridRelation):
+            return relation
+        moved = edit.map_range(relation.region)
+        if moved is None:
+            return None
+        if not relation.header and (
+            moved.left != relation.region.left
+            or moved.right - moved.left != relation.region.right - relation.region.left
+        ):
+            # Header-less relations name their columns by sheet letter, so
+            # a column-axis change re-letters them out from under the
+            # query's references; detach instead of silently re-binding.
+            # (Header relations are immune: their names travel with the
+            # header row.)
+            return None
+        return replace(relation, region=moved)
+
+    source = remap_relation(query.source)
+    if source is None:
+        return None
+    joins = []
+    for spec in query.joins:
+        relation = remap_relation(spec.relation)
+        if relation is None:
+            return None
+        joins.append(replace(spec, relation=relation))
+    return replace(query, source=source, joins=tuple(joins))
+
+
+class LiveView:
+    """One registered live query result (create via
+    ``DataSpread.create_live_view``).
+
+    ``value()`` returns the current :class:`TableValue`, forcing the
+    refresh of anything stale first (in async mode it drains exactly the
+    view's own scheduler subtree).  ``refresh_count`` counts re-executions
+    — the reactivity observable used by tests and the ``query`` bench.
+    """
+
+    __slots__ = (
+        "name", "anchor", "query", "spill_at", "include_header",
+        "refresh_count", "_engine", "_table", "_stale", "_refreshing",
+        "_detached", "_spilled", "_plan",
+    )
+
+    def __init__(self, engine, name: str, anchor: CellAddress, query: Select,
+                 *, spill_at: CellAddress | None = None,
+                 include_header: bool = True) -> None:
+        self._engine = engine
+        self.name = name
+        self.anchor = anchor
+        self.query = query
+        self.spill_at = spill_at
+        self.include_header = include_header
+        self.refresh_count = 0
+        self._table: TableValue | None = None
+        self._stale = True
+        self._refreshing = False
+        self._detached: str | None = None
+        #: Keys the last spill wrote, so a shrinking result clears its rows.
+        self._spilled: set[tuple[int, int]] = set()
+        self._plan: "Plan | None" = None
+
+    # ------------------------------------------------------------------ #
+    # public surface
+    # ------------------------------------------------------------------ #
+    @property
+    def detached(self) -> str | None:
+        """Why the view can no longer refresh (``None`` while healthy)."""
+        return self._detached
+
+    @property
+    def stale(self) -> bool:
+        """Whether the pinned table may lag the sheet (pre-drain)."""
+        return self._stale
+
+    def value(self) -> TableValue:
+        """The view's current result, refreshed if anything is stale."""
+        if self._detached is not None:
+            raise QueryExecutionError(
+                f"live view {self.name!r} is detached: {self._detached}"
+            )
+        self._engine._ensure_view_fresh(self)
+        if self._detached is not None:
+            # The refresh itself detached the view (a structural edit
+            # broke its schema and this is the first read since).
+            raise QueryExecutionError(
+                f"live view {self.name!r} is detached: {self._detached}"
+            )
+        assert self._table is not None
+        return self._table
+
+    def columns(self) -> tuple[str, ...]:
+        """The output column names (compiling the plan if needed)."""
+        return self.value().columns
+
+    def drop(self) -> None:
+        """Unregister the view from its engine (spilled cells remain)."""
+        self._engine.drop_live_view(self)
+
+    # ------------------------------------------------------------------ #
+    # engine-side hooks
+    # ------------------------------------------------------------------ #
+    def mark_stale(self) -> None:
+        self._stale = True
+        self._plan = None  # schemas/regions may have shifted; recompile
+
+    def detach(self, reason: str) -> None:
+        self._detached = reason
+        self._table = None
+        self._plan = None
+
+    def remap(self, edit: StructuralEdit) -> bool:
+        """Shift the view through a structural edit; False detaches it."""
+        remapped = remap_select(self.query, edit)
+        if remapped is None:
+            self.detach("a source region was deleted by a structural edit")
+            return False
+        self.query = remapped
+        if self.spill_at is not None:
+            moved_anchor = edit.map_address(self.spill_at)
+            if moved_anchor is None:
+                self.detach("the spill anchor was deleted by a structural edit")
+                return False
+            self.spill_at = moved_anchor
+        self._spilled = {
+            (moved.row, moved.column)
+            for key in self._spilled
+            if (moved := edit.map_address(CellAddress(*key))) is not None
+        }
+        self.mark_stale()
+        return True
+
+    def refresh(self, compile_and_run: Callable[[Select], tuple["Plan", TableValue]],
+                write_spill) -> set[CellAddress]:
+        """Re-execute the query; returns the spilled cells that changed.
+
+        ``compile_and_run`` is the engine's plan-and-execute callback;
+        ``write_spill`` lands a ``{(row, column): value}`` diff on the
+        sheet (``None`` values clear).  Re-entrant refreshes (a spilled
+        view whose output feeds its own sources would recurse) are
+        skipped.
+        """
+        if self._refreshing or self._detached is not None:
+            return set()
+        self._refreshing = True
+        try:
+            self._plan, table = compile_and_run(self.query)
+            self._table = table
+            self._stale = False
+            self.refresh_count += 1
+            if self.spill_at is None:
+                return set()
+            return self._spill(table, write_spill)
+        finally:
+            self._refreshing = False
+
+    def source_regions(self, plan: "Plan") -> tuple:
+        return plan.source_regions
+
+    # ------------------------------------------------------------------ #
+    # spilling
+    # ------------------------------------------------------------------ #
+    def _spill(self, table: TableValue, write_spill) -> set[CellAddress]:
+        anchor = self.spill_at
+        changes: dict[tuple[int, int], object] = {}
+        fresh: set[tuple[int, int]] = set()
+        row_index = anchor.row
+        if self.include_header:
+            for offset, column_name in enumerate(table.columns):
+                fresh.add((row_index, anchor.column + offset))
+                changes[(row_index, anchor.column + offset)] = column_name
+            row_index += 1
+        for record in table.rows:
+            for offset, value in enumerate(record):
+                key = (row_index, anchor.column + offset)
+                fresh.add(key)
+                changes[key] = value
+            row_index += 1
+        for key in self._spilled - fresh:
+            changes[key] = None  # row fell out of the result: clear it
+        self._spilled = fresh
+        return write_spill(changes)

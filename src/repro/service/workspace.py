@@ -316,6 +316,32 @@ class Session:
         """Declare this session's visible region (scheduler priority)."""
         self._workspace._spread.set_viewport(region, owner=self)
 
+    def query(self, query: Any) -> Any:
+        """Run a generative ``select()`` query (or SQL-free source) and
+        return the drained :class:`~repro.engine.relational.TableValue`.
+
+        Runs under this session's scope, so the session's own buffered
+        transaction writes are visible to the scan.
+        """
+        with self._workspace._scope(self):
+            return self._workspace._spread.execute(query).to_table()
+
+    def create_live_view(self, query: Any, *, at: str | None = None,
+                         name: str | None = None) -> Any:
+        """Pin a live view on the shared engine (visible to all sessions)."""
+        self._require_usable()
+        with self._workspace._scope(self):
+            return self._workspace._spread.create_live_view(query, at=at, name=name)
+
+    def live_view_value(self, name: str) -> Any:
+        """The current table of a named live view (refreshing if stale)."""
+        self._require_usable()
+        for view in self._workspace._spread.live_views:
+            if view.name == name:
+                with self._workspace._scope(self):
+                    return view.value()
+        raise KeyError(f"no live view named {name!r}")
+
     def read_snapshot(self) -> "ReadSnapshot":
         """Pin the committed generation for consistent multi-cell reads."""
         self._require_usable()

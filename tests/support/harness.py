@@ -15,6 +15,11 @@ One shared implementation of the machinery the equivalence suites need:
   (post-``flush_compute``) must show the same grid — values *and* formula
   text — as the synchronous engine and as a ``DataSpread`` rebuilt from the
   naively-maintained ``Sheet``.
+* query equivalence: the runs issue generative queries mid-edit-stream
+  (plus one live view pinned per engine at the start) and compare the
+  planned/streamed results against a naive full-materialise oracle over
+  the ``Sheet`` baseline — including across structural remaps of the
+  view's source region.
 
 ``run_equivalence`` / ``run_mid_batch_equivalence`` are the entry points;
 ``tests/test_async_compute.py`` runs a fast seed set in tier-1 and
@@ -33,6 +38,9 @@ from repro.errors import SavepointError
 from repro.grid.address import MAX_COLUMNS, MAX_ROWS, column_index_to_letter
 from repro.grid.range import RangeRef
 from repro.grid.sheet import Sheet
+from repro.query import col, select
+from repro.query.builder import region as query_region
+from repro.query.planner import compare_values
 from repro.storage.recovery import recover
 
 from tests.support.faults import FaultPlan, SimulatedCrash
@@ -215,6 +223,67 @@ def _abort_batch(spread: DataSpread, edits: list[tuple]) -> None:
         pass
 
 
+# ---------------------------------------------------------------------- #
+# query / live-view equivalence
+# ---------------------------------------------------------------------- #
+#: Region the mid-stream fuzz queries scan: the data block, the formula
+#: columns, and margin rows, so edits and structural shifts move values
+#: across the window's edges.  Header-less — columns go by sheet letter.
+QUERY_REGION = RangeRef(1, 1, DATA_ROWS + 6, 4)
+#: Predicate threshold; random constants (0..99) straddle it.
+QUERY_THRESHOLD = 40
+
+
+def fuzz_query(target_region: RangeRef = QUERY_REGION, limit: int | None = None):
+    """The fixed query shape the equivalence runs issue mid-stream."""
+    query = (select(query_region(target_region, header=False))
+             .where(col("A") > QUERY_THRESHOLD))
+    return query if limit is None else query.limit(limit)
+
+
+def naive_query_rows(spread: DataSpread, target_region: RangeRef,
+                     limit: int | None = None) -> list[tuple]:
+    """Full-materialise oracle for :func:`fuzz_query`: read every cell of
+    the region, filter and slice in Python."""
+    matched = []
+    for row in range(target_region.top, target_region.bottom + 1):
+        record = tuple(
+            spread.get_value(row, column)
+            for column in range(target_region.left, target_region.right + 1)
+        )
+        if compare_values(">", record[0], QUERY_THRESHOLD):
+            matched.append(record)
+    return matched if limit is None else matched[:limit]
+
+
+def assert_query_agrees(spread: DataSpread, sheet: Sheet, context=()) -> None:
+    """The planned/streamed query must match the naive oracle on a
+    ``DataSpread`` rebuilt from the ``Sheet`` baseline."""
+    oracle = DataSpread.from_sheet(sheet.copy())
+    expected = naive_query_rows(oracle, QUERY_REGION)
+    actual = [tuple(record) for record in spread.execute(fuzz_query())]
+    assert actual == expected, (*context, "query")
+    limited = [tuple(record) for record in spread.execute(fuzz_query(limit=5))]
+    assert limited == expected[:5], (*context, "query-limit")
+
+
+def assert_live_views_agree(views, sheet: Sheet, context=()) -> None:
+    """Pinned live views (one per engine) must agree with each other —
+    including on detachment and on remapped source regions — and with the
+    naive oracle over the view's *current* region."""
+    first, second = views
+    assert bool(first.detached) == bool(second.detached), (*context, "view-detach")
+    if first.detached:
+        return
+    current = first.query.source.region
+    assert current == second.query.source.region, (*context, "view-remap")
+    oracle = DataSpread.from_sheet(sheet.copy())
+    expected = naive_query_rows(oracle, current)
+    for view in views:
+        actual = [tuple(record) for record in view.value().rows]
+        assert actual == expected, (*context, "view", view.name)
+
+
 def run_equivalence(seed: int, *, steps: int = 70) -> None:
     """One full randomized interleaving: async == sync == Sheet oracle.
 
@@ -236,7 +305,20 @@ def run_equivalence(seed: int, *, steps: int = 70) -> None:
     for target in (*spreads, sheet):
         target.set_value(anchor_row, anchor_column, seed)
 
+    # One pinned live view per engine (no spill region, so it cannot
+    # collide with the compared window); both must track the edit stream
+    # through remaps and stay equal to the naive oracle.
+    views = [spread.create_live_view(fuzz_query(), name="fuzz-view")
+             for spread in spreads]
+
     for _step in range(steps):
+        # Every few steps, issue ad-hoc queries mid-stream.  Only the sync
+        # engine is compared here: the async engine may legitimately serve
+        # stale values until the drain.  Checked outside the rng stream so
+        # seeded interleavings are unchanged by the query probes.
+        if _step % 10 == 9:
+            assert_query_agrees(sync_spread, sheet, context=(seed, _step))
+
         action = rng.randrange(12)
         if action < 6:  # single edit
             edit = random_edit(rng)
@@ -269,6 +351,8 @@ def run_equivalence(seed: int, *, steps: int = 70) -> None:
 
     assert_engines_agree(async_spread, sync_spread, context=(seed,))
     assert_oracle_agrees(async_spread, sheet, context=(seed,))
+    assert_query_agrees(async_spread, sheet, context=(seed, "final"))
+    assert_live_views_agree(views, sheet, context=(seed,))
 
 
 def run_mid_batch_equivalence(seed: int, *, steps: int = 40) -> None:

@@ -114,6 +114,54 @@ class TestRelationalOperators:
         assert table.columns == ("a", "b")
         assert table.rows == ((1, 2), (3, None))
 
+    def test_join_on_duplicate_column_names(self):
+        left = TableValue.from_rows(("id", "name"), [(1, "a"), (2, "b")])
+        right = TableValue.from_rows(("id", "name"), [(1, "x"), (3, "y")])
+        joined = join(left, right, on="id")
+        # Clashing right-side columns carry the _2 suffix, and indexing by
+        # the bare name still resolves the left-side column.
+        assert joined.columns == ("id", "name", "id_2", "name_2")
+        assert joined.rows == ((1, "a", 1, "x"),)
+        assert joined.cell(1, "name") == "a"
+        assert joined.cell(1, "name_2") == "x"
+
+    def test_union_and_difference_with_empty_tables(self):
+        table = TableValue.from_rows(("x", "y"), [(1, 2), (3, 4)])
+        empty = TableValue.from_rows(("x", "y"), [])
+        assert union(table, empty).rows == table.rows
+        assert union(empty, table).rows == table.rows
+        assert union(empty, empty).rows == ()
+        assert difference(table, empty).rows == table.rows
+        assert difference(empty, table).rows == ()
+        # A zero-column table is not union-compatible with a 2-column one.
+        with pytest.raises(RelationalOperationError):
+            union(table, TableValue.from_grid([]))
+
+    def test_sort_is_stable_and_orders_none_first(self):
+        table = TableValue.from_rows(
+            ("k", "tag"),
+            [(2, "first-2"), (None, "null"), (1, "one"),
+             (2, "second-2"), (2, "third-2")],
+        )
+        ordered = sort(table, "k")
+        assert [row[1] for row in ordered.rows] == [
+            "null", "one", "first-2", "second-2", "third-2"]
+        # Descending flips the comparator but stays stable: equal keys
+        # keep their input order, and None moves to the end.
+        descending = sort(table, "k", descending=True)
+        assert [row[1] for row in descending.rows] == [
+            "first-2", "second-2", "third-2", "one", "null"]
+
+    def test_from_grid_pads_and_clips_ragged_rows(self):
+        table = TableValue.from_grid([
+            ["a", "b", "c"],
+            [1],                 # short: padded with None
+            [2, 3, 4, 5],        # long: clipped to the header width
+            [],                  # empty: all None
+        ])
+        assert table.columns == ("a", "b", "c")
+        assert table.rows == ((1, None, None), (2, 3, 4), (None, None, None))
+
 
 class TestSQL:
     def _resolver(self):

@@ -1,0 +1,493 @@
+"""Tests for the generative query subsystem: builder, planner pushdown,
+streaming execution, the SQL front-end, and live views."""
+
+import pytest
+
+from repro.engine.dataspread import DataSpread
+from repro.errors import (
+    QueryError,
+    QueryExecutionError,
+    QueryPlanError,
+    RelationalOperationError,
+    ReproError,
+)
+from repro.grid.range import RangeRef
+from repro.query import avg, col, count, max_, min_, select, sum_
+from repro.query.builder import region
+from repro.query.planner import CHUNK_ROWS
+from repro.service.workspace import Workspace
+
+
+def _sales_spread():
+    """A small sheet: header + 6 data rows of (name, amount, status)."""
+    spread = DataSpread()
+    spread.import_rows([
+        ["name", "amount", "status"],
+        ["alpha", 120, "open"],
+        ["bravo", 80, "closed"],
+        ["carol", 75, "open"],
+        ["delta", 200, "open"],
+        ["echo", 80, "open"],
+        ["fox", None, "closed"],
+    ])
+    return spread
+
+
+SALES = "A1:C7"
+
+
+class TestBuilder:
+    def test_refinement_is_generative(self):
+        base = select(SALES)
+        filtered = base.where(col("amount") > 100)
+        limited = filtered.limit(1)
+        assert base.predicate is None
+        assert filtered.predicate is not None and filtered.limit_count is None
+        assert limited.limit_count == 1
+        # The shared prefix diverges without interference.
+        other = filtered.order_by(col("amount").desc())
+        assert limited.order == () and other.limit_count is None
+
+    def test_predicates_compose_with_operators(self):
+        spread = _sales_spread()
+        query = select(SALES).where(
+            (col("amount") > 70) & ~(col("status") == "closed") | (col("name") == "fox")
+        )
+        names = [record[0] for record in spread.execute(query)]
+        assert names == ["alpha", "carol", "delta", "echo", "fox"]
+
+    def test_predicate_refuses_python_truth_testing(self):
+        with pytest.raises(QueryPlanError):
+            bool(col("amount") > 1)
+        with pytest.raises(QueryPlanError):
+            (col("a") == 1) and (col("b") == 2)
+
+    def test_multiple_where_calls_conjoin(self):
+        spread = _sales_spread()
+        query = (select(SALES)
+                 .where(col("amount") > 70)
+                 .where(col("status") == "open"))
+        names = [record[0] for record in spread.execute(query)]
+        assert names == ["alpha", "carol", "delta", "echo"]
+
+    def test_source_coercion(self):
+        assert select("A1:B2").source.region == RangeRef(1, 1, 2, 2)
+        assert select(RangeRef(1, 1, 2, 2)).source.region == RangeRef(1, 1, 2, 2)
+        assert select("invoices").source.table == "invoices"
+        with pytest.raises(QueryPlanError):
+            select(42)
+
+
+class TestPlanner:
+    def test_pushdown_appears_in_explain(self):
+        spread = _sales_spread()
+        plan = spread.explain(
+            select(SALES).where(col("amount") > 100).project(col("name"))
+        )
+        assert "pushdown=[amount > 100]" in plan
+        assert "columns=[name, amount]" in plan
+
+    def test_unknown_column_is_a_plan_error(self):
+        spread = _sales_spread()
+        with pytest.raises(QueryPlanError, match="unknown column"):
+            spread.execute(select(SALES).where(col("missing") == 1))
+
+    def test_case_insensitive_resolution_and_ambiguity(self):
+        spread = DataSpread()
+        spread.import_rows([["Amount", "amount"], [1, 2]])
+        with pytest.raises(QueryPlanError, match="ambiguous"):
+            spread.execute(select("A1:B2").where(col("AMOUNT") > 0))
+        # Unambiguous case-insensitive matches resolve.
+        sales = _sales_spread()
+        rows = list(sales.execute(select(SALES).where(col("AMOUNT") > 150)))
+        assert [record[0] for record in rows] == ["delta"]
+
+    def test_group_by_requires_explicit_items(self):
+        spread = _sales_spread()
+        with pytest.raises(QueryPlanError):
+            spread.execute(select(SALES).group_by(col("status")))
+
+    def test_order_by_output_alias(self):
+        spread = _sales_spread()
+        query = (select(SALES)
+                 .project(col("status"), count(alias="n"))
+                 .group_by(col("status"))
+                 .order_by(col("n").desc()))
+        assert [tuple(r) for r in spread.execute(query)] == [
+            ("open", 4), ("closed", 2)]
+
+
+class TestExecutor:
+    def test_aggregates_match_sql_semantics(self):
+        spread = _sales_spread()
+        result = spread.execute(
+            select(SALES).project(
+                count(), count(col("amount")), sum_(col("amount")),
+                avg(col("amount")), min_(col("amount")), max_(col("amount")),
+            )
+        )
+        assert [tuple(r) for r in result] == [(6, 5, 555, 111.0, 75, 200)]
+
+    def test_empty_input_aggregates_are_null(self):
+        spread = _sales_spread()
+        result = spread.execute(
+            select(SALES).where(col("amount") > 10_000)
+                         .project(count(), sum_(col("amount")))
+        )
+        assert [tuple(r) for r in result] == [(0, None)]
+
+    def test_offset_and_limit(self):
+        spread = _sales_spread()
+        query = select(SALES).project(col("name")).offset(2).limit(2)
+        assert [r[0] for r in spread.execute(query)] == ["carol", "delta"]
+
+    def test_order_none_first_and_multi_key(self):
+        spread = _sales_spread()
+        query = (select(SALES).project(col("amount"), col("name"))
+                 .order_by(col("amount"), col("name").desc()))
+        assert [tuple(r) for r in spread.execute(query)] == [
+            (None, "fox"), (75, "carol"), (80, "echo"), (80, "bravo"),
+            (120, "alpha"), (200, "delta")]
+
+    def test_mixed_type_order_is_an_execution_error(self):
+        spread = DataSpread()
+        spread.import_rows([["v"], [1], ["two"]])
+        with pytest.raises(QueryExecutionError, match="mixed-type"):
+            list(spread.execute(select("A1:A3").order_by(col("v"))))
+
+    def test_grid_join(self):
+        spread = DataSpread()
+        spread.import_rows([["id", "total"], [1, 10], [2, 20], [3, 30]])
+        spread.import_rows([["key", "label"], [2, "two"], [3, "three"]],
+                           top=1, left=4)
+        query = (select(region("A1:B4", name="l"))
+                 .join(region("D1:E3", name="r"), on=("id", "key"))
+                 .project(col("label"), col("total")))
+        assert sorted(tuple(r) for r in spread.execute(query)) == [
+            ("three", 30), ("two", 20)]
+
+    def test_result_drains_once(self):
+        spread = _sales_spread()
+        result = spread.execute(select(SALES))
+        assert result.first() is not None
+        remainder = result.to_table()  # drains whatever first() left
+        assert remainder.row_count == 5
+        with pytest.raises(QueryExecutionError, match="drained"):
+            result.to_table()
+
+
+class TestStreaming:
+    """The acceptance criterion: LIMIT over a huge region reads O(matched
+    rows + n) cells, not O(region), proven by the model's read counters."""
+
+    def test_limit_over_million_row_region_short_circuits(self):
+        spread = DataSpread()
+        spread.import_rows([["id", "amount", "status"]])
+        # Matches early: the scan should stop inside the first chunks.
+        spread.import_rows([[row, 1000 + row, "open"] for row in range(1, 201)],
+                           top=2)
+        huge = RangeRef(1, 1, 1_000_001, 3)
+        query = (select(region(huge))
+                 .where(col("amount") > 1000)
+                 .project(col("id"), col("amount"))
+                 .limit(5))
+
+        spread.model.reset_read_counters()
+        rows = [tuple(r) for r in spread.execute(query)]
+        assert rows == [(1, 1001), (2, 1002), (3, 1003), (4, 1004), (5, 1005)]
+        # O(chunks until 5 matches) — a couple of chunk-slabs of the two
+        # projected/filtered columns, nowhere near the 3M-cell region.
+        assert spread.model.cells_read <= 3 * CHUNK_ROWS * 2
+        assert spread.model.bulk_reads <= 8
+
+    def test_full_scan_reads_only_projected_columns(self):
+        spread = _sales_spread()
+        spread.model.reset_read_counters()
+        list(spread.execute(select(SALES).project(col("name"))))
+        # One contiguous run: the name column only (plus its header read).
+        assert spread.model.cells_read <= 2 * 7
+
+    def test_count_star_reads_no_cells(self):
+        spread = _sales_spread()
+        spread.model.reset_read_counters()
+        result = spread.execute(select(SALES).project(count()))
+        assert [tuple(r) for r in result] == [(6,)]
+        assert spread.model.cells_read <= 3  # header row only
+
+
+class TestSQLFrontEnd:
+    def test_or_and_parenthesized_groups(self):
+        spread = _sales_spread()
+        table = spread.sql(
+            "SELECT name FROM A1:C7 "
+            "WHERE (status = 'open' AND amount > 100) OR name = 'bravo' "
+            "ORDER BY name"
+        )
+        assert [r[0] for r in table.rows] == ["alpha", "bravo", "delta"]
+
+    def test_not_and_comparison_aliases(self):
+        spread = _sales_spread()
+        table = spread.sql(
+            "SELECT name FROM A1:C7 WHERE NOT status != 'open' ORDER BY name")
+        assert [r[0] for r in table.rows] == ["alpha", "carol", "delta", "echo"]
+
+    def test_multi_column_order_by(self):
+        spread = _sales_spread()
+        table = spread.sql(
+            "SELECT amount, name FROM A1:C7 "
+            "WHERE amount > 10 ORDER BY amount ASC, name DESC")
+        assert [tuple(r) for r in table.rows] == [
+            (75, "carol"), (80, "echo"), (80, "bravo"),
+            (120, "alpha"), (200, "delta")]
+
+    def test_escaped_quotes_in_string_literals(self):
+        spread = DataSpread()
+        spread.import_rows([["phrase"], ["it's fine"], ["plain"]])
+        table = spread.sql("SELECT phrase FROM A1:A3 WHERE phrase = 'it''s fine'")
+        assert [r[0] for r in table.rows] == ["it's fine"]
+
+    def test_placeholder_inside_string_literal_is_not_bound(self):
+        spread = DataSpread()
+        spread.import_rows([["q"], ["?"], ["x"]])
+        table = spread.sql("SELECT q FROM A1:A3 WHERE q = '?'")
+        assert [r[0] for r in table.rows] == ["?"]
+
+    def test_placeholder_count_mismatch_message(self):
+        spread = _sales_spread()
+        with pytest.raises(
+            QueryPlanError,
+            match=r"query has 2 placeholder\(s\) but 1 parameter\(s\) given",
+        ):
+            spread.sql("SELECT name FROM A1:C7 WHERE amount > ? AND amount < ?", 1)
+
+    def test_ambiguous_column_is_explicit(self):
+        spread = DataSpread()
+        spread.import_rows([["Amount", "amount"], [1, 2]])
+        with pytest.raises(QueryPlanError, match="ambiguous"):
+            spread.sql("SELECT amount FROM A1:B2")
+
+    def test_non_select_statement_message(self):
+        spread = _sales_spread()
+        with pytest.raises(QueryPlanError, match="unsupported SQL statement"):
+            spread.sql("DELETE FROM A1:C7")
+
+    def test_sql_matches_generative_query(self):
+        spread = _sales_spread()
+        via_sql = spread.sql(
+            "SELECT name, amount FROM A1:C7 WHERE amount >= ? "
+            "ORDER BY amount DESC LIMIT 2", 80)
+        via_builder = spread.execute(
+            select(SALES).where(col("amount") >= 80)
+            .project(col("name"), col("amount"))
+            .order_by(col("amount").desc()).limit(2)
+        ).to_table()
+        assert via_sql.rows == via_builder.rows
+        assert via_sql.columns == via_builder.columns
+
+
+class TestLiveViews:
+    def _top_query(self):
+        return (select(SALES)
+                .where(col("amount") > 100)
+                .project(col("name"), col("amount"))
+                .order_by(col("amount").desc()))
+
+    def test_source_edit_refreshes_reactively(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        assert [tuple(r) for r in view.value().rows] == [
+            ("delta", 200), ("alpha", 120)]
+        before = view.refresh_count
+        spread.set_value(3, 2, 500)  # bravo: 80 -> 500
+        assert view.refresh_count == before + 1
+        assert [tuple(r) for r in view.value().rows] == [
+            ("bravo", 500), ("delta", 200), ("alpha", 120)]
+
+    def test_unrelated_edit_does_not_refresh(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        before = view.refresh_count
+        spread.set_value(50, 9, "elsewhere")
+        assert view.refresh_count == before
+
+    def test_spill_writes_diffs_and_shrinks(self):
+        spread = _sales_spread()
+        spread.create_live_view(self._top_query(), name="top", at="E1")
+        assert spread.get_value(1, 5) == "name"
+        assert spread.get_value(2, 5) == "delta" and spread.get_value(2, 6) == 200
+        assert spread.get_value(3, 5) == "alpha"
+        spread.set_value(2, 2, 90)  # alpha drops out of the result
+        assert spread.get_value(2, 5) == "delta"
+        assert spread.get_value(3, 5) is None and spread.get_value(3, 6) is None
+
+    def test_formulas_read_spilled_cells(self):
+        spread = _sales_spread()
+        spread.create_live_view(
+            select(SALES).where(col("amount") > 100).project(col("amount")),
+            name="big", at="E1", include_header=False)
+        spread.set_formula(1, 7, "=SUM(E1:E10)")
+        assert spread.get_value(1, 7) == 320
+        spread.set_value(3, 2, 130)  # bravo joins the result
+        assert spread.get_value(1, 7) == 450
+
+    def test_async_view_refreshes_on_drain(self):
+        spread = DataSpread(async_recompute=True)
+        spread.import_rows([
+            ["name", "amount", "status"],
+            ["alpha", 120, "open"],
+            ["bravo", 80, "closed"],
+        ])
+        spread.flush_compute()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.set_value(3, 2, 500)
+        # value() drains exactly the view's subtree, then refreshes.
+        assert [tuple(r) for r in view.value().rows] == [
+            ("bravo", 500), ("alpha", 120)]
+
+    def test_batch_refreshes_once_and_abort_rolls_back(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        with spread.batch():
+            spread.set_value(3, 2, 300)
+            spread.set_value(6, 2, 400)
+        assert [tuple(r) for r in view.value().rows] == [
+            ("echo", 400), ("bravo", 300), ("delta", 200), ("alpha", 120)]
+
+        class Boom(Exception):
+            pass
+
+        try:
+            with spread.batch():
+                spread.set_value(2, 2, 9_999)
+                raise Boom()
+        except Boom:
+            pass
+        assert [tuple(r) for r in view.value().rows] == [
+            ("echo", 400), ("bravo", 300), ("delta", 200), ("alpha", 120)]
+
+    def test_structural_insert_remaps_source(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.insert_row_after(1)
+        spread.import_rows([["golf", 150, "open"]], top=2)
+        assert view.query.source.region == RangeRef(1, 1, 8, 3)
+        assert [tuple(r) for r in view.value().rows] == [
+            ("delta", 200), ("golf", 150), ("alpha", 120)]
+
+    def test_deleting_the_source_detaches(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.delete_row(1, 7)
+        assert view.detached
+        with pytest.raises(QueryExecutionError):
+            view.value()
+
+    def test_header_views_survive_column_shifts(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.insert_column_after(1)
+        assert not view.detached
+        assert [tuple(r) for r in view.value().rows] == [
+            ("delta", 200), ("alpha", 120)]
+
+    def test_headerless_views_detach_on_column_shifts(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(
+            select(region("A2:C7", header=False)).where(col("B") > 100),
+            name="raw")
+        spread.delete_row(3)          # row-axis shifts are absorbed
+        assert not view.detached
+        spread.insert_column_after(1)  # re-letters the columns: detach
+        assert view.detached
+
+    def test_reactive_schema_break_detaches_instead_of_raising(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.delete_column(1)      # the 'name' column the query projects
+        spread.set_value(2, 1, 777)  # the reactive refresh hits the broken
+        assert view.detached         # query and detaches, not raises
+        with pytest.raises(QueryExecutionError, match="detached"):
+            view.value()
+
+    def test_lazy_read_after_schema_break_raises_not_stale_data(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.delete_column(1)
+        # No intervening edit: the first read triggers the refresh, which
+        # detaches — stale pre-break rows must not be served.
+        with pytest.raises(QueryExecutionError, match="detached"):
+            view.value()
+        assert view.detached
+
+    def test_drop_live_view(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+        spread.drop_live_view("top")
+        assert spread.live_views == []
+        before = view.refresh_count
+        spread.set_value(2, 2, 1)
+        assert view.refresh_count == before
+        with pytest.raises(KeyError):
+            spread.drop_live_view("top")
+
+    def test_bad_query_leaves_no_view_behind(self):
+        spread = _sales_spread()
+        with pytest.raises(QueryPlanError):
+            spread.create_live_view(select(SALES).where(col("nope") == 1))
+        assert spread.live_views == []
+
+    def test_rollback_invalidates_pinned_results(self):
+        spread = _sales_spread()
+        view = spread.create_live_view(self._top_query(), name="top")
+
+        class Boom(Exception):
+            pass
+
+        try:
+            with spread.batch():
+                spread.set_value(3, 2, 5_000)
+                # Batch semantics: recompute (views included) is deferred
+                # to batch exit, so mid-batch reads serve pre-batch rows.
+                assert view.value().rows[0][0] == "delta"
+                raise Boom()
+        except Boom:
+            pass
+        assert [tuple(r) for r in view.value().rows] == [
+            ("delta", 200), ("alpha", 120)]
+
+
+class TestServiceSessions:
+    def test_session_query_and_live_view(self):
+        ws = Workspace()
+        writer = ws.open_session("writer")
+        reader = ws.open_session("reader")
+        writer.set_value(1, 1, "amount")
+        for row, amount in enumerate([50, 150, 250], start=2):
+            writer.set_value(row, 1, amount)
+        ws.flush()
+        table = reader.query(select("A1:A5").where(col("amount") > 100))
+        assert [r[0] for r in table.rows] == [150, 250]
+        reader.create_live_view(
+            select("A1:A5").where(col("amount") > 100), name="big")
+        writer.set_value(2, 1, 400)
+        ws.flush()
+        assert [r[0] for r in reader.live_view_value("big").rows] == [400, 150, 250]
+        ws.close()
+
+
+class TestErrorHierarchy:
+    """Satellite: pin the QueryError hierarchy so callers can keep
+    catching RelationalOperationError across the sql()/select() split."""
+
+    def test_plan_and_execution_errors_are_query_errors(self):
+        assert issubclass(QueryPlanError, QueryError)
+        assert issubclass(QueryExecutionError, QueryError)
+        assert issubclass(QueryError, RelationalOperationError)
+        assert issubclass(RelationalOperationError, ReproError)
+
+    def test_legacy_handlers_still_catch(self):
+        spread = _sales_spread()
+        with pytest.raises(RelationalOperationError):
+            spread.sql("SELECT nope FROM A1:C7")
+        with pytest.raises(RelationalOperationError):
+            list(spread.execute(select(SALES).where(col("nope") == 1)))
