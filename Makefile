@@ -14,8 +14,8 @@ REPRO_CRASH_SEEDS ?= $(or $(CRASH_SEEDS),60)
 REPRO_SESSION_SEEDS ?= $(or $(SESSION_SEEDS),100)
 
 .PHONY: test fuzz fuzz-sessions crash-fuzz bench bench-async \
-	bench-incremental bench-query bench-recovery bench-sessions \
-	docs-check examples all
+	bench-columnar bench-incremental bench-query bench-recovery \
+	bench-sessions docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -65,6 +65,18 @@ bench-incremental:
 	$(PYTHON) -m repro.experiments recompute-incremental --scale 0.5 \
 		--json BENCH_recompute_incremental.json
 	$(PYTHON) scripts/check_bench.py BENCH_recompute_incremental.json
+
+## Columnar aggregate benchmark (PR 9): cold 1M-row SUM through the
+## vectorized slab reduction vs the scalar per-cell fold (bit-identical by
+## construction), plus the 10k-subscriber shared-state edit ladder with a
+## mid-run storage relayout and an off-range link_table.  Runs at full
+## scale — the 10x cold-build floor is only meaningful on the 1M-row
+## column.  Emits BENCH_columnar.json and fails if the floor is blown,
+## the builds disagree, sharing regresses, or either fallback invalidates
+## a running state (scripts/check_bench.py guard).
+bench-columnar:
+	$(PYTHON) -m repro.experiments columnar --json BENCH_columnar.json
+	$(PYTHON) scripts/check_bench.py BENCH_columnar.json
 
 ## Query subsystem benchmark: planner pushdown + streaming LIMIT vs naive
 ## full-region materialisation (10k/100k/1M-row ladder, scaled to 0.1

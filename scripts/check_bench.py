@@ -12,6 +12,13 @@ dispatched per experiment id, so one JSON file may carry several results:
       or the delta-maintained values diverging from the from-scratch
       engine.
 
+``columnar`` (``make bench-columnar``)
+    * the cold vectorized build below the fixed 10x floor (when NumPy is
+      available) or disagreeing with the scalar fold;
+    * the 10k-subscriber ladder holding more than one shared state, point
+      edits costing more than one delta, or ``optimize_storage`` /
+      off-range ``link_table`` invalidating any running state.
+
 ``recovery`` (``make bench-recovery``)
     * any row whose recovered grid diverged from the live engine
       (``grids_match``);
@@ -66,6 +73,12 @@ def check_recompute_incremental(result: dict, *, min_speedup: float) -> list[str
     else:
         if not incremental.get("grids_match", False):
             failures.append("delta-maintained values diverged from the from-scratch engine")
+        if incremental.get("relayout_invalidations", 0) > 0:
+            failures.append(
+                f"optimize_storage invalidated "
+                f"{incremental['relayout_invalidations']} running state(s) — "
+                f"relayout stopped preserving aggregate state"
+            )
         per_edit = incremental["ms_per_edit"]
         speedup = (baseline["ms_per_edit"] / per_edit) if per_edit > 0 else float("inf")
         if speedup < min_speedup:
@@ -152,8 +165,69 @@ def check_query(result: dict, *, min_speedup: float) -> list[str]:
     return failures
 
 
+#: The columnar cold-build floor is fixed (the ISSUE's acceptance bar),
+#: independent of the CLI-tunable ``--min-speedup`` used elsewhere.
+COLUMNAR_MIN_SPEEDUP = 10.0
+
+
+def check_columnar(result: dict, **_options) -> list[str]:
+    rows = {row.get("mode"): row for row in result["rows"]}
+    failures: list[str] = []
+
+    cold = rows.get("cold-sum-columnar")
+    if cold is None:
+        failures.append("missing cold-sum-columnar row")
+    else:
+        if not cold.get("values_match", False):
+            failures.append("columnar cold build diverged from the scalar fold")
+        if cold.get("numpy", False):
+            if cold.get("speedup", 0.0) < COLUMNAR_MIN_SPEEDUP:
+                failures.append(
+                    f"columnar cold-build speedup {cold.get('speedup', 0.0):.1f}x "
+                    f"fell below the {COLUMNAR_MIN_SPEEDUP:.1f}x floor"
+                )
+            if cold.get("columnar_builds", 0) < 1:
+                failures.append(
+                    "NumPy available but the cold build did not go columnar")
+        # Without NumPy the pure-Python fallback serves; no speedup floor.
+
+    ladder = rows.get("shared-state-ladder")
+    if ladder is None:
+        failures.append("missing shared-state-ladder row")
+    else:
+        if ladder.get("shared_states") != 1:
+            failures.append(
+                f"{ladder.get('formulas')} formulas over one column held "
+                f"{ladder.get('shared_states')} states — sharing regressed"
+            )
+        if ladder.get("deltas_per_edit", 0.0) != 1.0:
+            failures.append(
+                f"point edits applied {ladder.get('deltas_per_edit')} deltas "
+                f"each — expected exactly one per distinct range"
+            )
+        if ladder.get("relayout_invalidations", 0) > 0:
+            failures.append(
+                f"optimize_storage invalidated "
+                f"{ladder['relayout_invalidations']} running state(s)"
+            )
+        if ladder.get("link_invalidations", 0) > 0:
+            failures.append(
+                f"off-range link_table invalidated "
+                f"{ladder['link_invalidations']} running state(s)"
+            )
+        if ladder.get("post_relayout_builds", 0) > 0:
+            failures.append(
+                f"{ladder['post_relayout_builds']} state rebuild(s) after the "
+                f"relayout — states were not preserved in place"
+            )
+        if not ladder.get("grids_match", False):
+            failures.append("ladder values diverged from the from-scratch engine")
+    return failures
+
+
 #: Guarded experiments; results with other ids pass through unchecked.
 CHECKERS = {
+    "columnar": check_columnar,
     "recompute-incremental": check_recompute_incremental,
     "query": check_query,
     "recovery": check_recovery,

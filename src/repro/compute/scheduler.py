@@ -37,6 +37,8 @@ at batch exit.
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
@@ -225,18 +227,42 @@ class ComputeScheduler:
         return self._drain(limit, None)
 
     def drain(self, budget_n: int) -> int:
-        """Best-effort bounded drain: the idle-drain policy's primitive.
+        """Deprecated count-budgeted drain; use :meth:`drain_for`.
 
-        Evaluates up to ``budget_n`` queued cells in the same
-        topological, viewport-first order as :meth:`run`, but *never*
-        raises on cyclic work — the cycle stays queued (still surfaced by
-        an explicit ``run``) and the drain simply stops, because an
-        opportunistic drain piggybacking on a read must not fail the read.
-        Returns the number of cells evaluated.
+        A cell-count budget bounds *work items*, not *time*: one expensive
+        formula blows the read-latency envelope the idle drain exists to
+        protect.  Kept as a shim for callers still tuned in cell counts.
         """
+        warnings.warn(
+            "ComputeScheduler.drain(budget_n) is deprecated; use "
+            "drain_for(budget_ms) — a count budget does not bound latency",
+            DeprecationWarning, stacklevel=2,
+        )
         if budget_n <= 0:
             return 0
         return self._drain(budget_n, None, best_effort=True)
+
+    def drain_for(self, budget_ms: float, *,
+                  clock: Callable[[], float] = time.monotonic) -> int:
+        """Time-budgeted best-effort drain: the idle-drain primitive.
+
+        Evaluates queued cells in the same topological, viewport-first
+        order as :meth:`run` until the queue empties or ``budget_ms``
+        milliseconds elapse.  At least one queued cell is retired when any
+        are ready (progress is guaranteed even under a tiny budget); the
+        deadline is checked between evaluations, so the overshoot is
+        bounded by one formula's cost — the inherent limit of cooperative
+        scheduling.  Never raises on cyclic work: the cycle stays queued
+        (still surfaced by an explicit ``run``) and the drain simply
+        stops, because an opportunistic drain piggybacking on a read must
+        not fail the read.  Returns the number of cells evaluated.
+        """
+        if budget_ms <= 0:
+            return 0
+        return self._drain(
+            None, None, best_effort=True,
+            deadline=clock() + budget_ms / 1000.0, clock=clock,
+        )
 
     def ensure(self, address: CellAddress) -> int:
         """Make one cell fresh, evaluating only the subtree it needs.
@@ -294,9 +320,13 @@ class ComputeScheduler:
     # internals
     # ------------------------------------------------------------------ #
     def _drain(self, limit: int | None, only: set[CellAddress] | None,
-               *, best_effort: bool = False) -> int:
+               *, best_effort: bool = False,
+               deadline: float | None = None,
+               clock: Callable[[], float] | None = None) -> int:
         evaluated = 0
         while self._stale and (limit is None or evaluated < limit):
+            if deadline is not None and evaluated and clock() >= deadline:
+                break
             if self._order_stale:
                 self._rebuild()
                 if only is not None:

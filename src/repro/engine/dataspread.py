@@ -78,6 +78,7 @@ keep formulas live instead of letting them silently read shifted cells:
 from __future__ import annotations
 
 import csv
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -261,10 +262,15 @@ class DataSpread:
         When ``True``, edits enqueue their affected subtree on the compute
         scheduler instead of recomputing synchronously; drain with
         ``flush_compute()``.  Requires ``auto_evaluate``.
-    idle_drain_budget:
+    idle_drain_ms:
         When positive (async mode only), every read opportunistically
-        drains up to this many queued cells, so staleness converges
-        without an explicit ``flush_compute()``.
+        drains queued cells for up to this many milliseconds, so staleness
+        converges without an explicit ``flush_compute()`` while the read's
+        latency stays bounded by *time*, not by a count of formulas of
+        unknown cost.
+    idle_drain_budget:
+        Deprecated count-budgeted predecessor of ``idle_drain_ms`` (cells
+        per read); ignored when ``idle_drain_ms`` is set.
     durability:
         ``"none"`` (default) keeps cells purely in memory; ``"wal"``
         write-ahead-logs every committed write into ``storage_dir`` at the
@@ -291,6 +297,7 @@ class DataSpread:
         auto_evaluate: bool = True,
         parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
         async_recompute: bool = False,
+        idle_drain_ms: float = 0.0,
         idle_drain_budget: int = 0,
         durability: str = "none",
         storage_dir: str | None = None,
@@ -315,6 +322,7 @@ class DataSpread:
             range_provider=self._provide_range,
             parse_cache_capacity=parse_cache_capacity,
             aggregate_store=self._aggregates,
+            slab_provider=self._provide_range_slab,
         )
         self._linked_tables: dict[str, TableOrientedModel] = {}
         self._composite_values: dict[tuple[int, int], TableValue] = {}
@@ -357,9 +365,22 @@ class DataSpread:
         self._scheduler.on_quarantine = self._quarantine_cell
         self._async = False
         self.async_recompute = async_recompute
+        if idle_drain_ms < 0:
+            raise ValueError("idle_drain_ms must be >= 0")
         if idle_drain_budget < 0:
             raise ValueError("idle_drain_budget must be >= 0")
-        #: Queued cells opportunistically evaluated per read (0 disables).
+        #: Milliseconds of queued work opportunistically evaluated per read
+        #: (0 disables).  The time budget bounds read latency directly; the
+        #: count budget below is the deprecated predecessor.
+        self.idle_drain_ms = idle_drain_ms
+        if idle_drain_budget > 0:
+            warnings.warn(
+                "DataSpread(idle_drain_budget=N) is deprecated; use "
+                "idle_drain_ms — a cell-count budget does not bound latency",
+                DeprecationWarning, stacklevel=2,
+            )
+        #: Deprecated: queued cells opportunistically evaluated per read
+        #: (0 disables; ignored when ``idle_drain_ms`` is set).
         self.idle_drain_budget = idle_drain_budget
         self._idle_draining = False
 
@@ -831,9 +852,10 @@ class DataSpread:
     def get_cell(self, row: int, column: int) -> Cell:
         """Read one cell (through the LRU cache).
 
-        With ``idle_drain_budget`` set, the read first lets the compute
-        scheduler retire a small budget of queued work, so staleness
-        converges under a read-heavy workload without ``flush_compute()``.
+        With ``idle_drain_ms`` set, the read first lets the compute
+        scheduler retire queued work within a small time budget, so
+        staleness converges under a read-heavy workload without
+        ``flush_compute()``.
         """
         self._maybe_idle_drain()
         return self._cache.get(row, column)
@@ -966,7 +988,9 @@ class DataSpread:
             # replaces the cell's content, so stale reads keep serving the
             # previous committed (or overlaid) value.
             placeholder = self._cache.get(row, column).value
-        self._aggregates.drop_formula(address)
+        # Registration drives the aggregate refcounts: ``register`` first
+        # unregisters the previous formula, firing the graph's
+        # ``on_unregister`` hook, which releases the old subscriptions.
         self._dependencies.register(address, node)
         if self.in_batch:
             if self._async:
@@ -998,8 +1022,7 @@ class DataSpread:
             self._snapshot_registration(address)
             self._snapshot_composite((row, column))
             self._snapshot_provisional(address)
-        self._aggregates.drop_formula(address)
-        self._dependencies.unregister(address)
+        self._dependencies.unregister(address)  # on_unregister drops its states
         self._cache.put(row, column, Cell())
         self._aggregates_commit(capture, None)
         self._composite_values.pop((row, column), None)
@@ -1080,51 +1103,62 @@ class DataSpread:
             self._flush_batch_writes()
             self._backend.log_structural(edit)
         # The coordinate space is about to shift under every running
-        # aggregate state; structural edits are the store's wholesale
-        # fallback (states rebuild from full range reads on next use).
-        self._aggregates.invalidate_all()
-        # Provisional placeholders are not flushable writes: carry them
-        # across the cache clear and re-key them through the edit, exactly
-        # like the graph re-keys its registrations.
-        provisional = self._cache.provisional_items()
-        model_op()
-        self._cache.clear()
-        # View anchors sit at sentinel coordinates the edit's mapping would
-        # shift or drop; pull them out of the graph first and re-register
-        # them below against their *remapped* source regions.
-        for anchor in self._views:
-            self._dependencies.unregister(anchor)
-        rewrite = self._dependencies.apply_structural_edit(edit)
-        self._scheduler.apply_structural_edit(edit)
-        for (row, column), cell in provisional:
-            moved = edit.map_address(CellAddress(row, column))
-            if moved is not None:
-                self._cache.put_provisional(moved.row, moved.column, cell)
-                # A placeholder can shadow an older *committed* formula
-                # (set-formula over a committed cell, not yet evaluated).
-                # The graph tracks only the placeholder's text, so the
-                # shadowed committed text must be rewritten here or the
-                # stored state drifts out of the new coordinate space —
-                # which a checkpoint would then capture durably.
-                self._rewrite_shadowed_text(moved, edit)
-        self._remap_batch_addresses(edit.map_address)
-        self._composite_values = {
-            (moved.row, moved.column): table
-            for (row, column), table in self._composite_values.items()
-            if (moved := edit.map_address(CellAddress(row, column))) is not None
-        }
-        surviving_anchors: list[CellAddress] = []
-        for anchor, view in list(self._views.items()):
-            if view.remap(edit):
-                self._register_view_ranges(view)
-                surviving_anchors.append(anchor)
-            else:
-                del self._views[anchor]  # a source region (or spill) died
-        if self._async and surviving_anchors:
-            # The scheduler's remap dropped the off-sheet anchors; re-queue
-            # them so the drain refreshes every surviving view.
-            self._scheduler.mark_dirty(surviving_anchors)
-        dirty = self._rewrite_formula_texts(edit, rewrite.changed)
+        # aggregate state; splice the states through the same StructuralEdit
+        # arithmetic the graph re-keys its registrations with — untouched,
+        # purely translated, and blank-expanded ranges keep their running
+        # state; only ranges actually losing content are dropped.
+        self._aggregates.apply_structural_edit(edit)
+        # The (un)registrations below replace each formula's registration
+        # with its remapped equivalent: the formulas keep reading the same
+        # (spliced) ranges, so the aggregate refcount hook must stay quiet —
+        # firing it would drop the states the splice just carried over.
+        unregister_hook = self._dependencies.on_unregister
+        self._dependencies.on_unregister = None
+        try:
+            # Provisional placeholders are not flushable writes: carry them
+            # across the cache clear and re-key them through the edit,
+            # exactly like the graph re-keys its registrations.
+            provisional = self._cache.provisional_items()
+            model_op()
+            self._cache.clear()
+            # View anchors sit at sentinel coordinates the edit's mapping
+            # would shift or drop; pull them out of the graph first and
+            # re-register them below against their *remapped* source regions.
+            for anchor in self._views:
+                self._dependencies.unregister(anchor)
+            rewrite = self._dependencies.apply_structural_edit(edit)
+            self._scheduler.apply_structural_edit(edit)
+            for (row, column), cell in provisional:
+                moved = edit.map_address(CellAddress(row, column))
+                if moved is not None:
+                    self._cache.put_provisional(moved.row, moved.column, cell)
+                    # A placeholder can shadow an older *committed* formula
+                    # (set-formula over a committed cell, not yet evaluated).
+                    # The graph tracks only the placeholder's text, so the
+                    # shadowed committed text must be rewritten here or the
+                    # stored state drifts out of the new coordinate space —
+                    # which a checkpoint would then capture durably.
+                    self._rewrite_shadowed_text(moved, edit)
+            self._remap_batch_addresses(edit.map_address)
+            self._composite_values = {
+                (moved.row, moved.column): table
+                for (row, column), table in self._composite_values.items()
+                if (moved := edit.map_address(CellAddress(row, column))) is not None
+            }
+            surviving_anchors: list[CellAddress] = []
+            for anchor, view in list(self._views.items()):
+                if view.remap(edit):
+                    self._register_view_ranges(view)
+                    surviving_anchors.append(anchor)
+                else:
+                    del self._views[anchor]  # a source region (or spill) died
+            if self._async and surviving_anchors:
+                # The scheduler's remap dropped the off-sheet anchors;
+                # re-queue them so the drain refreshes every surviving view.
+                self._scheduler.mark_dirty(surviving_anchors)
+            dirty = self._rewrite_formula_texts(edit, rewrite.changed)
+        finally:
+            self._dependencies.on_unregister = unregister_hook
         if self.in_batch:
             # The rewritten texts belong to the commit point: land them now
             # so an aborted batch cannot discard them and leave cell text
@@ -1230,7 +1264,10 @@ class DataSpread:
             rebuilt.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
         self._model = rebuilt
         self._cache.clear()
-        self._aggregates.invalidate_all()
+        # A relayout moves cells between physical models without changing a
+        # single coordinate→value binding, so every running aggregate state
+        # stays valid as-is — the incremental experiment asserts zero
+        # invalidations across this call.
         self._mark_views_stale()
         return plan
 
@@ -1392,9 +1429,10 @@ class DataSpread:
         self._model.add_region(HybridRegion(range=tom.region(), model=tom), allow_overlap=True)
         self._linked_tables[table_name] = tom
         self._cache.clear()
-        # The linked region's content changed wholesale under any
-        # aggregates reading it.
-        self._aggregates.invalidate_all()
+        # The linked region's content changed wholesale under the
+        # aggregates reading *it* — states elsewhere on the sheet did not
+        # read the linked rectangle and keep their running state.
+        self._aggregates.invalidate_region(tom.region())
         self._mark_views_stale()
         for view in self._views.values():
             # A view naming this table now has a grid footprint to watch.
@@ -1597,8 +1635,7 @@ class DataSpread:
     # ------------------------------------------------------------------ #
     def _set_constant(self, row: int, column: int, value: CellValue) -> None:
         address = CellAddress(row, column)
-        self._aggregates.drop_formula(address)
-        self._dependencies.unregister(address)
+        self._dependencies.unregister(address)  # on_unregister drops its states
         self._cache.put(row, column, Cell(value=value))
 
     def _aggregates_capture(self, address: CellAddress):
@@ -1721,16 +1758,17 @@ class DataSpread:
     def _maybe_idle_drain(self) -> None:
         """Opportunistically retire queued compute work on a read.
 
-        Active only in async mode with a positive ``idle_drain_budget``,
-        outside batches (batched edits are not even scheduled yet), and
-        never re-entrantly (a drain's own evaluations read cells through
-        the cache, not through this path, but ``get_fresh_value`` style
-        nesting must not recurse).  Cycles are left queued rather than
-        raised — an opportunistic drain must never fail a read.
+        Active only in async mode with a positive ``idle_drain_ms`` (or the
+        deprecated ``idle_drain_budget`` count), outside batches (batched
+        edits are not even scheduled yet), and never re-entrantly (a
+        drain's own evaluations read cells through the cache, not through
+        this path, but ``get_fresh_value`` style nesting must not recurse).
+        Cycles are left queued rather than raised — an opportunistic drain
+        must never fail a read.
         """
         if (
             not self._async
-            or self.idle_drain_budget <= 0
+            or (self.idle_drain_ms <= 0 and self.idle_drain_budget <= 0)
             or self._idle_draining
             or self.in_batch
             or not self._scheduler.pending_count
@@ -1738,7 +1776,13 @@ class DataSpread:
             return
         self._idle_draining = True
         try:
-            self._scheduler.drain(self.idle_drain_budget)
+            if self.idle_drain_ms > 0:
+                self._scheduler.drain_for(self.idle_drain_ms)
+            else:
+                # Deprecated count-budget path, routed through the internal
+                # drain so configuring the shim does not warn on every read.
+                self._scheduler._drain(self.idle_drain_budget, None,
+                                       best_effort=True)
         finally:
             self._idle_draining = False
 
@@ -1785,6 +1829,22 @@ class DataSpread:
         if pending:
             for key, cell in pending.items():
                 values[key] = cell.value
+        return values
+
+    def _provide_range_slab(self, region: RangeRef) -> list[CellValue]:
+        """Dense row-major slab of a range (the columnar build's read path).
+
+        One ``get_values_dense`` bulk read against the model, with the same
+        batch/async overlay semantics as :meth:`_provide_range` scattered on
+        top — the columnar and scalar paths must see identical values.
+        """
+        values = self._model.get_values_dense(region)
+        pending = self._cache.overlay_values(region)
+        if pending:
+            width = region.right - region.left + 1
+            top, left = region.top, region.left
+            for (row, column), cell in pending.items():
+                values[(row - top) * width + (column - left)] = cell.value
         return values
 
     def _safe_evaluate(self, formula: str | FormulaNode,

@@ -26,7 +26,10 @@ Four scenarios exercise the reactive recompute path end-to-end:
   delta-maintained running state and once with the full-range-read
   baseline (``use_aggregate_deltas = False``); the delta path recomputes
   each dependent in O(Δ) instead of O(range area), and a from-scratch
-  engine verifies the final values.
+  engine verifies the final values.  The incremental run finishes with an
+  ``optimize_storage`` relayout followed by a few more edits, asserting
+  the running aggregate states survive the relayout untouched
+  (``relayout_invalidations`` / ``post_relayout_builds`` both zero).
 """
 
 from __future__ import annotations
@@ -359,6 +362,17 @@ def run_recompute_incremental(*, scale: float = 1.0, edits: int = _INC_EDITS,
     incremental_seconds = _time_aggregate_edits(incremental, rows=rows_count, edits=edits)
     store_stats = incremental.aggregate_store.stats
 
+    # PR 9: a storage relayout mid-run must preserve every running state
+    # (cells move between physical models; no coordinate→value binding
+    # changes).  The edits after it must still be delta-served.
+    invalidations_before = store_stats.invalidations
+    builds_before = store_stats.builds
+    incremental.optimize_storage()
+    for index in range(4):
+        incremental.set_value((index * 101) % rows_count + 1, 1, 700 + index)
+    relayout_invalidations = store_stats.invalidations - invalidations_before
+    relayout_builds = store_stats.builds - builds_before
+
     baseline_edits = min(max(_INC_BASELINE_EDITS, 1), edits)
     baseline = _build_aggregate_column(rows=rows_count, formulas=formulas, use_deltas=False)
     baseline_seconds = _time_aggregate_edits(baseline, rows=rows_count, edits=baseline_edits)
@@ -390,6 +404,8 @@ def run_recompute_incremental(*, scale: float = 1.0, edits: int = _INC_EDITS,
             "ms_per_edit": incremental_per_edit,
             "deltas_applied": store_stats.deltas,
             "state_builds": store_stats.builds,
+            "relayout_invalidations": relayout_invalidations,
+            "post_relayout_builds": relayout_builds,
             "grids_match": grids_match,
         },
         {
@@ -418,6 +434,8 @@ def run_recompute_incremental(*, scale: float = 1.0, edits: int = _INC_EDITS,
             f"({baseline_per_edit:.2f} ms full-read vs {incremental_per_edit:.4f} ms delta "
             f"on a {rows_count}-row aggregated column)",
             f"post-edit values verified against a from-scratch engine: {grids_match}",
+            f"storage relayout mid-run invalidated {relayout_invalidations} state(s) "
+            f"({relayout_builds} rebuild(s) across the edits after it)",
         ],
         paper_reference="Section VI (formula evaluation); incremental view maintenance",
     )

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.experiments.columnar import run_columnar
 from repro.experiments.incremental import run_fig26a, run_fig26b, run_migration_cost_probe
 from repro.experiments.positional import run_fig18, run_fig22, run_fig23, run_fig24, run_table2
 from repro.experiments.query import run_query
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig25": run_fig25,
     "fig26a": run_fig26a,
     "fig26b": run_fig26b,
+    "columnar": run_columnar,
     "migration-probe": run_migration_cost_probe,
     "query": run_query,
     "recompute-edit": run_recompute_edit,

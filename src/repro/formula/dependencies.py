@@ -89,7 +89,7 @@ from __future__ import annotations
 from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import CircularDependencyError
 from repro.formula.ast_nodes import FormulaNode
@@ -417,6 +417,12 @@ class DependencyGraph:
         #: Flip to ``False`` to fall back to the legacy linear scan of every
         #: registered formula (kept for benchmarking the index speedup).
         self.use_range_index = True
+        #: Fired with the address whenever a *registered* formula leaves the
+        #: graph (re-registration, clearing, overwriting).  The aggregate
+        #: store hangs its refcount lifecycle here: the graph is the single
+        #: source of truth for which formulas still read which ranges, so
+        #: unregistration is exactly when a shared state loses a subscriber.
+        self.on_unregister: Callable[[CellAddress], None] | None = None
         self.stats = DependencyGraphStats()
 
     # ------------------------------------------------------------------ #
@@ -502,6 +508,8 @@ class DependencyGraph:
                 bucket = self._range_buckets.get(key)
                 if bucket is not None and bucket.remove(address, self.stats):
                     del self._range_buckets[key]
+        if self.on_unregister is not None:
+            self.on_unregister(address)
 
     @staticmethod
     def _bucket_keys(region: RangeRef) -> Iterable[int | None]:

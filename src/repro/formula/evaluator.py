@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.errors import FormulaEvaluationError, FormulaSyntaxError
+from repro.formula import columnar
 from repro.formula.aggregates import (
     DECOMPOSABLE_AGGREGATES,
     combine_aggregate,
@@ -37,6 +38,9 @@ from repro.grid.range import RangeRef
 
 CellProvider = Callable[[int, int], CellValue]
 RangeProvider = Callable[[RangeRef], dict]
+#: Dense row-major slab of a region's values (``None`` = blank cell), the
+#: bulk-read contract behind the vectorized columnar build path.
+SlabProvider = Callable[[RangeRef], list]
 
 #: Ranges larger than this raise instead of materialising (safety valve for
 #: accidental whole-column references on huge sheets).
@@ -96,12 +100,18 @@ class Evaluator:
     def __init__(self, cell_provider: CellProvider,
                  range_provider: RangeProvider | None = None,
                  *, parse_cache_capacity: int = DEFAULT_PARSE_CACHE_CAPACITY,
-                 aggregate_store=None) -> None:
+                 aggregate_store=None,
+                 slab_provider: SlabProvider | None = None) -> None:
         if parse_cache_capacity < 1:
             raise ValueError("parse cache capacity must be >= 1")
         self._provider = cell_provider
         self._range_provider = range_provider
         self._aggregate_store = aggregate_store
+        #: Optional dense bulk reader; when present (and the store allows
+        #: it), cold aggregate state is built by the vectorized columnar
+        #: path over one slab instead of the scalar fold over a
+        #: materialised RangeValue.
+        self._slab_provider = slab_provider
         #: The formula cell currently being evaluated on behalf of the
         #: engine; keys the aggregate store's running state.  ``None``
         #: disables the decomposable fast path entirely.
@@ -303,7 +313,7 @@ class Evaluator:
             and node.arguments
             and all(
                 isinstance(argument, RangeRefNode)
-                and argument.range.area >= self._aggregate_store.min_state_area
+                and self._aggregate_store.tracks(self.aggregate_cell, argument.range)
                 for argument in node.arguments
             )
         ):
@@ -347,8 +357,19 @@ class Evaluator:
                 # cannot be rebuilt away while the content stands, so
                 # those cases skip the rebuild and fall straight through
                 # to the classic evaluation below.
-                values = self._materialize_range(region)
-                state = store.build(address, region, values)
+                state = None
+                if (
+                    self._slab_provider is not None
+                    and store.use_columnar
+                    and region.area <= MAX_RANGE_CELLS
+                ):
+                    built, vectorized = columnar.build_state(
+                        self._slab_provider(region))
+                    state = store.install(address, region, built,
+                                          columnar=vectorized)
+                if state is None:
+                    values = self._materialize_range(region)
+                    state = store.build(address, region, values)
                 from_state = False
             states.append(state)
             materialized.append(values)

@@ -57,6 +57,22 @@ class DataModel(ABC):
             for address, cell in self.get_cells(region).items()
         }
 
+    def get_values_dense(self, region: RangeRef) -> list[CellValue]:
+        """Dense row-major slab of ``region``'s values (``None`` = blank).
+
+        The bulk-read contract behind the vectorized columnar aggregate
+        path: one flat ``region.area``-long list the caller can reduce
+        without per-cell dictionary probes.  The default scatters
+        :meth:`get_values` into the slab; ordered stores override it to
+        walk their layout directly.
+        """
+        width = region.right - region.left + 1
+        dense: list[CellValue] = [None] * region.area
+        top, left = region.top, region.left
+        for (row, column), value in self.get_values(region).items():
+            dense[(row - top) * width + (column - left)] = value
+        return dense
+
     @abstractmethod
     def cell_count(self) -> int:
         """Number of filled cells stored."""

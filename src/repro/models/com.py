@@ -63,8 +63,14 @@ class ColumnOrientedModel(DataModel):
             columns=region.columns,
             mapping_scheme=mapping_scheme,
         )
+        # Group by column so each stored tuple is written exactly once —
+        # per-cell updates rewrite a long column's record per cell.
+        lines: dict[int, dict[int, Cell]] = {}
         for address, cell in sheet.get_cells(region).items():
-            model.update_cell(address.row, address.column, cell)
+            lines.setdefault(address.column - region.left + 1, {})[
+                address.row - region.top + 1] = cell
+        for major in sorted(lines):
+            model._store.set_major_line(major, lines[major])
         return model
 
     # ------------------------------------------------------------------ #

@@ -140,6 +140,36 @@ class LineGridStore:
         elif previous is not None and stored is None:
             self._filled -= 1
 
+    def set_major_line(self, major: int, cells: dict[int, Cell]) -> None:
+        """Write many cells of one major line with a single record update.
+
+        The bulk-load path: building a long line cell-by-cell through
+        :meth:`set` rewrites the stored tuple per cell (quadratic once the
+        record overflows onto a heap chain); this writes the line once.
+        """
+        if major < 1 or any(minor < 1 for minor in cells):
+            raise DataModelError(f"positions must be >= 1, got major {major}")
+        if not cells:
+            return
+        self.ensure_major(major)
+        self.ensure_minor(max(cells))
+        pointer = self._mapping.fetch(major)
+        record = list(self._heap.read(pointer))
+        for minor, cell in cells.items():
+            slot = self._minor_slots[minor - 1]
+            if slot >= len(record):
+                record.extend([None] * (slot - len(record) + 1))
+            previous = record[slot]
+            stored = None if cell.is_empty else (cell.value, cell.formula)
+            record[slot] = stored
+            if previous is None and stored is not None:
+                self._filled += 1
+            elif previous is not None and stored is None:
+                self._filled -= 1
+        new_pointer = self._heap.update(pointer, tuple(record))
+        if new_pointer != pointer:
+            self._replace_pointer(major, new_pointer)
+
     # ------------------------------------------------------------------ #
     # structural operations
     # ------------------------------------------------------------------ #

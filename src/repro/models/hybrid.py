@@ -155,6 +155,32 @@ class HybridDataModel(DataModel):
         self._count_bulk_read(region)
         return self._merge_owned(region, lambda model: model.get_values(region), lambda key: key)
 
+    def get_values_dense(self, region: RangeRef) -> list[CellValue]:
+        """Dense row-major slab with the same precedence as ``get_values``.
+
+        The hot shapes delegate wholesale: a request owned entirely by one
+        constituent region (or by no region at all — pure catch-all) is one
+        dense read of that model.  Mixed ownership falls back to scattering
+        the precedence-merged ``_merge_owned`` read into the slab.
+        """
+        self._count_bulk_read(region)
+        overlapping = [entry for entry in self._regions
+                       if entry.range.overlaps(region)]
+        if not overlapping:
+            if self._catch_all is None:
+                return [None] * region.area
+            return self._catch_all.get_values_dense(region)
+        if len(overlapping) == 1 and overlapping[0].range.contains_range(region):
+            return overlapping[0].model.get_values_dense(region)
+        width = region.right - region.left + 1
+        dense: list[CellValue] = [None] * region.area
+        top, left = region.top, region.left
+        merged = self._merge_owned(
+            region, lambda model: model.get_values(region), lambda key: key)
+        for (row, column), value in merged.items():
+            dense[(row - top) * width + (column - left)] = value
+        return dense
+
     def _count_bulk_read(self, region: RangeRef) -> None:
         self.bulk_reads += 1
         self.cells_read += (region.bottom - region.top + 1) * (

@@ -188,6 +188,46 @@ class RowColumnValueModel(DataModel):
                             self._left + column_position - 1)] = cell.value
         return result
 
+    def get_values_dense(self, region: RangeRef) -> list[CellValue]:
+        """Dense row-major slab via one ordered walk per positional mapping.
+
+        ``fetch_range`` resolves all spanned row/column identifiers in one
+        traversal of each mapping, so the slab costs O(identifiers + area)
+        dictionary probes instead of an O(log n) positional fetch per row —
+        the read path the columnar aggregate build reduces over.
+        """
+        width = region.right - region.left + 1
+        dense: list[CellValue] = [None] * region.area
+        if not self._row_ids or not self._column_ids:
+            return dense
+        overlap = self.region().intersection(region)
+        if overlap is None:
+            return dense
+        row_ids = self._row_ids.fetch_range(
+            overlap.top - self._top + 1, overlap.bottom - self._top + 1)
+        column_ids = self._column_ids.fetch_range(
+            overlap.left - self._left + 1, overlap.right - self._left + 1)
+        cells = self._cells
+        base = (overlap.top - region.top) * width + (overlap.left - region.left)
+        if len(column_ids) == 1:
+            # The hot shape (a whole-column aggregate): lift the inner loop.
+            column_id = column_ids[0]
+            index = base
+            for row_id in row_ids:
+                cell = cells.get((row_id, column_id))
+                if cell is not None:
+                    dense[index] = cell.value
+                index += width
+        else:
+            for offset, row_id in enumerate(row_ids):
+                index = base + offset * width
+                for column_id in column_ids:
+                    cell = cells.get((row_id, column_id))
+                    if cell is not None:
+                        dense[index] = cell.value
+                    index += 1
+        return dense
+
     def get_cell(self, row: int, column: int) -> Cell:
         relative_row = row - self._top + 1
         relative_column = column - self._left + 1

@@ -66,8 +66,14 @@ class RowOrientedModel(DataModel):
             columns=region.columns,
             mapping_scheme=mapping_scheme,
         )
+        # Group by row so each stored tuple is written exactly once —
+        # per-cell updates rewrite a wide row's record per cell.
+        lines: dict[int, dict[int, Cell]] = {}
         for address, cell in sheet.get_cells(region).items():
-            model.update_cell(address.row, address.column, cell)
+            lines.setdefault(address.row - region.top + 1, {})[
+                address.column - region.left + 1] = cell
+        for major in sorted(lines):
+            model._store.set_major_line(major, lines[major])
         return model
 
     # ------------------------------------------------------------------ #

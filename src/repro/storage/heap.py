@@ -5,8 +5,32 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.errors import StorageError
-from repro.storage.page import PAGE_SIZE_BYTES, Page
-from repro.storage.tuples import Record, TuplePointer
+from repro.storage.page import PAGE_HEADER_BYTES, PAGE_SIZE_BYTES, Page
+from repro.storage.tuples import Record, TuplePointer, record_payload_size, value_size
+
+
+class _ChainMarker:
+    """A sentinel tagging overflow-chain links; never equal to user data."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def __repr__(self) -> str:  # a stable repr keeps size accounting exact
+        return self._label
+
+
+#: First field of the head / continuation link of a chained record.
+_CHAIN_HEAD = _ChainMarker("__chain_head__")
+_CHAIN_CONT = _ChainMarker("__chain_cont__")
+
+#: Worst-case pointer used when sizing chain links before they exist.
+_PROBE_POINTER = TuplePointer(page_id=1 << 40, slot_id=1 << 40)
+
+
+def _is_chain_link(record: Record) -> bool:
+    return bool(record) and (record[0] is _CHAIN_HEAD or record[0] is _CHAIN_CONT)
 
 
 class HeapFile:
@@ -15,6 +39,14 @@ class HeapFile:
     Records are addressed by :class:`TuplePointer`; pointers remain valid for
     the lifetime of the record regardless of other inserts and deletes, which
     is the property positional mappings rely on.
+
+    A record wider than one page is stored as an *overflow chain* (the moral
+    equivalent of PostgreSQL's TOAST): its fields are split across linked
+    continuation records, each of which fits a page, and the head link's
+    pointer addresses the logical record.  Chaining is transparent —
+    ``read``/``scan`` reassemble, ``update``/``delete`` release every link —
+    so column/row-oriented grid stores can hold arbitrarily long lines.
+    Only a single *field* larger than a page remains unstorable.
     """
 
     def __init__(self, page_capacity_bytes: int = PAGE_SIZE_BYTES) -> None:
@@ -42,43 +74,132 @@ class HeapFile:
 
     # ------------------------------------------------------------------ #
     def insert(self, record: Record) -> TuplePointer:
-        """Insert ``record``, allocating a new page when the last one is full."""
+        """Insert ``record``, allocating a new page when the last one is full.
+
+        A record too wide for one page is stored as an overflow chain; the
+        returned pointer addresses the whole logical record either way.
+        """
+        pointer = self._store(record)
+        self._live_records += 1
+        self._insert_count += 1
+        return pointer
+
+    def read(self, pointer: TuplePointer) -> Record:
+        """Fetch the (reassembled) record at ``pointer``."""
+        self._read_count += 1
+        return self._fetch(pointer)
+
+    def update(self, pointer: TuplePointer, record: Record) -> TuplePointer:
+        """Update in place when possible; otherwise relocate and return the new pointer."""
+        page = self._page(pointer)
+        existing = page.read(pointer.slot_id)
+        if not _is_chain_link(existing) and self._fits_one_page(record):
+            try:
+                page.update(pointer.slot_id, record)
+                return pointer
+            except StorageError:
+                pass
+        self._release(pointer)
+        self._live_records -= 1
+        return self.insert(record)
+
+    def delete(self, pointer: TuplePointer) -> None:
+        """Delete the record at ``pointer`` (all links, for a chain)."""
+        self._release(pointer)
+        self._live_records -= 1
+
+    def scan(self) -> Iterator[tuple[TuplePointer, Record]]:
+        """Iterate all live *logical* records in physical order.
+
+        Chain heads are reassembled and yielded at their head pointer;
+        continuation links are skipped.
+        """
+        for page in self._pages:
+            for slot_id, record in page.records():
+                if record and record[0] is _CHAIN_CONT:
+                    continue
+                pointer = TuplePointer(page_id=page.page_id, slot_id=slot_id)
+                if record and record[0] is _CHAIN_HEAD:
+                    yield pointer, self._fetch(pointer)
+                else:
+                    yield pointer, record
+
+    # ------------------------------------------------------------------ #
+    # physical placement and overflow chains
+    # ------------------------------------------------------------------ #
+    def _fits_one_page(self, record: Record) -> bool:
+        return (record_payload_size(record) + 4
+                <= self._page_capacity - PAGE_HEADER_BYTES)
+
+    def _place(self, record: Record) -> TuplePointer:
+        """Put one physical record on a page; no chain handling."""
         if not self._pages or not self._pages[-1].has_room_for(record):
             self._pages.append(Page(page_id=len(self._pages), capacity_bytes=self._page_capacity))
         page = self._pages[-1]
         if not page.has_room_for(record):
             raise StorageError("record larger than a page")
         slot_id = page.insert(record)
-        self._live_records += 1
-        self._insert_count += 1
         return TuplePointer(page_id=page.page_id, slot_id=slot_id)
 
-    def read(self, pointer: TuplePointer) -> Record:
-        """Fetch the record at ``pointer``."""
-        self._read_count += 1
-        return self._page(pointer).read(pointer.slot_id)
+    def _store(self, record: Record) -> TuplePointer:
+        if self._fits_one_page(record):
+            return self._place(record)
+        chunks = self._chunk_fields(record)
+        next_pointer: TuplePointer | None = None
+        for chunk in reversed(chunks[1:]):
+            next_pointer = self._place((_CHAIN_CONT, next_pointer, *chunk))
+        return self._place((_CHAIN_HEAD, next_pointer, *chunks[0]))
 
-    def update(self, pointer: TuplePointer, record: Record) -> TuplePointer:
-        """Update in place when possible; otherwise relocate and return the new pointer."""
+    def _chunk_fields(self, record: Record) -> list[list]:
+        """Greedily pack fields into link-sized chunks (each fits a page).
+
+        Runs in one pass with an additive size accumulator —
+        ``record_payload_size`` is a sum over fields, so tracking the
+        running total matches sizing the candidate link exactly.
+        """
+        budget = self._page_capacity - PAGE_HEADER_BYTES - 4
+        overhead = record_payload_size((_CHAIN_CONT, _PROBE_POINTER))
+        chunks: list[list] = []
+        current: list = []
+        used = overhead
+        for field in record:
+            size = value_size(field)
+            if current and used + size > budget:
+                chunks.append(current)
+                current = []
+                used = overhead
+            if used + size > budget:
+                raise StorageError("record field larger than a page")
+            current.append(field)
+            used += size
+        chunks.append(current)
+        return chunks
+
+    def _fetch(self, pointer: TuplePointer) -> Record:
+        record = self._page(pointer).read(pointer.slot_id)
+        if record and record[0] is _CHAIN_CONT:
+            raise StorageError("pointer addresses an overflow continuation")
+        if record and record[0] is _CHAIN_HEAD:
+            fields = list(record[2:])
+            next_pointer = record[1]
+            while next_pointer is not None:
+                link = self._page(next_pointer).read(next_pointer.slot_id)
+                fields.extend(link[2:])
+                next_pointer = link[1]
+            return tuple(fields)
+        return record
+
+    def _release(self, pointer: TuplePointer) -> None:
+        """Physically delete the record at ``pointer`` and any chain links."""
         page = self._page(pointer)
-        try:
-            page.update(pointer.slot_id, record)
-            return pointer
-        except StorageError:
-            page.delete(pointer.slot_id)
-            self._live_records -= 1
-            return self.insert(record)
-
-    def delete(self, pointer: TuplePointer) -> None:
-        """Delete the record at ``pointer``."""
-        self._page(pointer).delete(pointer.slot_id)
-        self._live_records -= 1
-
-    def scan(self) -> Iterator[tuple[TuplePointer, Record]]:
-        """Iterate all live records in physical order."""
-        for page in self._pages:
-            for slot_id, record in page.records():
-                yield TuplePointer(page_id=page.page_id, slot_id=slot_id), record
+        record = page.read(pointer.slot_id)
+        page.delete(pointer.slot_id)
+        if record and record[0] is _CHAIN_HEAD:
+            next_pointer = record[1]
+            while next_pointer is not None:
+                link = self._page(next_pointer).read(next_pointer.slot_id)
+                self._page(next_pointer).delete(next_pointer.slot_id)
+                next_pointer = link[1]
 
     # ------------------------------------------------------------------ #
     def used_bytes(self) -> int:

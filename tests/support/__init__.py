@@ -23,5 +23,6 @@ from tests.support.harness import (  # noqa: F401
     run_crash_recovery,
     run_equivalence,
     run_mid_batch_equivalence,
+    run_refcount_churn,
     run_session_interleaving,
 )

@@ -400,6 +400,96 @@ def run_mid_batch_equivalence(seed: int, *, steps: int = 40) -> None:
     assert_engines_agree(async_spread, sync_spread, context=(seed,))
 
 
+def _assert_store_consistent(store, context=()) -> None:
+    """The refcount bookkeeping invariants a churn step must never break.
+
+    Every state carries at least one subscriber (no orphans survive an
+    unregistration), every subscriber holds a back-reference, and every
+    recorded subscription points at a live state.
+    """
+    for region, entry in store._states.items():
+        assert entry.subscribers, ("orphan state", region, context)
+        for address in entry.subscribers:
+            assert region in store._subscriptions.get(address, ()), (
+                "missing back-reference", region, address, context)
+    for address, regions in store._subscriptions.items():
+        for region in regions:
+            entry = store._states.get(region)
+            assert entry is not None and address in entry.subscribers, (
+                "dangling subscription", address, region, context)
+
+
+def run_refcount_churn(seed: int, *, steps: int = 120) -> None:
+    """Refcount-lifecycle fuzz: share states hard, churn subscribers harder.
+
+    Many formulas subscribe to a *small pool* of identical and overlapping
+    ranges — maximal sharing — while the interleaving registers formulas,
+    overwrites them with constants, clears them, streams point edits into
+    the data column, aborts batches, and splices rows through the lot.
+    The store's subscription bookkeeping must stay internally consistent
+    throughout, and the grid must end cell-for-cell equal to an engine
+    running with the delta machinery disabled (every read from scratch).
+    """
+    rng = random.Random(seed)
+    spread = DataSpread()
+    spread.aggregate_store.min_state_area = 1
+    oracle = DataSpread()
+    oracle.aggregate_store.enabled = False
+    targets = (spread, oracle)
+    data_rows = 40
+    block = [[rng.randint(-9, 9)] for _ in range(data_rows)]
+    for target in targets:
+        target.import_rows(block)
+
+    # Four distinct ranges, thirty formula slots: heavy subscriber overlap.
+    pool = ("A1:A40", "A1:A20", "A10:A30", "A5:A40")
+    functions = ("SUM", "COUNT", "COUNTA", "AVERAGE", "MIN", "MAX")
+    slots = [(row, column) for row in range(1, 16) for column in (3, 4)]
+
+    for _step in range(steps):
+        action = rng.randrange(10)
+        if action < 4:  # register (or re-register) a subscriber
+            row, column = rng.choice(slots)
+            text = f"{rng.choice(functions)}({rng.choice(pool)})"
+            for target in targets:
+                target.set_formula(row, column, text)
+        elif action < 6:  # overwrite a slot: unregisters through the hook
+            row, column = rng.choice(slots)
+            constant = rng.randint(-5, 5)
+            for target in targets:
+                target.set_value(row, column, constant)
+        elif action < 7:  # clear a slot outright
+            row, column = rng.choice(slots)
+            for target in targets:
+                target.clear_cell(row, column)
+        elif action < 9:  # point edit in the shared data column
+            row = rng.randint(1, data_rows)
+            value = rng.choice([rng.randint(-9, 9), None, "x", 2.5])
+            for target in targets:
+                if value is None:
+                    target.clear_cell(row, 1)
+                else:
+                    target.set_value(row, 1, value)
+        else:  # structural splice, or an aborted batch (no net effect)
+            if rng.random() < 0.5:
+                line, count = rng.randint(1, 45), rng.randint(1, 2)
+                insert = rng.random() < 0.6
+                for target in targets:
+                    if insert:
+                        target.insert_row_after(line, count)
+                    else:
+                        target.delete_row(line, count)
+            else:
+                edits = [random_edit(rng) for _ in range(rng.randint(2, 4))]
+                for target in targets:
+                    _abort_batch(target, edits)
+        _assert_store_consistent(spread.aggregate_store, (seed, _step))
+
+    window = spread.get_range_values("A1:E60")
+    assert window == oracle.get_range_values("A1:E60"), (seed,)
+    _assert_store_consistent(spread.aggregate_store, (seed, "final"))
+
+
 # ---------------------------------------------------------------------- #
 # crash-recovery fuzz
 # ---------------------------------------------------------------------- #

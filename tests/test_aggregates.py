@@ -212,18 +212,58 @@ class TestEngineAggregateDeltas:
         spread.set_value(5, 1, 123)  # delta straight off the restored state
         assert spread.get_value(1, 3) == _full_read_sum(spread, "A1:A50")
 
-    def test_structural_edit_invalidates_then_rebuilds(self):
+    def test_structural_edit_splices_surviving_states(self):
         spread = self._build(rows=30)
         spread.set_formula(1, 3, "SUM(A1:A30)")
         before = spread.get_value(1, 3)
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1
         spread.insert_row_after(10, 2)
-        assert spread.aggregate_store.stats.full_invalidations >= 1
+        # An insert inside the range only adds blank lines (a no-op
+        # contribution): the running state is spliced to the widened key,
+        # never invalidated or rebuilt.
+        assert stats.splices == 1
+        assert stats.full_invalidations == 0
+        assert spread.aggregate_store.state_count == 1
         # The formula was rewritten to span the shifted rows; inserting
         # blank rows must not change the sum.
         assert spread.get_cell(1, 3).formula == "SUM(A1:A32)"
         assert spread.get_value(1, 3) == before
+        assert stats.builds == 1  # still the original state
         spread.set_value(11, 1, 40)  # a new row inside the widened range
         assert spread.get_value(1, 3) == before + 40
+        assert stats.builds == 1  # the edit was a delta, not a rebuild
+
+    def test_structural_edit_drops_states_losing_content(self):
+        spread = self._build(rows=30)
+        spread.set_formula(1, 3, "SUM(A5:A20)")
+        before = spread.get_value(1, 3)
+        stats = spread.aggregate_store.stats
+        spread.delete_row(10, 3)  # rows 10-12 leave the aggregated range
+        # Overlapping a deletion loses contributions whose values the
+        # store cannot know: that state must drop (the post-edit recompute
+        # then rebuilds it from a fresh full read), never splice.
+        assert stats.invalidations >= 1
+        assert stats.splices == 0
+        assert stats.builds == 2
+        assert spread.get_cell(1, 3).formula == "SUM(A5:A17)"
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A5:A17")
+        assert spread.get_value(1, 3) != before
+
+    def test_structural_edit_translates_states_below_the_edit(self):
+        spread = self._build(rows=40)
+        spread.set_formula(1, 3, "SUM(A20:A40)")
+        before = spread.get_value(1, 3)
+        stats = spread.aggregate_store.stats
+        spread.insert_row_after(5, 3)  # strictly above: pure translation
+        assert stats.splices == 1
+        assert spread.aggregate_store.state_count == 1
+        assert spread.get_cell(1, 3).formula == "SUM(A23:A43)"
+        assert spread.get_value(1, 3) == before
+        assert stats.builds == 1
+        spread.set_value(30, 1, 77)  # lands inside the translated range
+        assert spread.get_value(1, 3) == _full_read_sum(spread, "A23:A43")
+        assert stats.builds == 1  # absorbed as a delta on the spliced state
 
     def test_async_scheduler_routes_through_the_same_delta_path(self):
         spread = DataSpread(async_recompute=True)
@@ -458,3 +498,202 @@ class TestFallbackEfficiency:
         spread.set_value(9, 1, 1)   # and deltas serve again
         assert spread.get_value(1, 3) == 1
         assert stats.hits > hits_before
+
+
+class TestSharedRefcountedStates:
+    """States are keyed per distinct range and refcounted per subscriber."""
+
+    def _build(self, rows=50):
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.import_rows([[row] for row in range(1, rows + 1)])
+        return spread
+
+    def test_state_count_equals_distinct_ranges(self):
+        spread = self._build()
+        for slot in range(1, 41):
+            spread.set_formula(slot, 3, "SUM(A1:A50)")
+        for slot in range(1, 11):
+            spread.set_formula(slot, 4, "MIN(A1:A25)")
+        store = spread.aggregate_store
+        # 50 formulas, 2 distinct ranges, exactly 2 shared states.
+        assert store.state_count == 2
+        assert len(store.subscribers_of(RangeRef(1, 1, 50, 1))) == 40
+        assert len(store.subscribers_of(RangeRef(1, 1, 25, 1))) == 10
+
+    def test_point_edit_costs_one_delta_regardless_of_subscribers(self):
+        spread = self._build()
+        for slot in range(1, 31):
+            spread.set_formula(slot, 3, "SUM(A1:A50)")
+        stats = spread.aggregate_store.stats
+        deltas_before = stats.deltas
+        spread.set_value(10, 1, 500)
+        # One shared state, one update — not one per subscribing formula.
+        assert stats.deltas == deltas_before + 1
+        for slot in range(1, 31):
+            assert spread.get_value(slot, 3) == _full_read_sum(spread, "A1:A50")
+
+    def test_state_survives_until_the_last_subscriber_leaves(self):
+        spread = self._build()
+        spread.set_formula(1, 3, "SUM(A1:A50)")
+        spread.set_formula(2, 3, "AVERAGE(A1:A50)")
+        store = spread.aggregate_store
+        assert store.state_count == 1
+        assert store.stats.builds == 1  # the second formula shared the state
+        spread.set_value(1, 3, 42)      # first subscriber unregisters
+        assert store.state_count == 1   # the other still reads the range
+        spread.set_value(2, 3, 42)      # last subscriber unregisters
+        assert store.state_count == 0
+
+    def test_rebuild_repairs_the_state_for_every_subscriber(self):
+        spread = self._build()
+        spread.set_formula(1, 3, "MIN(A1:A50)")
+        spread.set_formula(2, 3, "MIN(A1:A50)")
+        stats = spread.aggregate_store.stats
+        spread.set_value(1, 1, 999)  # unique minimum leaves: support loss
+        assert spread.get_value(1, 3) == 2
+        assert spread.get_value(2, 3) == 2
+        # The first recompute's rebuild repaired the *shared* state; the
+        # second subscriber was served from it without another build.
+        assert stats.support_losses == 1
+        builds_after_repair = stats.builds
+        spread.set_value(3, 1, 1)
+        assert spread.get_value(1, 3) == 1
+        assert spread.get_value(2, 3) == 1
+        assert stats.builds == builds_after_repair  # deltas, no more builds
+
+    def test_small_ranges_promote_once_enough_formulas_share_them(self):
+        spread = DataSpread()
+        store = spread.aggregate_store
+        store.min_state_subscribers = 4
+        spread.import_rows([[row] for row in range(1, 11)])
+        # Area 10 is far below the default floor: the first readers get no
+        # state...
+        for slot in range(1, 4):
+            spread.set_formula(slot, 3, "SUM(A1:A10)")
+        assert store.state_count == 0
+        # ...but the fourth distinct formula crosses the interest
+        # threshold, and one shared state amortises across all of them.
+        spread.set_formula(4, 3, "SUM(A1:A10)")
+        assert store.state_count == 1
+        deltas_before = store.stats.deltas
+        spread.set_value(5, 1, 50)
+        assert store.stats.deltas == deltas_before + 1
+        for slot in range(1, 5):
+            assert spread.get_value(slot, 3) == _full_read_sum(spread, "A1:A10")
+
+
+class TestColumnarBitIdentity:
+    """The vectorized build must agree with the scalar fold bit-for-bit."""
+
+    def _assert_states_identical(self, left, right, context=None):
+        for slot in RangeAggregateState.__slots__:
+            a, b = getattr(left, slot), getattr(right, slot)
+            assert a == b or (a != a and b != b), (slot, a, b, context)
+
+    def test_property_random_mixed_slabs(self):
+        from repro.formula import columnar
+
+        rng = random.Random(17)
+        pool = [
+            lambda: rng.randint(-50, 50),
+            lambda: rng.randint(-(1 << 30), 1 << 30),   # beyond 2**28: inexact
+            lambda: rng.uniform(-10, 10),               # non-integral floats
+            lambda: float(rng.randint(-5, 5)),          # integral floats
+            lambda: float("nan"),                       # ordering poison
+            lambda: float("inf"),
+            lambda: -0.0,
+            lambda: None,
+            lambda: "text",
+            lambda: rng.choice([True, False]),
+        ]
+        for trial in range(200):
+            kinds = rng.sample(pool, rng.randint(1, len(pool)))
+            values = [rng.choice(kinds)() for _ in range(rng.randint(0, 60))]
+            vectorized, used_numpy = columnar.build_state(values)
+            scalar, _ = columnar.build_state(values, force_python=True)
+            assert used_numpy == columnar.NUMPY_AVAILABLE
+            self._assert_states_identical(vectorized, scalar, trial)
+
+    def test_nan_prefix_min_max_matches_scalar_exactly(self):
+        from repro.formula import columnar
+
+        values = [5, 2, 9, float("nan"), 1, 7]
+        vectorized, _ = columnar.build_state(values)
+        scalar, _ = columnar.build_state(values, force_python=True)
+        # The scalar loop stops tracking order at the first NaN: the
+        # dormant min/max components cover only the prefix before it.
+        assert not vectorized.min_valid and not vectorized.max_valid
+        self._assert_states_identical(vectorized, scalar)
+        assert vectorized.min_value == 2 and vectorized.max_value == 9
+
+    def test_huge_integers_bail_to_the_scalar_fold(self):
+        from repro.formula import columnar
+
+        values = [1, 10**400, 3]  # float() overflows: NaN-poison semantics
+        state, used_numpy = columnar.build_state(values)
+        assert not used_numpy  # OverflowError routed to the python fold
+        scalar, _ = columnar.build_state(values, force_python=True)
+        self._assert_states_identical(state, scalar)
+        assert state.poisoned == 1
+
+    def test_counta_and_empty_cell_semantics(self):
+        from repro.formula import columnar
+
+        values = [None, "x", True, 4, None, 2.5]
+        vectorized, _ = columnar.build_state(values)
+        assert vectorized.filled == 4   # text/bools filled, blanks not
+        assert vectorized.count == 2    # only the two numerics
+        assert vectorized.inexact == 1  # the non-integral float
+        scalar, _ = columnar.build_state(values, force_python=True)
+        self._assert_states_identical(vectorized, scalar)
+
+    def test_engine_cold_build_uses_the_columnar_path(self):
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.import_rows([[row] for row in range(1, 101)])
+        assert spread.set_formula(1, 3, "SUM(A1:A100)") == 5050
+        stats = spread.aggregate_store.stats
+        from repro.formula import columnar
+
+        assert stats.builds == 1
+        expected = 1 if columnar.NUMPY_AVAILABLE else 0
+        assert stats.columnar_builds == expected
+
+    def test_numpy_absent_fallback_serves_identical_results(self, monkeypatch):
+        from repro.formula import columnar
+
+        monkeypatch.setattr(columnar, "_np", None)
+        spread = DataSpread()
+        spread.aggregate_store.min_state_area = 1
+        spread.import_rows([[row] for row in range(1, 51)])
+        assert spread.set_formula(1, 3, "SUM(A1:A50)") == 1275
+        stats = spread.aggregate_store.stats
+        assert stats.builds == 1
+        assert stats.columnar_builds == 0  # the pure-Python fold served
+        spread.set_value(10, 1, 100)       # and deltas work as usual
+        assert spread.get_value(1, 3) == 1275 - 10 + 100
+
+    def test_scalar_and_columnar_engines_agree_on_mixed_content(self):
+        rng = random.Random(23)
+        rows = []
+        for row in range(1, 81):
+            value = rng.choice(
+                [row, row * 1.5, None, "t", True, float(row), -0.0])
+            rows.append([value])
+
+        def build(use_columnar):
+            spread = DataSpread()
+            spread.aggregate_store.min_state_area = 1
+            spread.aggregate_store.use_columnar = use_columnar
+            spread.import_rows(rows)
+            results = []
+            for slot, name in enumerate(
+                ("SUM", "COUNT", "COUNTA", "AVERAGE", "MIN", "MAX"), start=1
+            ):
+                results.append(spread.set_formula(slot, 3, f"{name}(A1:A80)"))
+            spread.set_value(40, 1, 7)
+            results.extend(spread.get_value(slot, 3) for slot in range(1, 7))
+            return results
+
+        assert build(True) == build(False)

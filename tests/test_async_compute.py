@@ -704,3 +704,77 @@ class TestIdleDrain:
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
             DataSpread(async_recompute=True, idle_drain_budget=-1)
+
+
+class TestTimeBudgetedIdleDrain:
+    """``drain_for(budget_ms)`` / ``DataSpread(idle_drain_ms=...)`` (PR 9)."""
+
+    def _dirty_spread(self, **kwargs) -> DataSpread:
+        spread = DataSpread(async_recompute=True, **kwargs)
+        with spread.batch():
+            for row in range(1, 11):
+                spread.set_value(row, 1, row)
+            for row in range(1, 11):
+                spread.set_formula(row, 2, f"A{row}*2")
+        return spread
+
+    def test_drain_for_stops_at_the_deadline(self):
+        spread = self._dirty_spread()
+        scheduler = spread.compute_scheduler
+        assert scheduler.pending_count == 10
+        ticks = [0.0]
+
+        def clock() -> float:
+            ticks[0] += 1.0  # one fake second per evaluation probe
+            return ticks[0]
+
+        # deadline = clock() + 2.5 = 3.5; probes read 2, 3, 4: the third
+        # evaluation crosses the deadline, so exactly three cells retire.
+        assert scheduler.drain_for(2500.0, clock=clock) == 3
+        assert scheduler.pending_count == 7
+
+    def test_drain_for_always_makes_progress(self):
+        spread = self._dirty_spread()
+        scheduler = spread.compute_scheduler
+        ticks = [0.0]
+
+        def clock() -> float:
+            ticks[0] += 10.0
+            return ticks[0]
+
+        # The budget expires before the first probe, but the deadline is
+        # only checked *after* an evaluation: one cell always retires.
+        assert scheduler.drain_for(0.001, clock=clock) == 1
+        assert scheduler.drain_for(0.0) == 0  # a zero budget stays passive
+
+    def test_reads_converge_staleness_with_a_time_budget(self):
+        spread = self._dirty_spread(idle_drain_ms=100.0)
+        assert spread.compute_pending == 10
+        reads = 0
+        while spread.compute_pending and reads < 50:
+            spread.get_value(20, 20)
+            reads += 1
+        assert spread.compute_pending == 0
+        assert all(spread.get_value(row, 2) == row * 2 for row in range(1, 11))
+
+    def test_zero_ms_budget_keeps_reads_passive(self):
+        spread = self._dirty_spread(idle_drain_ms=0.0)
+        spread.get_value(1, 2)
+        assert spread.compute_pending == 10
+
+    def test_negative_ms_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DataSpread(async_recompute=True, idle_drain_ms=-0.5)
+
+    def test_count_budget_is_a_deprecated_shim(self):
+        with pytest.warns(DeprecationWarning):
+            spread = self._dirty_spread(idle_drain_budget=2)
+        spread.get_value(20, 20)  # the legacy path still drains per read
+        assert spread.compute_pending == 8
+
+    def test_scheduler_drain_shim_warns_and_delegates(self):
+        spread = self._dirty_spread()
+        scheduler = spread.compute_scheduler
+        with pytest.warns(DeprecationWarning):
+            assert scheduler.drain(4) == 4
+        assert scheduler.pending_count == 6

@@ -14,7 +14,11 @@ message carries its seed, so a fuzz find replays as a one-seed run.
 
 import pytest
 
-from tests.support import run_equivalence, run_mid_batch_equivalence
+from tests.support import (
+    run_equivalence,
+    run_mid_batch_equivalence,
+    run_refcount_churn,
+)
 from tests.support.seeds import seed_set
 
 #: Fast deterministic default (tier-1); disjoint from the seeds
@@ -34,3 +38,8 @@ def test_unbounded_interleavings_converge(seed):
 @pytest.mark.parametrize("seed", [100 + seed for seed in _seed_set()])
 def test_unbounded_mid_batch_structural_edits_converge(seed):
     run_mid_batch_equivalence(seed)
+
+
+@pytest.mark.parametrize("seed", [200 + seed for seed in _seed_set()])
+def test_refcount_churn_keeps_shared_state_bookkeeping_consistent(seed):
+    run_refcount_churn(seed)

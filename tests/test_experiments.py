@@ -168,6 +168,25 @@ class TestIncrementalExperiments:
         assert maintenance["rebuilds_avoided"] > 0
         assert by_mode["delta-incremental"]["grids_match"] is True
         assert by_mode["delta-incremental"]["deltas_applied"] > 0
+        assert by_mode["delta-incremental"]["relayout_invalidations"] == 0
+        assert by_mode["delta-incremental"]["post_relayout_builds"] == 0
+
+    def test_columnar_shape(self):
+        """Fast smoke of the PR 9 scenario (the 10x floor only holds at
+        full scale): the cold builds must agree bit-for-bit, the ladder
+        must share exactly one state, and neither invalidation fallback
+        may touch it."""
+        result = run_experiment("columnar", scale=0.02, edits=10)
+        by_mode = {row["mode"]: row for row in result.rows}
+        assert by_mode["cold-sum-columnar"]["values_match"] is True
+        ladder = by_mode["shared-state-ladder"]
+        assert ladder["shared_states"] == 1
+        assert ladder["subscribers"] == ladder["formulas"]
+        assert ladder["deltas_per_edit"] == 1.0
+        assert ladder["relayout_invalidations"] == 0
+        assert ladder["link_invalidations"] == 0
+        assert ladder["post_relayout_builds"] == 0
+        assert ladder["grids_match"] is True
 
 
 class TestUseCases:

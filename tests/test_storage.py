@@ -90,6 +90,57 @@ class TestPageAndHeap:
         assert record_payload_size((1, "abc")) > 8
 
 
+class TestHeapOverflowChains:
+    """Records wider than one page span linked continuation records."""
+
+    def test_round_trip_and_logical_scan(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        wide = tuple(f"field-{i:03d}" for i in range(100))
+        pointer = heap.insert(wide)
+        assert heap.read(pointer) == wide
+        assert heap.record_count == 1  # one *logical* record
+        assert heap.page_count > 1     # ...across several pages
+        assert [record for _, record in heap.scan()] == [wide]
+
+    def test_chains_coexist_with_plain_records(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        small_before = heap.insert(("a",))
+        wide = tuple(range(200))
+        chain = heap.insert(wide)
+        small_after = heap.insert(("b",))
+        assert heap.read(small_before) == ("a",)
+        assert heap.read(chain) == wide
+        assert heap.read(small_after) == ("b",)
+        assert heap.record_count == 3
+        assert sorted(len(r) for _, r in heap.scan()) == [1, 1, 200]
+
+    def test_update_grows_and_shrinks_across_the_page_boundary(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        pointer = heap.insert(("start",))
+        wide = tuple(f"w{i}" for i in range(150))
+        pointer = heap.update(pointer, wide)
+        assert heap.read(pointer) == wide
+        assert heap.record_count == 1
+        pointer = heap.update(pointer, ("tiny",))
+        assert heap.read(pointer) == ("tiny",)
+        assert heap.record_count == 1
+
+    def test_delete_releases_every_link(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        pointer = heap.insert(tuple(range(300)))
+        heap.delete(pointer)
+        assert heap.record_count == 0
+        assert not list(heap.scan())
+        # every link was tombstoned: a vacuum can reclaim the whole heap
+        heap.vacuum()
+        assert heap.page_count == 0
+
+    def test_single_oversized_field_still_rejected(self):
+        heap = HeapFile(page_capacity_bytes=256)
+        with pytest.raises(StorageError):
+            heap.insert(("x" * 1_000,))
+
+
 class TestBPlusTree:
     def test_insert_get(self):
         tree = BPlusTree(order=4)
