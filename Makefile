@@ -12,10 +12,11 @@ export PYTHONPATH := src
 REPRO_FUZZ_SEEDS ?= $(or $(FUZZ_SEEDS),50)
 REPRO_CRASH_SEEDS ?= $(or $(CRASH_SEEDS),60)
 REPRO_SESSION_SEEDS ?= $(or $(SESSION_SEEDS),100)
+REPRO_CHAOS_SEEDS ?= $(or $(CHAOS_SEEDS),60)
 
-.PHONY: test fuzz fuzz-sessions crash-fuzz bench bench-async \
+.PHONY: test fuzz fuzz-sessions crash-fuzz chaos-fuzz bench bench-async \
 	bench-columnar bench-incremental bench-query bench-recovery \
-	bench-sessions docs-check examples all
+	bench-sessions bench-overload docs-check examples all
 
 ## Tier-1 test suite (fast; what CI gates on).  Includes the async
 ## scheduler/oracle equivalence module (tests/test_async_compute.py) and a
@@ -47,6 +48,15 @@ fuzz-sessions:
 ## equality with an oracle replayed to the last durable commit point.
 crash-fuzz:
 	REPRO_CRASH_SEEDS=$(REPRO_CRASH_SEEDS) $(PYTHON) -m pytest -q tests/test_durability.py
+
+## Latency-chaos sweep: seeds 1..$(REPRO_CHAOS_SEEDS) of the overload
+## harness (admission-controlled workspace under injected slow/stuck
+## evaluations and stalled sessions, all on virtual time); every run must
+## keep the queue depth bounded, return every deadline read on time
+## (fresh or tagged-stale), reap parked transactions with their locks
+## released, and converge to a synchronous replay of the committed ops.
+chaos-fuzz:
+	REPRO_CHAOS_SEEDS=$(REPRO_CHAOS_SEEDS) $(PYTHON) -m pytest -q tests/test_overload.py
 
 ## Paper-figure benchmarks (slow; pytest-benchmark).
 bench:
@@ -105,6 +115,15 @@ bench-recovery:
 bench-sessions:
 	$(PYTHON) -m repro.experiments service --json BENCH_service.json
 	$(PYTHON) scripts/check_bench.py BENCH_service.json
+
+## Overload benchmark: edit-ack latency ladder under injected slow
+## evaluations, with admission control on vs off.  Emits
+## BENCH_overload.json and fails if the admission-on p99 ack or queue
+## depth is unbounded relative to the quota, any committed edit is lost,
+## or any configuration fails to converge (scripts/check_bench.py guard).
+bench-overload:
+	$(PYTHON) -m repro.experiments overload --json BENCH_overload.json
+	$(PYTHON) scripts/check_bench.py BENCH_overload.json
 
 ## Execute every Python snippet embedded in the docs; fails if any raises.
 docs-check:

@@ -31,6 +31,19 @@ dispatched per experiment id, so one JSON file may carry several results:
     * the multi-session edit ack falling behind the synchronous
       baseline — the deferred acknowledgement stopped paying for itself.
 
+``overload`` (``make bench-overload``)
+    * any configuration that lost a committed (acknowledged) edit or
+      failed to converge to the synchronous replay;
+    * an admission-on rung whose queue depth exceeded the quota plus the
+      documented one-edit fan-out overshoot, or whose p99 ack latency
+      blew the virtual-time ceiling — backpressure stopped bounding the
+      system;
+    * an admission-off rung whose queue stayed *shallower* than its
+      admission-on twin — the experiment no longer demonstrates the
+      unbounded growth the quotas exist to prevent;
+    * no admission-on rung shedding any work — the ladder stopped
+      actually overloading the scheduler.
+
 ``query`` (``make bench-query``)
     * the pushdown speedup at the largest ladder size below the floor —
       the planner stopped pushing predicates/projections/LIMIT into the
@@ -133,6 +146,63 @@ def check_service(result: dict, **_options) -> list[str]:
     return failures
 
 
+#: Fan-out allowance above the quota for admission-on queue depth: one
+#: admitted edit's dirty fan-out may land past the high-water check, and
+#: committed batch work is never refused.
+OVERLOAD_FANOUT_SLACK = 64
+#: Virtual-milliseconds ceiling for the admission-on p99 ack (bounded
+#: retries: 4 backoffs capped at 32ms plus the drain work per backoff).
+OVERLOAD_ACK_P99_CEILING_MS = 150.0
+
+
+def check_overload(result: dict, **_options) -> list[str]:
+    failures: list[str] = []
+    on_rows = [row for row in result["rows"] if row.get("mode") == "admission-on"]
+    off_rows = {row.get("writers"): row
+                for row in result["rows"] if row.get("mode") == "admission-off"}
+    if not on_rows:
+        failures.append("missing admission-on rows")
+    if not off_rows:
+        failures.append("missing admission-off rows")
+    for row in result["rows"]:
+        label = f"{row.get('mode')}, {row.get('writers')}w"
+        if row.get("lost_committed_edits", 1) != 0:
+            failures.append(
+                f"{row.get('lost_committed_edits')} committed edit(s) lost ({label})"
+            )
+        if not row.get("converged", False):
+            failures.append(
+                f"drained grid diverged from the committed-op replay ({label})"
+            )
+    for row in on_rows:
+        label = f"{row.get('writers')}w"
+        quota = row.get("quota") or 0
+        bound = quota + OVERLOAD_FANOUT_SLACK
+        if row.get("max_queue_depth", bound + 1) > bound:
+            failures.append(
+                f"admission-on queue depth {row.get('max_queue_depth')} exceeded "
+                f"quota {quota} + fan-out slack {OVERLOAD_FANOUT_SLACK} ({label})"
+            )
+        if row.get("ack_ms_p99", OVERLOAD_ACK_P99_CEILING_MS + 1) > OVERLOAD_ACK_P99_CEILING_MS:
+            failures.append(
+                f"admission-on p99 ack {row.get('ack_ms_p99'):.1f}ms blew the "
+                f"{OVERLOAD_ACK_P99_CEILING_MS:.0f}ms virtual-time ceiling ({label})"
+            )
+        twin = off_rows.get(row.get("writers"))
+        if twin is not None and twin.get("max_queue_depth", 0) <= row.get("max_queue_depth", 0):
+            failures.append(
+                f"admission-off queue depth {twin.get('max_queue_depth')} did not "
+                f"exceed the admission-on depth {row.get('max_queue_depth')} ({label}) "
+                f"— the ladder no longer demonstrates unbounded growth"
+            )
+    if on_rows and not any(row.get("shed", 0) > 0 for row in on_rows):
+        failures.append(
+            "no admission-on rung shed any work — the ladder stopped "
+            "overloading the scheduler"
+        )
+    return failures
+
+
 def check_query(result: dict, *, min_speedup: float) -> list[str]:
     failures: list[str] = []
     ladder = [row for row in result["rows"] if row.get("mode") == "pushdown-vs-naive"]
@@ -228,6 +298,7 @@ def check_columnar(result: dict, **_options) -> list[str]:
 #: Guarded experiments; results with other ids pass through unchecked.
 CHECKERS = {
     "columnar": check_columnar,
+    "overload": check_overload,
     "recompute-incremental": check_recompute_incremental,
     "query": check_query,
     "recovery": check_recovery,

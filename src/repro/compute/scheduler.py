@@ -22,6 +22,13 @@ incrementally, decoupled from the edits that dirtied them:
   (``set_viewport``) promotes the stale cells inside it — and every stale
   cell they transitively read, which must compute first anyway — ahead of
   off-screen work, so the visible part of the sheet converges first.
+* **Admission control.**  Optional depth quotas (``max_pending`` global,
+  ``max_pending_per_owner`` per session token) bound the queue: ``admit``
+  — called before an edit mutates anything — refuses work past a quota
+  with :class:`~repro.errors.EngineOverloadedError` carrying a
+  ``retry_after_ms`` hint, unless the edit coalesces into already-queued
+  cells.  ``stats.shed`` counts refusals, ``stats.high_water`` the
+  deepest queue observed.
 * **States and stale reads.**  Each cell is ``FRESH``, ``STALE`` or
   ``COMPUTING`` (:meth:`ComputeScheduler.state_of`).  The scheduler never
   touches storage itself; the engine keeps stale cells' last committed
@@ -44,7 +51,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
 
-from repro.errors import CircularDependencyError
+from repro.errors import CircularDependencyError, EngineOverloadedError
 from repro.formula.dependencies import DependencyGraph
 from repro.formula.rewrite import StructuralEdit
 from repro.grid.address import CellAddress
@@ -70,6 +77,8 @@ class ComputeStats:
     priority_evaluations: int = 0  # evaluations served from the viewport queue
     quarantine_retries: int = 0    # evaluation failures retried in-queue
     quarantined: int = 0           # cells quarantined after exhausting retries
+    shed: int = 0                  # edits refused by admission control
+    high_water: int = 0            # deepest queue depth observed
 
     def reset(self) -> None:
         self.scheduled = 0
@@ -79,6 +88,8 @@ class ComputeStats:
         self.priority_evaluations = 0
         self.quarantine_retries = 0
         self.quarantined = 0
+        self.shed = 0
+        self.high_water = 0
 
 
 #: Engine callback evaluating one formula cell and committing its value.
@@ -96,10 +107,28 @@ class ComputeScheduler:
     #: Evaluation attempts (1 + retries) before a failing cell is quarantined.
     max_evaluate_attempts = 3
 
+    #: ``retry_after_ms`` hint per queued cell: the assumed drain cost of
+    #: one queued evaluation, so the hint scales with the backlog.
+    retry_cost_ms = 0.05
+
     def __init__(self, graph: DependencyGraph, evaluate: EvaluateCell) -> None:
         self._graph = graph
         self._evaluate = evaluate
         self._stale: set[CellAddress] = set()
+        # Admission control: depth quotas (None = unbounded, the default).
+        # ``admit`` refuses work past a quota with EngineOverloadedError;
+        # quotas are high-water marks checked *before* an edit mutates
+        # anything, so a refusal never loses committed state.
+        self.max_pending: int | None = None
+        self.max_pending_per_owner: int | None = None
+        # Per-owner queue attribution: which owner's edit enqueued each
+        # stale cell (first enqueuer wins; reconciled at every rebuild).
+        self._owner_of: dict[CellAddress, object] = {}
+        self._owner_pending: dict[object, int] = {}
+        #: Fault-injection seam: when set, called with the address about to
+        #: be evaluated (the latency-chaos harness advances a virtual clock
+        #: here; an exception routes through the quarantine machinery).
+        self.before_evaluate: Callable[[CellAddress], None] | None = None
         self._computing: CellAddress | None = None
         # Registered regions of interest, keyed by owner token.  ``None``
         # is the legacy single-viewport slot; the service layer registers
@@ -130,12 +159,55 @@ class ComputeScheduler:
     # ------------------------------------------------------------------ #
     # enqueueing
     # ------------------------------------------------------------------ #
-    def mark_dirty(self, seeds) -> int:
+    def admit(self, seeds, owner: object | None = None) -> None:
+        """Admission control: refuse new async work past the depth quotas.
+
+        Called *before* an edit mutates the engine, so a refusal leaves
+        nothing half-applied.  Seeds already queued always pass — their
+        work coalesces into the queue rather than deepening it.  Past the
+        global (``max_pending``) or per-owner (``max_pending_per_owner``)
+        quota, raises :class:`~repro.errors.EngineOverloadedError` with a
+        ``retry_after_ms`` hint scaled to the backlog.  The quotas are
+        high-water marks on the *seed* check: an admitted edit may still
+        fan out past the quota, so the depth overshoot is bounded by one
+        edit's affected slice.
+        """
+        if self.max_pending is None and self.max_pending_per_owner is None:
+            return
+        if all(seed in self._stale for seed in seeds):
+            return  # coalesces into already-queued work
+        pending = len(self._stale)
+        if self.max_pending is not None and pending >= self.max_pending:
+            self.stats.shed += 1
+            raise EngineOverloadedError(
+                f"compute queue at global depth quota "
+                f"({pending} queued >= {self.max_pending}); edit refused",
+                retry_after_ms=self.retry_after_hint(pending),
+            )
+        if self.max_pending_per_owner is not None and owner is not None:
+            owned = self._owner_pending.get(owner, 0)
+            if owned >= self.max_pending_per_owner:
+                self.stats.shed += 1
+                raise EngineOverloadedError(
+                    f"compute queue at per-session depth quota "
+                    f"({owned} queued >= {self.max_pending_per_owner}); "
+                    f"edit refused",
+                    retry_after_ms=self.retry_after_hint(owned),
+                )
+
+    def retry_after_hint(self, backlog: int | None = None) -> float:
+        """Suggested client backoff (ms) to let a drain clear the backlog."""
+        if backlog is None:
+            backlog = len(self._stale)
+        return max(1.0, backlog * self.retry_cost_ms)
+
+    def mark_dirty(self, seeds, owner: object | None = None) -> int:
         """Queue the seeds' affected slice; returns newly queued cell count.
 
         Seeds that are no longer registered formulas cancel their own queued
         evaluation (the edit that produced them overwrote the formula), but
-        their dependents still join the queue.
+        their dependents still join the queue.  ``owner`` attributes the
+        newly queued cells for per-owner admission accounting.
         """
         seeds = list(seeds)
         if not seeds:
@@ -145,6 +217,7 @@ class ComputeScheduler:
                 self._failures.pop(seed, None)
             if seed not in self._graph and seed in self._stale:
                 self._stale.discard(seed)
+                self._forget_owner(seed)
                 self.stats.cancelled += 1
         affected = self._graph.affected_set(seeds)
         for address in affected:
@@ -152,10 +225,17 @@ class ComputeScheduler:
             # clean slate: it re-enters the queue and re-evaluates.
             if self._quarantined.pop(address, None) is not None:
                 self._failures.pop(address, None)
-        new = len(affected - self._stale)
+        fresh = affected - self._stale
+        new = len(fresh)
         self.stats.scheduled += new
         self.stats.coalesced += len(affected) - new
         self._stale |= affected
+        if owner is not None and fresh:
+            for address in fresh:
+                self._owner_of[address] = owner
+            self._owner_pending[owner] = self._owner_pending.get(owner, 0) + new
+        if len(self._stale) > self.stats.high_water:
+            self.stats.high_water = len(self._stale)
         self._order_stale = True
         return new
 
@@ -208,23 +288,52 @@ class ComputeScheduler:
         """A snapshot of the queued (stale) cells."""
         return set(self._stale)
 
+    def pending_by_owner(self) -> dict[object, int]:
+        """Queued-cell counts per attributing owner token (a copy)."""
+        return dict(self._owner_pending)
+
     @property
     def quarantined(self) -> dict[CellAddress, str]:
         """Quarantined poisoned cells and their last error text (a copy)."""
         return dict(self._quarantined)
 
+    def requeue_quarantined(self, addresses=None) -> int:
+        """Give quarantined cells a fresh shot at evaluation.
+
+        Clears the quarantine record (and failure count) of every listed
+        address — all of them when ``addresses`` is ``None`` — and queues
+        them stale again, so a formula that failed on a *transient* fault
+        (a flaky data source, an injected latency spike) recomputes once
+        the fault clears instead of serving ``#ERROR!`` forever.  Returns
+        the number of cells requeued.
+        """
+        if addresses is None:
+            targets = list(self._quarantined)
+        else:
+            targets = [a for a in addresses if a in self._quarantined]
+        for address in targets:
+            self._quarantined.pop(address, None)
+            self._failures.pop(address, None)
+        if targets:
+            self.mark_dirty(targets)
+        return len(targets)
+
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
-    def run(self, limit: int | None = None) -> int:
+    def run(self, limit: int | None = None, *,
+            deadline: float | None = None,
+            clock: Callable[[], float] = time.monotonic) -> int:
         """Evaluate up to ``limit`` queued cells (all of them when ``None``).
 
         Cells are popped in topological order, viewport-priority first.
         Returns the number of cells evaluated.  Raises
         :class:`CircularDependencyError` when only cyclic work remains; the
-        queue is kept so a later edit can break the cycle.
+        queue is kept so a later edit can break the cycle.  ``deadline``
+        (a ``clock()`` timestamp) stops the drain cooperatively between
+        evaluations; remaining work stays queued.
         """
-        return self._drain(limit, None)
+        return self._drain(limit, None, deadline=deadline, clock=clock)
 
     def drain(self, budget_n: int) -> int:
         """Deprecated count-budgeted drain; use :meth:`drain_for`.
@@ -264,26 +373,35 @@ class ComputeScheduler:
             deadline=clock() + budget_ms / 1000.0, clock=clock,
         )
 
-    def ensure(self, address: CellAddress) -> int:
+    def ensure(self, address: CellAddress, *,
+               deadline: float | None = None,
+               clock: Callable[[], float] = time.monotonic) -> int:
         """Make one cell fresh, evaluating only the subtree it needs.
 
         Evaluates the stale cells the target transitively reads (its
         ancestor slice within the queue) plus the target itself, and nothing
-        else.  Returns the number of cells evaluated.
+        else.  Returns the number of cells evaluated.  ``deadline`` (a
+        ``clock()`` timestamp) bounds the drain cooperatively: past it the
+        remaining subtree stays queued and the caller decides whether to
+        serve the stale value (``state_of`` still reports STALE).
         """
         if self._order_stale:
             self._rebuild()
         if address not in self._stale:
             return 0
+        # The predecessor map is only rebuilt lazily, so it may still list
+        # ancestors that were evaluated since the last rebuild — restrict
+        # the slice to cells that are actually still stale, or the drain
+        # would wait forever on work that is already done.
         needed = {address}
         frontier = [address]
         while frontier:
             current = frontier.pop()
             for predecessor in self._predecessors.get(current, ()):
-                if predecessor not in needed:
+                if predecessor in self._stale and predecessor not in needed:
                     needed.add(predecessor)
                     frontier.append(predecessor)
-        return self._drain(None, needed)
+        return self._drain(None, needed, deadline=deadline, clock=clock)
 
     def apply_structural_edit(self, edit: StructuralEdit) -> None:
         """Rewrite queued work across a row/column insert or delete.
@@ -302,6 +420,11 @@ class ComputeScheduler:
         self._failures = {
             moved: count
             for address, count in self._failures.items()
+            if (moved := edit.map_address(address)) is not None
+        }
+        self._owner_of = {
+            moved: owner
+            for address, owner in self._owner_of.items()
             if (moved := edit.map_address(address)) is not None
         }
         if not self._stale:
@@ -337,6 +460,8 @@ class ComputeScheduler:
                 break
             address = self._pop_ready(only)
             if address is None:
+                if only is not None and not (only & self._stale):
+                    break  # everything the slice needed is already fresh
                 if best_effort:
                     break  # only cyclic work remains; leave it queued
                 raise CircularDependencyError(
@@ -345,6 +470,8 @@ class ComputeScheduler:
             self._computing = address
             quarantined_now = False
             try:
+                if self.before_evaluate is not None:
+                    self.before_evaluate(address)
                 self._evaluate(address)
             except Exception as error:
                 # A poisoned formula must not wedge the queue.  Retry it a
@@ -375,6 +502,7 @@ class ComputeScheduler:
                 self._computing = None
                 self._failures.pop(address, None)
             self._stale.discard(address)
+            self._forget_owner(address)
             if only is not None:
                 only.discard(address)
             if not quarantined_now:
@@ -385,6 +513,17 @@ class ComputeScheduler:
                 if self._indegree[successor] == 0:
                     self._requeue(successor)
         return evaluated
+
+    def _forget_owner(self, address: CellAddress) -> None:
+        """Drop one cell's owner attribution (it left the queue)."""
+        owner = self._owner_of.pop(address, None)
+        if owner is None:
+            return
+        count = self._owner_pending.get(owner, 0) - 1
+        if count > 0:
+            self._owner_pending[owner] = count
+        else:
+            self._owner_pending.pop(owner, None)
 
     def _requeue(self, address: CellAddress, *, front: bool = False) -> None:
         """Enqueue a ready cell on every queue it belongs to.
@@ -452,6 +591,19 @@ class ComputeScheduler:
         for address in dead:
             self._stale.discard(address)
             self.stats.cancelled += 1
+        # Reconcile owner attribution with the surviving stale set: any
+        # decrement a cancellation path missed self-heals here, so the
+        # per-owner counts admission control reads never drift for long.
+        if self._owner_of:
+            self._owner_of = {
+                address: owner
+                for address, owner in self._owner_of.items()
+                if address in self._stale
+            }
+            counts: dict[object, int] = {}
+            for owner in self._owner_of.values():
+                counts[owner] = counts.get(owner, 0) + 1
+            self._owner_pending = counts
 
         pairs = self._graph.slice_edges(self._stale)
         indegree = {address: 0 for address in self._stale}

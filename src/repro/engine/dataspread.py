@@ -78,10 +78,11 @@ keep formulas live instead of letting them silently read shifted cells:
 from __future__ import annotations
 
 import csv
+import time
 import warnings
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.compute import CellState, ComputeScheduler
 from repro.engine.backend import DirectBackend, WALBackend
@@ -285,6 +286,17 @@ class DataSpread:
         Advanced WAL-writer knobs (``io_factory``, ``max_retries``,
         ``backoff_seconds``, ``sleep``) — used by the fault-injection
         harness; normal callers omit it.
+    max_pending_compute / max_pending_per_owner:
+        Admission-control depth quotas on the async compute queue (global
+        and per session token; ``None`` = unbounded).  Past a quota, new
+        async edits that do not coalesce into already-queued work raise
+        :class:`~repro.errors.EngineOverloadedError` *before* mutating
+        anything; committed work (batch exits, rollback re-marks) is never
+        refused.
+    clock:
+        Injectable monotonic time source (seconds) for deadline paths
+        (``flush_compute(timeout_ms=)``, idle drains); tests pass a
+        virtual clock so no real time is consumed.
     """
 
     def __init__(
@@ -302,6 +314,9 @@ class DataSpread:
         durability: str = "none",
         storage_dir: str | None = None,
         wal_options: dict | None = None,
+        max_pending_compute: int | None = None,
+        max_pending_per_owner: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.costs = costs
         self.mapping_scheme = mapping_scheme
@@ -363,6 +378,15 @@ class DataSpread:
         self._cache.record_preimage = self._record_pending_preimage
         self._scheduler = ComputeScheduler(self._dependencies, self._scheduler_evaluate)
         self._scheduler.on_quarantine = self._quarantine_cell
+        self._scheduler.max_pending = max_pending_compute
+        self._scheduler.max_pending_per_owner = max_pending_per_owner
+        #: Injectable monotonic clock (seconds) for deadline paths.
+        self.clock = clock
+        #: Reads served degraded (stale value at a missed deadline); bumped
+        #: by the service layer and reported in :meth:`health`.
+        self.stale_serves = 0
+        #: Expired transactions rolled back by the workspace reaper.
+        self.reaped_transactions = 0
         self._async = False
         self.async_recompute = async_recompute
         if idle_drain_ms < 0:
@@ -693,7 +717,10 @@ class DataSpread:
                 # placeholders are not raw writes and stay uncommitted.)
                 self._flush_commit_group()
                 if self._async:
-                    self._scheduler.mark_dirty(dirty)
+                    # Committed work is never refused: the batch's writes
+                    # are durable, so its recompute must queue regardless
+                    # of quota (admission only gates *new* async edits).
+                    self._scheduler.mark_dirty(dirty, owner=self._session_scope)
                 else:
                     self._recompute_batch(dirty)
         finally:
@@ -715,6 +742,25 @@ class DataSpread:
         else:
             self._cache.flush_pending()
 
+    def abort_transaction(self) -> None:
+        """Roll back the entire open transaction from the outside.
+
+        The workspace reaper calls this on an expired session's idle
+        transaction: every open frame unwinds through the same undo
+        machinery as an in-stack exception (buffered writes discarded,
+        registrations restored, flushed pre-barrier work kept and
+        recomputed), the deferred write buffer is dropped, and the cell
+        write-locks derived from the frames release.  A no-op outside a
+        transaction.  The abandoned :meth:`batch`/:meth:`savepoint`
+        handles become inert: their later exits see a frame that is no
+        longer on the stack and unwind as a no-op (clean releases raise
+        :class:`~repro.errors.SavepointError`, which the service layer
+        translates to ``SessionExpiredError``).
+        """
+        if not self._frames:
+            return
+        self._unwind_frame(self._frames[0])
+
     def _unwind_frame(self, frame: _UndoFrame) -> None:
         """Exception path: roll the frame (and everything inside it) back.
 
@@ -724,8 +770,16 @@ class DataSpread:
         the historical abort-after-structural behaviour).  The frame is
         popped; when it was the outermost one, flushed cells are recomputed
         so no committed formula lingers at value ``None``.
+
+        A frame no longer on the stack — the reaper's
+        :meth:`abort_transaction` already unwound it — is a no-op, so a
+        reaped transaction's abandoned ``with`` blocks unwind cleanly
+        without masking the exception in flight.
         """
-        index = self._frame_index(frame)
+        try:
+            index = self._frame_index(frame)
+        except SavepointError:
+            return  # already unwound externally (transaction reaped)
         barriered = any(inner.barriered for inner in self._frames[index:])
         for inner in reversed(self._frames[index:]):
             self._restore_frame_records(inner)
@@ -950,6 +1004,10 @@ class DataSpread:
         dependents are queued stale instead of recomputed inline.
         """
         address = CellAddress(row, column)
+        if self._async and not self.in_batch:
+            # Admission control runs before any mutation: a refused edit
+            # leaves the engine exactly as it was.
+            self._scheduler.admit((address,), owner=self._session_scope)
         capture = self._aggregates_capture(address)
         if self.in_batch:
             self._snapshot_registration(address)
@@ -959,7 +1017,7 @@ class DataSpread:
         if self.in_batch:
             self._mark_batch_dirty(address)
         elif self._async:
-            self._scheduler.mark_dirty((address,))
+            self._scheduler.mark_dirty((address,), owner=self._session_scope)
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -976,6 +1034,8 @@ class DataSpread:
         text = formula[1:] if formula.startswith("=") else formula
         address = CellAddress(row, column)
         node = self._evaluator.parse(text)
+        if self._async and not self.in_batch:
+            self._scheduler.admit((address,), owner=self._session_scope)
         # In async mode the cell's visible value stays the placeholder, so
         # there is no delta to capture — and the capture's old-value read
         # must not tax the edit-acknowledgment path.
@@ -1005,7 +1065,7 @@ class DataSpread:
         if self._async:
             self._ensure_stored_extent(row, column)
             self._cache.put_provisional(row, column, Cell(value=placeholder, formula=text))
-            self._scheduler.mark_dirty((address,))
+            self._scheduler.mark_dirty((address,), owner=self._session_scope)
             return None
         value = self._safe_evaluate(node, address)
         self._cache.put(row, column, Cell(value=value, formula=text))
@@ -1017,6 +1077,8 @@ class DataSpread:
     def clear_cell(self, row: int, column: int) -> None:
         """Empty a cell and re-evaluate its dependents."""
         address = CellAddress(row, column)
+        if self._async and not self.in_batch:
+            self._scheduler.admit((address,), owner=self._session_scope)
         capture = self._aggregates_capture(address)
         if self.in_batch:
             self._snapshot_registration(address)
@@ -1029,7 +1091,7 @@ class DataSpread:
         if self.in_batch:
             self._mark_batch_dirty(address)
         elif self._async:
-            self._scheduler.mark_dirty((address,))
+            self._scheduler.mark_dirty((address,), owner=self._session_scope)
         elif self.auto_evaluate:
             self._recompute_dependents(address)
 
@@ -1343,7 +1405,44 @@ class DataSpread:
         """Number of cells queued for recomputation."""
         return self._scheduler.pending_count
 
-    def flush_compute(self, limit: int | None = None) -> int:
+    def health(self) -> dict:
+        """A self-describing overload/degradation snapshot.
+
+        Returns a plain dict (stable keys, JSON-friendly values) so
+        monitoring endpoints can serve it directly:
+
+        * ``pending`` / ``pending_by_owner`` — queue depths (per-owner
+          keys are the scope labels the service layer registers, or
+          ``repr`` of raw tokens);
+        * ``high_water`` — deepest queue depth observed;
+        * ``shed`` — edits refused by admission control;
+        * ``stale_serves`` — reads served degraded at a missed deadline;
+        * ``reaped_transactions`` — expired transactions rolled back;
+        * ``quarantined`` — poisoned cells (A1 reference -> last error),
+          recoverable via ``compute_scheduler.requeue_quarantined()``;
+        * ``in_transaction`` — whether a write transaction is open.
+        """
+        stats = self._scheduler.stats
+        by_owner = {}
+        for owner, count in self._scheduler.pending_by_owner().items():
+            label = getattr(owner, "name", None)
+            by_owner[label if isinstance(label, str) else repr(owner)] = count
+        return {
+            "pending": self._scheduler.pending_count,
+            "pending_by_owner": by_owner,
+            "high_water": stats.high_water,
+            "shed": stats.shed,
+            "stale_serves": self.stale_serves,
+            "reaped_transactions": self.reaped_transactions,
+            "quarantined": {
+                address.to_a1(): message
+                for address, message in self._scheduler.quarantined.items()
+            },
+            "in_transaction": self.in_batch,
+        }
+
+    def flush_compute(self, limit: int | None = None, *,
+                      timeout_ms: float | None = None) -> int:
         """Drain the compute queue deterministically.
 
         Evaluates up to ``limit`` queued cells (all of them when ``None``)
@@ -1352,8 +1451,18 @@ class DataSpread:
         evaluated.  Raises :class:`CircularDependencyError` when only
         cyclic work remains (the queue is preserved, so breaking the cycle
         and draining again recovers).
+
+        ``timeout_ms`` bounds the drain in time (measured on the engine's
+        injectable ``clock``): past the deadline the drain stops
+        cooperatively between evaluations and the rest stays queued.  At
+        least one ready cell is retired per call (the scheduler's progress
+        guarantee), so repeated calls always converge.
         """
-        return self._scheduler.run(limit)
+        if timeout_ms is None:
+            return self._scheduler.run(limit)
+        return self._scheduler.run(
+            limit, deadline=self.clock() + timeout_ms / 1000.0, clock=self.clock,
+        )
 
     def is_fresh(self, row: int, column: int) -> bool:
         """Whether a cell's stored value reflects all its precedents."""

@@ -104,6 +104,31 @@ class SnapshotInvalidatedError(SessionError):
     by a structural edit (or a wholesale relink) after it was opened."""
 
 
+class EngineOverloadedError(SessionError):
+    """Raised when admission control sheds new async work.
+
+    The compute scheduler refuses work (instead of queueing it) once its
+    stale queue is past the configured global or per-owner depth quota.
+    Nothing was mutated when this raises — the refused edit can simply be
+    retried.  :attr:`retry_after_ms` is the scheduler's hint for how long
+    a drain needs to bring the queue back under quota; the shared
+    :class:`~repro.service.retry.RetryPolicy` honours it.
+    """
+
+    def __init__(self, message: str, *, retry_after_ms: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class SessionExpiredError(SessionError):
+    """Raised when using a session whose lease expired and was reaped.
+
+    The workspace's :meth:`~repro.service.workspace.Workspace.reap` sweep
+    rolled the session's idle transaction back (releasing its cell
+    write-locks); the session handle is dead and a new one must be opened.
+    """
+
+
 class LinkTableError(ReproError):
     """Raised when linking a spreadsheet region to a database table fails."""
 

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments.columnar import run_columnar
 from repro.experiments.incremental import run_fig26a, run_fig26b, run_migration_cost_probe
+from repro.experiments.overload import run_overload
 from repro.experiments.positional import run_fig18, run_fig22, run_fig23, run_fig24, run_table2
 from repro.experiments.query import run_query
 from repro.experiments.recompute import (
@@ -55,6 +56,7 @@ EXPERIMENTS: dict[str, ExperimentRunner] = {
     "fig26b": run_fig26b,
     "columnar": run_columnar,
     "migration-probe": run_migration_cost_probe,
+    "overload": run_overload,
     "query": run_query,
     "recompute-edit": run_recompute_edit,
     "recompute-bulk": run_recompute_bulk,

@@ -1,5 +1,19 @@
 """Concurrent multi-session service layer (see :mod:`.workspace`)."""
 
-from repro.service.workspace import ReadSnapshot, Session, SessionSavepoint, Workspace
+from repro.service.retry import RetryPolicy
+from repro.service.workspace import (
+    CellRead,
+    ReadSnapshot,
+    Session,
+    SessionSavepoint,
+    Workspace,
+)
 
-__all__ = ["Workspace", "Session", "SessionSavepoint", "ReadSnapshot"]
+__all__ = [
+    "Workspace",
+    "Session",
+    "SessionSavepoint",
+    "ReadSnapshot",
+    "CellRead",
+    "RetryPolicy",
+]

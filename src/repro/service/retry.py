@@ -1,0 +1,121 @@
+"""Shared bounded-backoff retry policy for transient contention errors.
+
+One policy object serves every retry loop in the system:
+
+* **sessions** retrying :class:`~repro.errors.TransactionBusyError`
+  (another session's transaction holds a write-lock) and
+  :class:`~repro.errors.EngineOverloadedError` (admission control shed
+  the edit) — see :meth:`~repro.service.workspace.Session.retrying`;
+* the **WAL writer** retrying transient ``OSError`` s on append/fsync
+  (``repro.storage.wal.WALWriter`` builds a policy from its legacy
+  ``max_retries``/``backoff_seconds`` knobs).
+
+The backoff is bounded exponential with *deterministic* jitter: the
+jitter fraction for attempt *n* is derived from a Weyl sequence over the
+attempt number, not from a random source, so two runs of the same
+schedule sleep for exactly the same durations — which is what lets the
+fault-injection tests assert the schedule and lets tier-1 tests replace
+``sleep``/``clock`` with virtual time and never really block.
+
+When the caught error carries a ``retry_after_ms`` hint (the scheduler's
+overload errors do), the hint wins over the computed backoff when it is
+larger — the server knows how deep its queue is; the client does not.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EngineOverloadedError, TransactionBusyError
+
+#: Errors a session-level retry loop treats as transient by default.
+DEFAULT_RETRY_ON: tuple[type[BaseException], ...] = (
+    TransactionBusyError,
+    EngineOverloadedError,
+)
+
+#: Knuth's multiplicative-hash constant; drives the deterministic jitter.
+_WEYL = 2654435761
+
+
+def _jitter_fraction(attempt: int) -> float:
+    """A deterministic pseudo-uniform fraction in [0, 1) per attempt."""
+    return ((attempt + 1) * _WEYL % (2 ** 32)) / (2 ** 32)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included); the last failure re-raises.
+    base_delay_ms / multiplier / max_delay_ms:
+        Attempt *n* (0-based) backs off ``base * multiplier**n``
+        milliseconds, capped at ``max_delay_ms``.
+    jitter:
+        Fraction of the computed backoff added as deterministic jitter
+        (0 disables; 0.25 adds up to +25%).
+    clock / sleep:
+        Injectable time sources (seconds); tests pass virtual ones so no
+        real time passes.
+    """
+
+    max_attempts: int = 5
+    base_delay_ms: float = 1.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 250.0
+    jitter: float = 0.25
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("delays must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    def delay_ms(self, attempt: int, *, hint_ms: float | None = None) -> float:
+        """The backoff before retry ``attempt`` (0-based), in milliseconds.
+
+        ``hint_ms`` is a server-provided ``retry_after_ms``; it overrides
+        the computed backoff when larger (and is never capped — the
+        server's estimate of its own queue wins).
+        """
+        backoff = min(self.base_delay_ms * (self.multiplier ** attempt),
+                      self.max_delay_ms)
+        delay = backoff * (1.0 + self.jitter * _jitter_fraction(attempt))
+        if hint_ms is not None:
+            delay = max(delay, hint_ms)
+        return delay
+
+    def call(
+        self,
+        operation: Callable[[], Any],
+        *,
+        retry_on: tuple[type[BaseException], ...] = DEFAULT_RETRY_ON,
+        on_retry: Callable[[BaseException, int], None] | None = None,
+    ) -> Any:
+        """Run ``operation`` under this policy; returns its result.
+
+        Retries on ``retry_on`` errors, sleeping the per-attempt backoff
+        (honouring ``retry_after_ms`` hints) between attempts;
+        ``on_retry(error, attempt)`` fires before each backoff (the WAL
+        writer rewinds its file offset there).  The final failure is
+        re-raised unchanged.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except retry_on as error:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(error, attempt)
+                hint = getattr(error, "retry_after_ms", None)
+                self.sleep(self.delay_ms(attempt, hint_ms=hint) / 1000.0)
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -41,21 +41,58 @@ isolated in what they have *not* yet committed:
   scheduler's priority queue; the scheduler round-robins between
   sessions' viewports so one client cannot starve another's visible
   region.
+
+* **Overload protection.**  Admission-control quotas
+  (``max_pending_compute`` / ``max_pending_per_owner`` engine kwargs)
+  shed async edits past the queue's high-water mark with
+  :class:`~repro.errors.EngineOverloadedError`; sessions retry through
+  the shared :class:`~repro.service.retry.RetryPolicy`
+  (:meth:`Session.retrying`).  :meth:`Session.value` reads with a
+  deadline, degrading to the last *committed* value — tagged, never a
+  silent placeholder — when ``allow_stale=True``.  Sessions carry a
+  lease (heartbeat on every op); the :meth:`Workspace.reap` sweep rolls
+  back expired idle transactions through the engine's undo machinery so
+  their write-locks release, and later use of the reaped session raises
+  :class:`~repro.errors.SessionExpiredError`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
 
+from repro.compute import CellState
 from repro.engine.dataspread import DataSpread, Savepoint
 from repro.grid.address import CellAddress
 from repro.errors import (
+    EngineOverloadedError,
+    SavepointError,
     SessionError,
+    SessionExpiredError,
     SnapshotInvalidatedError,
     TransactionBusyError,
 )
 from repro.grid.range import RangeRef
+from repro.service.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class CellRead:
+    """One deadline-aware read result with its staleness metadata.
+
+    ``fresh`` means the value reflects every precedent at read time.  A
+    ``degraded`` read missed its deadline and served the cell's last
+    *committed* value instead of blocking — stale but never a lost edit
+    and never an uncommitted placeholder; ``retry_after_ms`` hints when a
+    re-read is likely to come back fresh.
+    """
+
+    value: Any
+    fresh: bool
+    degraded: bool
+    state: CellState
+    retry_after_ms: float = 0.0
 
 
 class Workspace:
@@ -65,11 +102,24 @@ class Workspace:
     ``async_recompute`` defaults to ``True`` because a multi-client service
     wants edits acknowledged before dependents recompute.  Pass an existing
     engine via ``engine=`` to wrap one (e.g. a recovered workspace).
+
+    ``session_lease_ms`` arms the transaction reaper: a session whose
+    write transaction sits idle (no op, no heartbeat) past the lease is
+    rolled back by the next :meth:`reap` sweep.  ``clock`` injects the
+    time source both the lease and read deadlines are measured on;
+    ``retry_policy`` overrides the default policy :meth:`Session.retrying`
+    uses.  These three are workspace-level and may accompany ``engine=``.
     """
 
-    def __init__(self, *, engine: DataSpread | None = None, **engine_kwargs: Any) -> None:
+    def __init__(self, *, engine: DataSpread | None = None,
+                 session_lease_ms: float | None = None,
+                 clock: Callable[[], float] | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 **engine_kwargs: Any) -> None:
         if engine is None:
             engine_kwargs.setdefault("async_recompute", True)
+            if clock is not None:
+                engine_kwargs.setdefault("clock", clock)
             engine = DataSpread(**engine_kwargs)
         elif engine_kwargs:
             raise SessionError("pass either an engine or engine kwargs, not both")
@@ -81,6 +131,10 @@ class Workspace:
         self._snapshots: list["ReadSnapshot"] = []
         self._next_session = 0
         self._closed = False
+        self._clock = clock if clock is not None else engine.clock
+        self._lease_ms = session_lease_ms
+        #: Policy session retry loops use by default (:meth:`Session.retrying`).
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
 
     # ------------------------------------------------------------------ #
     @property
@@ -116,6 +170,75 @@ class Workspace:
     def flush(self) -> int:
         """Drain the compute queue completely."""
         return self._spread.flush_compute()
+
+    # ------------------------------------------------------------------ #
+    # overload protection
+    # ------------------------------------------------------------------ #
+    @property
+    def shed_count(self) -> int:
+        """Edits refused by the scheduler's admission control so far."""
+        return self._spread.compute_scheduler.stats.shed
+
+    @property
+    def stale_serve_count(self) -> int:
+        """Deadline reads served degraded (stale value tagged) so far."""
+        return self._spread.stale_serves
+
+    @property
+    def reaped_count(self) -> int:
+        """Expired idle transactions the reaper has rolled back so far."""
+        return self._spread.reaped_transactions
+
+    def health(self) -> dict:
+        """The engine's overload snapshot plus per-session lease status."""
+        snapshot = self._spread.health()
+        now = self._clock()
+        snapshot["sessions"] = {
+            name: {
+                "in_transaction": session.in_transaction,
+                "idle_ms": (now - session.last_heartbeat) * 1000.0,
+            }
+            for name, session in self._sessions.items()
+        }
+        snapshot["transaction_owner"] = (
+            self._txn_owner.name if self._txn_owner is not None else None
+        )
+        snapshot["lease_ms"] = self._lease_ms
+        return snapshot
+
+    def reap(self, now: float | None = None) -> list[str]:
+        """Roll back expired idle transactions; returns reaped session names.
+
+        A sweep, meant to run periodically (or opportunistically before
+        acquiring the write slot).  When ``session_lease_ms`` is armed and
+        the transaction-holding session has not heartbeat within it, the
+        whole transaction unwinds through the engine's savepoint/undo
+        machinery — buffered writes discarded, flushed pre-barrier work
+        kept, cell write-locks released — and the session handle expires:
+        every later op on it raises
+        :class:`~repro.errors.SessionExpiredError`.  ``now`` overrides the
+        workspace clock (tests drive virtual time through it).
+
+        Sessions *without* an open transaction are never reaped — an idle
+        reader holds no locks, so there is nothing to reclaim.
+        """
+        self._require_open()
+        if self._lease_ms is None:
+            return []
+        now = self._clock() if now is None else now
+        owner = self._txn_owner
+        if owner is None:
+            return []
+        if (now - owner.last_heartbeat) * 1000.0 < self._lease_ms:
+            return []
+        with self._scope(owner):
+            self._spread.abort_transaction()
+        self._txn_owner = None
+        owner._expired = True
+        self._spread.reaped_transactions += 1
+        self._sessions.pop(owner.name, None)
+        self._spread.set_viewport(None, owner=owner)
+        return [owner.name]
 
     def close(self) -> None:
         if self._closed:
@@ -167,7 +290,8 @@ class Workspace:
         if self._txn_owner is session:
             return False
         raise TransactionBusyError(
-            f"write transaction held by session {self._txn_owner.name!r}"
+            f"session {session.name!r}: write transaction held by session "
+            f"{self._txn_owner.name!r}"
         )
 
     def _release_txn(self, session: "Session") -> None:
@@ -199,6 +323,9 @@ class Session:
         self._workspace = workspace
         self.name = name
         self._closed = False
+        self._expired = False
+        #: Lease heartbeat (workspace-clock seconds); every op renews it.
+        self.last_heartbeat = workspace._clock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -208,6 +335,16 @@ class Session:
     @property
     def in_transaction(self) -> bool:
         return self._workspace._txn_owner is self
+
+    @property
+    def expired(self) -> bool:
+        """Whether the reaper rolled this session's lease-expired
+        transaction back; an expired handle is dead."""
+        return self._expired
+
+    def heartbeat(self) -> None:
+        """Renew the session's lease without performing any operation."""
+        self._touch()
 
     def close(self) -> None:
         if self._closed:
@@ -275,6 +412,15 @@ class Session:
         try:
             with ws._scope(self), ws._spread.batch():
                 yield self
+        except SavepointError:
+            if self._expired:
+                # The reaper unwound this transaction while the block was
+                # open; the clean exit found its frame gone.
+                raise SessionExpiredError(
+                    f"session {self.name!r} expired: its idle transaction "
+                    f"was reaped after its lease lapsed"
+                ) from None
+            raise
         finally:
             if acquired:
                 ws._release_txn(self)
@@ -301,14 +447,79 @@ class Session:
     # reads
     # ------------------------------------------------------------------ #
     def get_value(self, row: int, column: int) -> Any:
+        self._require_usable()
         with self._workspace._scope(self):
             return self._workspace._spread.get_value(row, column)
 
+    def value(self, row: int, column: int, *,
+              deadline_ms: float | None = None,
+              allow_stale: bool = False) -> CellRead:
+        """Read one cell with freshness metadata and an optional deadline.
+
+        Without a deadline this behaves like ``get_fresh_value``: the
+        scheduler evaluates exactly the stale subtree the cell reads, then
+        the fresh value returns.  With ``deadline_ms`` the targeted drain
+        stops cooperatively at the deadline (measured on the workspace's
+        injectable clock; ``deadline_ms=0`` does no compute work at all).
+        If the cell is still stale then:
+
+        * ``allow_stale=True`` → the read *degrades*: the cell's last
+          committed value returns tagged ``degraded`` (with a
+          ``retry_after_ms`` hint) — stale, but never an uncommitted
+          placeholder and never a lost committed edit;
+        * ``allow_stale=False`` → raises
+          :class:`~repro.errors.EngineOverloadedError` naming this
+          session, so callers distinguish "overloaded" from "no value".
+        """
+        self._require_usable()
+        ws = self._workspace
+        engine = ws._spread
+        scheduler = engine.compute_scheduler
+        address = CellAddress(row, column)
+        with ws._scope(self):
+            if deadline_ms is None:
+                scheduler.ensure(address)
+            elif deadline_ms > 0:
+                scheduler.ensure(
+                    address,
+                    deadline=ws._clock() + deadline_ms / 1000.0,
+                    clock=ws._clock,
+                )
+            state = scheduler.state_of(address)
+            value = engine.get_value(row, column)
+        if state is CellState.FRESH:
+            return CellRead(value=value, fresh=True, degraded=False, state=state)
+        if allow_stale:
+            engine.stale_serves += 1
+            return CellRead(
+                value=value, fresh=False, degraded=True, state=state,
+                retry_after_ms=scheduler.retry_after_hint(),
+            )
+        raise EngineOverloadedError(
+            f"session {self.name!r}: cell {address.to_a1()} still stale "
+            f"after its {deadline_ms}ms read deadline",
+            retry_after_ms=scheduler.retry_after_hint(),
+        )
+
+    def retrying(self, operation: Any, *, policy: RetryPolicy | None = None) -> Any:
+        """Run ``operation()`` under the workspace's retry policy.
+
+        Retries :class:`~repro.errors.TransactionBusyError` (another
+        session's transaction holds a lock) and
+        :class:`~repro.errors.EngineOverloadedError` (admission control
+        shed the edit, whose ``retry_after_ms`` hint the backoff honours);
+        the final failure re-raises unchanged.
+        """
+        policy = policy if policy is not None else self._workspace.retry_policy
+        return policy.call(operation)
+
     def get_cell(self, row: int, column: int) -> Any:
+        self._require_usable()
         with self._workspace._scope(self):
             return self._workspace._spread.get_cell(row, column)
 
     def get_range_values(self, region: RangeRef | str) -> list[list[Any]]:
+        self._require_usable()
         with self._workspace._scope(self):
             return self._workspace._spread.get_range_values(region)
 
@@ -345,7 +556,7 @@ class Session:
     def read_snapshot(self) -> "ReadSnapshot":
         """Pin the committed generation for consistent multi-cell reads."""
         self._require_usable()
-        snapshot = ReadSnapshot(self._workspace)
+        snapshot = ReadSnapshot(self._workspace, session=self)
         self._workspace._snapshots.append(snapshot)
         return snapshot
 
@@ -363,8 +574,8 @@ class Session:
         # autonomous overwrite would race the owner's commit flush.
         if ws._spread.transaction_touches(*key):
             raise TransactionBusyError(
-                f"cell {key} is write-locked by session "
-                f"{owner.name!r}'s open transaction"
+                f"session {self.name!r}: cell {key} is write-locked by "
+                f"session {owner.name!r}'s open transaction"
             )
         with ws._scope(self), ws._spread.autonomous():
             return operation(ws._spread)
@@ -377,9 +588,18 @@ class Session:
             return operation(ws._spread)
 
     def _require_usable(self) -> None:
+        if self._expired:
+            raise SessionExpiredError(
+                f"session {self.name!r} expired: its idle transaction was "
+                f"reaped after its lease lapsed; open a new session"
+            )
         if self._closed:
             raise SessionError(f"session {self.name!r} is closed")
         self._workspace._require_open()
+        self._touch()
+
+    def _touch(self) -> None:
+        self.last_heartbeat = self._workspace._clock()
 
 
 class SessionSavepoint:
@@ -403,29 +623,46 @@ class SessionSavepoint:
         """Restore the boundary; the savepoint stays open for re-rollback.
 
         Raises :class:`~repro.errors.SavepointError` when a mid-batch
-        commit point (structural edit) made the work durable.
+        commit point (structural edit) made the work durable, and
+        :class:`~repro.errors.SessionExpiredError` when the owning
+        session's transaction was reaped out from under this handle.
         """
+        self._check_expired()
         ws = self._session._workspace
         with ws._scope(self._session):
             self._handle.rollback()
 
     def release(self) -> None:
         """Keep the work and close the boundary (commits when outermost)."""
+        self._check_expired()
         ws = self._session._workspace
         with ws._scope(self._session):
             self._handle.release()
         self._settle_txn()
 
+    def _check_expired(self) -> None:
+        if self._session._expired:
+            raise SessionExpiredError(
+                f"session {self._session.name!r} expired: this savepoint's "
+                f"transaction was reaped after its lease lapsed"
+            )
+
     def __enter__(self) -> "SessionSavepoint":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # A reaped transaction leaves the handle inert (its frame is gone):
+        # the engine exit no-ops, but a *clean* exit must not pretend the
+        # work was kept — surface the expiry instead.
+        reaped = self._session._expired and not self._handle._released
         ws = self._session._workspace
         try:
             with ws._scope(self._session):
                 self._handle.__exit__(exc_type, exc, tb)
         finally:
             self._settle_txn()
+        if exc_type is None and reaped:
+            self._check_expired()
 
     def _settle_txn(self) -> None:
         if self._acquired:
@@ -446,8 +683,10 @@ class ReadSnapshot:
     raise :class:`~repro.errors.SnapshotInvalidatedError` afterwards.
     """
 
-    def __init__(self, workspace: Workspace) -> None:
+    def __init__(self, workspace: Workspace, *,
+                 session: "Session | None" = None) -> None:
         self._workspace = workspace
+        self._session = session
         self._overlay: dict[tuple[int, int], Any] = {}
         self._invalidated = False
         self._closed = False
@@ -460,11 +699,11 @@ class ReadSnapshot:
     def get_value(self, row: int, column: int) -> Any:
         if self._invalidated:
             raise SnapshotInvalidatedError(
-                "a structural edit changed the coordinate space after this "
-                "snapshot was opened"
+                f"{self._owner_label()}: a structural edit changed the "
+                f"coordinate space after this snapshot was opened"
             )
         if self._closed:
-            raise SessionError("snapshot is closed")
+            raise SessionError(f"{self._owner_label()} is closed")
         key = (row, column)
         if key in self._overlay:
             return self._overlay[key]
@@ -489,6 +728,11 @@ class ReadSnapshot:
         self.close()
 
     # ------------------------------------------------------------------ #
+    def _owner_label(self) -> str:
+        if self._session is not None:
+            return f"session {self._session.name!r}'s snapshot"
+        return "snapshot"
+
     def _capture(self, keys: list[tuple[int, int]]) -> None:
         model = self._workspace._spread.model
         for key in keys:

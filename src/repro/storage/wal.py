@@ -36,10 +36,12 @@ and fsynced once, when the ``commit`` marker is written.  Those are exactly
 the engine's commit points — synchronous writes, batch exits, structural
 edits — so "the append returned" means "this edit survives a crash".
 
-Transient ``OSError`` on append or fsync is retried with bounded backoff;
-before each retry the file is truncated back to the last known-good frame
-boundary so a half-written attempt cannot corrupt the log ahead of its
-retry.  Exhausting the retries raises :class:`~repro.errors.WALError`.
+Transient ``OSError`` on append or fsync is retried with bounded backoff
+(the shared :class:`~repro.service.retry.RetryPolicy`, built from the
+``max_retries``/``backoff_seconds``/``sleep`` knobs); before each retry the
+file is truncated back to the last known-good frame boundary so a
+half-written attempt cannot corrupt the log ahead of its retry.  Exhausting
+the retries raises :class:`~repro.errors.WALError`.
 """
 
 from __future__ import annotations
@@ -187,11 +189,23 @@ class WALWriter:
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        # Deferred import: repro.service's package init imports the engine
+        # (and transitively this module), so a module-level import here
+        # would be circular for callers importing the WAL directly.
+        from repro.service.retry import RetryPolicy
+
         self.path = path
         self._io = (io_factory or WALFileIO)(path)
-        self._max_retries = max_retries
-        self._backoff = backoff_seconds
-        self._sleep = sleep
+        # The historical inline loop slept backoff * 2**attempt with no
+        # jitter; the shared policy reproduces that schedule exactly.
+        self._policy = RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay_ms=backoff_seconds * 1000.0,
+            multiplier=2.0,
+            max_delay_ms=float("inf"),
+            jitter=0.0,
+            sleep=sleep,
+        )
         # Byte offset of the last durable/intact frame boundary; retries
         # truncate back to it so half-written attempts never pollute the log.
         self._good_offset = os.path.getsize(path) if os.path.exists(path) else 0
@@ -260,25 +274,24 @@ class WALWriter:
         self._retry("fsync", self._io.sync, rewind=False)
 
     def _retry(self, action: str, operation: Callable[[], None], *, rewind: bool) -> None:
-        attempts = self._max_retries + 1
-        for attempt in range(attempts):
-            try:
-                operation()
-                return
-            except OSError as error:
-                self.retries += 1
-                if attempt + 1 >= attempts:
-                    raise WALError(
-                        f"WAL {action} failed after {attempts} attempts: {error}"
-                    ) from error
-                if rewind:
-                    # The failed write may have landed partially; rewind to
-                    # the last intact frame boundary before trying again.
-                    try:
-                        self._io.truncate(self._good_offset)
-                    except OSError:
-                        pass  # the retry's own failure path will surface it
-                self._sleep(self._backoff * (2 ** attempt))
+        def on_retry(_error: BaseException, _attempt: int) -> None:
+            self.retries += 1
+            if rewind:
+                # The failed write may have landed partially; rewind to
+                # the last intact frame boundary before trying again.
+                try:
+                    self._io.truncate(self._good_offset)
+                except OSError:
+                    pass  # the retry's own failure path will surface it
+
+        try:
+            self._policy.call(operation, retry_on=(OSError,), on_retry=on_retry)
+        except OSError as error:
+            self.retries += 1  # the final, unretried failure
+            raise WALError(
+                f"WAL {action} failed after {self._policy.max_attempts} "
+                f"attempts: {error}"
+            ) from error
 
 
 # ---------------------------------------------------------------------- #

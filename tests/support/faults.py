@@ -1,4 +1,4 @@
-"""Failpoint-style fault injection for the durability layer.
+"""Failpoint-style fault injection for the durability and serving layers.
 
 The WAL's only contact with the operating system goes through the small
 ``WALFileIO`` seam (append / sync / truncate / tell / close).  ``FaultyIO``
@@ -21,6 +21,15 @@ which is what lets the crash-fuzz oracle use it as its ledger threshold.
 
 One plan is shared by every file the workspace opens (the WAL rotates to
 a new generation at each checkpoint), so countdowns span rotations.
+
+The *latency-chaos* half mirrors the same design for the serving layer:
+:class:`VirtualClock` is a deterministic monotonic clock + sleep pair the
+engine, retry policies, and session leases all share, and
+:class:`LatencyPlan` hooks the compute scheduler's ``before_evaluate``
+seam to make evaluations *slow* (a small virtual delay on every Nth
+evaluation) or *stuck* (a delay far past any read deadline), plus a
+stalled-session arm the overload harness consults to park transactions
+past their lease.  No real time passes anywhere.
 """
 
 from __future__ import annotations
@@ -154,3 +163,133 @@ class FaultyIO:
 
     def close(self) -> None:
         self._io.close()
+
+
+# ---------------------------------------------------------------------- #
+# latency chaos
+# ---------------------------------------------------------------------- #
+class VirtualClock:
+    """A deterministic monotonic clock with a matching virtual ``sleep``.
+
+    Calling the instance reads the current virtual time (seconds), so it
+    drops in anywhere a ``time.monotonic``-shaped callable is expected;
+    ``sleep`` advances the same timeline instead of blocking, so retry
+    backoffs, read deadlines, and session leases all march forward on one
+    shared, reproducible notion of "now".
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot run backwards")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+
+class LatencyPlan:
+    """A schedule of evaluation delays driven through ``before_evaluate``.
+
+    Parameters
+    ----------
+    clock:
+        The shared :class:`VirtualClock` the delays advance.
+    base_seconds:
+        Virtual cost of *every* evaluation (0 disables).
+    slow_every / slow_seconds:
+        Every ``slow_every``-th evaluation additionally stalls for
+        ``slow_seconds`` — the "slow query" arm read deadlines must cut
+        across.
+    stuck_every / stuck_seconds:
+        Every ``stuck_every``-th evaluation stalls far past any
+        reasonable deadline — the "stuck evaluation" arm degraded reads
+        must survive.
+    stall_sessions / stall_hold_seconds:
+        Consulted by the overload harness: whether to park open
+        transactions past their lease (the reaper's prey) and for how
+        long.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        *,
+        base_seconds: float = 0.0,
+        slow_every: int = 0,
+        slow_seconds: float = 0.0,
+        stuck_every: int = 0,
+        stuck_seconds: float = 0.0,
+        stall_sessions: bool = False,
+        stall_hold_seconds: float = 1.0,
+    ) -> None:
+        self.clock = clock
+        self.base_seconds = base_seconds
+        self.slow_every = slow_every
+        self.slow_seconds = slow_seconds
+        self.stuck_every = stuck_every
+        self.stuck_seconds = stuck_seconds
+        self.stall_sessions = stall_sessions
+        self.stall_hold_seconds = stall_hold_seconds
+        self.evaluations_seen = 0
+        self.delays_injected = 0
+        self.total_delay_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_single_delay(self) -> float:
+        """The worst-case virtual cost of one evaluation under this plan.
+
+        Read-deadline assertions allow exactly this much overshoot: the
+        drain's progress guarantee evaluates at least one cell before it
+        checks the deadline, so a read can run late by one evaluation —
+        never more.
+        """
+        worst = self.base_seconds
+        if self.slow_every:
+            worst += self.slow_seconds
+        if self.stuck_every:
+            worst += self.stuck_seconds
+        return worst
+
+    def install(self, scheduler) -> None:
+        """Hook this plan into a scheduler's ``before_evaluate`` seam."""
+        scheduler.before_evaluate = self.on_evaluate
+
+    def uninstall(self, scheduler) -> None:
+        scheduler.before_evaluate = None
+
+    def on_evaluate(self, _address) -> None:
+        self.evaluations_seen += 1
+        delay = self.base_seconds
+        if self.slow_every and self.evaluations_seen % self.slow_every == 0:
+            delay += self.slow_seconds
+        if self.stuck_every and self.evaluations_seen % self.stuck_every == 0:
+            delay += self.stuck_seconds
+        if delay > 0:
+            self.delays_injected += 1
+            self.total_delay_seconds += delay
+            self.clock.advance(delay)
+
+    @classmethod
+    def random(cls, rng: random.Random, clock: VirtualClock) -> "LatencyPlan":
+        """A randomized plan: some mix of slow, stuck, and stalled arms."""
+        return cls(
+            clock,
+            base_seconds=rng.choice([0.0, 0.0, 0.0001, 0.0005]),
+            slow_every=rng.choice([0, 3, 5, 7]),
+            slow_seconds=rng.choice([0.002, 0.01, 0.05]),
+            stuck_every=rng.choice([0, 0, 11, 17]),
+            stuck_seconds=rng.choice([0.25, 1.0]),
+            stall_sessions=rng.random() < 0.6,
+            stall_hold_seconds=rng.choice([0.5, 1.0, 3.0]),
+        )

@@ -947,3 +947,277 @@ def run_session_interleaving(seed: int, *, writers: int = 3, readers: int = 2,
         apply_op(sheet, op)
     assert_oracle_agrees(ws.engine, sheet, context=(seed, "sessions"))
     ws.close()
+
+
+# ---------------------------------------------------------------------- #
+# overload / latency-chaos fuzz
+# ---------------------------------------------------------------------- #
+#: Queue-depth quota the overload runs arm admission control with.  Low
+#: enough that edit bursts under injected latency actually hit it.
+OVERLOAD_MAX_PENDING = 12
+#: Allowed overshoot past the quota: admission is a high-water check, so
+#: one admitted edit's full dirty fan-out (and one batch commit's dirty
+#: set, which is never refused) may land past the mark — but never more.
+OVERLOAD_FANOUT_SLACK = 120
+#: Virtual session lease the reaper enforces (milliseconds).
+OVERLOAD_LEASE_MS = 250.0
+
+
+def run_overload(seed: int, *, writers: int = 3, readers: int = 2,
+                 steps: int = 80) -> dict:
+    """One randomized overload interleaving under injected latency.
+
+    ``writers`` writer sessions and ``readers`` reader sessions share one
+    admission-controlled async workspace whose every time source — engine
+    clock, session lease, retry backoff — is a single
+    :class:`~tests.support.faults.VirtualClock`; a randomized
+    :class:`~tests.support.faults.LatencyPlan` makes evaluations slow or
+    stuck through the scheduler's ``before_evaluate`` seam.  Writers issue
+    retried single edits (admission refusals back off and drain), batched
+    transactions with savepoints and mid-batch structural commit points,
+    and — on stall-armed plans — park an open transaction past its lease
+    for the reaper.  Readers issue deadline-bounded reads that must return
+    within the deadline plus at most one evaluation's delay (the drain's
+    progress guarantee), degrading to tagged stale values rather than
+    blocking.
+
+    Invariants checked throughout and at the end:
+
+    * queue depth stays bounded: the high-water mark never exceeds the
+      quota plus one edit's fan-out slack;
+    * no reader starves: every deadline read returns within its bound,
+      fresh or degraded (and degraded reads are tagged as such);
+    * reaping releases write-locks (a cell locked by the stalled
+      transaction becomes writable) and expires the zombie session;
+    * zero committed-edit loss: after chaos is lifted and the queue
+      drains, the grid equals a synchronous ``Sheet`` replay of exactly
+      the committed ledger — ops shed by admission control or rolled back
+      by the reaper are absent, everything acknowledged is present.
+
+    Returns a metrics dict (sheds, degraded serves, reaps, high water).
+    """
+    from repro.errors import (
+        EngineOverloadedError,
+        SessionExpiredError,
+        TransactionBusyError,
+    )
+    from repro.service import Workspace
+    from repro.service.retry import RetryPolicy
+
+    from tests.support.faults import LatencyPlan, VirtualClock
+
+    rng = random.Random(seed)
+    clock = VirtualClock()
+    plan = LatencyPlan.random(rng, clock)
+    policy = RetryPolicy(max_attempts=4, base_delay_ms=1.0,
+                         max_delay_ms=64.0, clock=clock, sleep=clock.sleep)
+    ws = Workspace(
+        idle_drain_budget=0,
+        max_pending_compute=OVERLOAD_MAX_PENDING,
+        max_pending_per_owner=OVERLOAD_MAX_PENDING // 2,
+        session_lease_ms=OVERLOAD_LEASE_MS,
+        clock=clock,
+        retry_policy=policy,
+    )
+    ws.engine.aggregate_store.min_state_area = 1
+    scheduler = ws.engine.compute_scheduler
+    plan.install(scheduler)
+
+    writer_sessions = [ws.open_session(f"writer-{n}") for n in range(writers)]
+    reader_sessions = [ws.open_session(f"reader-{n}") for n in range(readers)]
+    committed: list[tuple] = []
+    sheet = Sheet()
+    session_serial = [writers]
+    metrics = {"attempted": 0, "refused": 0, "fresh_reads": 0,
+               "degraded_reads": 0, "reaps": 0}
+
+    anchor_row, anchor_column = SEED_ANCHOR
+    seed_op = ("value", anchor_row, anchor_column, seed)
+    apply_edit(writer_sessions[0], seed_op)
+    committed.append(seed_op)
+
+    def assert_depth_bounded(context: str) -> None:
+        depth = scheduler.pending_count
+        assert depth <= OVERLOAD_MAX_PENDING + OVERLOAD_FANOUT_SLACK, (
+            seed, context, depth, "queue depth exceeded quota + fan-out")
+
+    def retried_edit(writer) -> None:
+        op = random_edit(rng)
+        metrics["attempted"] += 1
+        try:
+            # On each backoff, drain a little: the retry loop *is* the
+            # backpressure story — shed work re-offered after the queue
+            # made progress should eventually land.
+            policy.call(lambda: apply_edit(writer, op),
+                        on_retry=lambda _e, _a: ws.drain(rng.randint(2, 6)))
+        except (EngineOverloadedError, TransactionBusyError):
+            metrics["refused"] += 1  # shed for good: never in the ledger
+            ws.drain(rng.randint(4, 12))
+        else:
+            committed.append(op)
+
+    def run_transaction(owner) -> None:
+        survivors: list[tuple] = []
+        try:
+            with owner.batch():
+                for _ in range(rng.randint(2, 6)):
+                    roll = rng.random()
+                    if roll < 0.6:
+                        op = random_edit(rng)
+                        apply_edit(owner, op)
+                        survivors.append(op)
+                    elif roll < 0.75:
+                        handle = owner.savepoint()
+                        mark = len(survivors)
+                        doomed = random_edit(rng)
+                        apply_edit(owner, doomed)
+                        survivors.append(doomed)
+                        if rng.random() < 0.6:
+                            handle.rollback()
+                            del survivors[mark:]
+                        else:
+                            handle.release()
+                    else:
+                        # Mid-transaction structural edit: a commit point
+                        # flushing the survivors gathered so far.
+                        op = random_structural(rng)
+                        committed.extend(survivors)
+                        survivors.clear()
+                        committed.append(op)
+                        apply_structural(owner, op)
+                if rng.random() < 0.2:
+                    raise Boom()
+        except Boom:
+            return
+        except TransactionBusyError:
+            return  # a stalled (not yet reaped) transaction holds the slot
+        committed.extend(survivors)
+
+    def stall_and_reap(index: int) -> None:
+        """Park an open transaction past its lease; the reaper must free it."""
+        owner = writer_sessions[index]
+        try:
+            handle = owner.savepoint()
+        except TransactionBusyError:
+            return
+        survivors: list[tuple] = []
+        locked: tuple | None = None
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.3:
+                op = random_structural(rng)
+                committed.extend(survivors)
+                survivors.clear()
+                committed.append(op)
+                apply_structural(owner, op)
+                locked = None  # the commit point flushed the write-locks
+            else:
+                op = random_edit(rng)
+                apply_edit(owner, op)
+                survivors.append(op)
+                if op[0] != "clear":
+                    locked = op
+        other = writer_sessions[(index + 1) % len(writer_sessions)]
+        if locked is not None:
+            # The uncommitted cell is write-locked against foreign edits.
+            try:
+                other.set_value(locked[1], locked[2], -1)
+            except TransactionBusyError:
+                pass
+            else:
+                raise AssertionError((seed, locked, "write-lock not held"))
+        # The session goes silent past its lease; everyone else keeps
+        # heartbeating implicitly through their own ops.
+        clock.advance(plan.stall_hold_seconds + OVERLOAD_LEASE_MS / 1000.0)
+        reaped = ws.reap()
+        assert owner.name in reaped, (seed, "stalled session not reaped")
+        metrics["reaps"] += 1
+        # Buffered survivors died with the transaction; pre-barrier work
+        # (flushed by mid-transaction structural edits) stays committed.
+        if locked is not None:
+            # Drain first so admission control cannot confound the probe:
+            # the only thing that may now refuse this write is the lock —
+            # and the reap must have released it.
+            ws.drain()
+            probe = ("value", locked[1], locked[2], seed % 97)
+            apply_edit(other, probe)
+            committed.append(probe)
+        try:
+            handle.release()
+        except SessionExpiredError:
+            pass
+        else:
+            raise AssertionError((seed, "reaped savepoint release succeeded"))
+        try:
+            owner.get_value(1, 1)
+        except SessionExpiredError:
+            pass
+        else:
+            raise AssertionError((seed, "expired session still readable"))
+        session_serial[0] += 1
+        writer_sessions[index] = ws.open_session(
+            f"writer-{session_serial[0]}")
+
+    def deadline_read(reader) -> None:
+        row = rng.randint(1, DATA_ROWS)
+        column = rng.randint(1, 5)
+        deadline_ms = rng.choice([0.0, 1.0, 5.0, 20.0])
+        before = clock()
+        read = reader.value(row, column, deadline_ms=deadline_ms,
+                            allow_stale=True)
+        elapsed = clock() - before
+        # Progress guarantee: at most one evaluation runs past the
+        # deadline, so the read returns within deadline + one delay.
+        assert elapsed <= deadline_ms / 1000.0 + plan.max_single_delay + 1e-9, (
+            seed, (row, column), elapsed, "reader starved past its deadline")
+        if read.fresh:
+            metrics["fresh_reads"] += 1
+            assert not read.degraded, (seed, "fresh read tagged degraded")
+        else:
+            metrics["degraded_reads"] += 1
+            assert read.degraded, (seed, "stale read not tagged degraded")
+            assert read.retry_after_ms > 0, (seed, "degraded read lacks hint")
+
+    for _step in range(steps):
+        action = rng.randrange(12)
+        if action < 3:
+            retried_edit(rng.choice(writer_sessions))
+        elif action < 4:
+            # A burst: every writer fires without anyone draining — the
+            # arm that actually drives the queue into its quota.
+            for writer in writer_sessions:
+                for _ in range(rng.randint(1, 3)):
+                    retried_edit(writer)
+        elif action < 6:
+            run_transaction(rng.choice(writer_sessions))
+        elif action < 7:
+            if plan.stall_sessions:
+                stall_and_reap(rng.randrange(len(writer_sessions)))
+            else:
+                ws.reap()  # sweeps on a healthy workspace are no-ops
+        elif action < 10:
+            reader = rng.choice(reader_sessions)
+            if rng.random() < 0.3:
+                top = rng.randint(1, 30)
+                reader.set_viewport(
+                    RangeRef(top, 1, top + 10, 8) if rng.random() < 0.8 else None
+                )
+            else:
+                deadline_read(reader)
+        else:
+            ws.drain(rng.randint(1, 8))
+        assert_depth_bounded(f"step {_step}")
+
+    # Lift the chaos, drain fully, and replay the ledger synchronously:
+    # everything committed must be present, everything shed or reaped absent.
+    plan.uninstall(scheduler)
+    ws.flush()
+    for op in committed:
+        apply_op(sheet, op)
+    assert_oracle_agrees(ws.engine, sheet, context=(seed, "overload"))
+    high_water = scheduler.stats.high_water
+    assert high_water <= OVERLOAD_MAX_PENDING + OVERLOAD_FANOUT_SLACK, (
+        seed, high_water, "high-water mark exceeded quota + fan-out")
+    metrics.update(shed=ws.shed_count, stale_serves=ws.stale_serve_count,
+                   reaped=ws.reaped_count, high_water=high_water)
+    ws.close()
+    return metrics
